@@ -1,0 +1,81 @@
+// Ablation: the number of initial factor sets L (Algorithm 2) and the
+// initialization scheme. The paper motivates L > 1 with "better initial
+// factor matrices often lead to more accurate factorization"; this bench
+// quantifies it and contrasts the paper's random initialization with this
+// repo's fiber-sampled initialization (see DESIGN.md).
+
+#include <cstdio>
+#include <string>
+
+#include "common/timer.h"
+#include "dbtf/dbtf.h"
+#include "generator/generator.h"
+#include "harness/harness.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchOptions options = BenchOptions::FromEnv();
+  PrintBanner("bench_ablation_init_sets",
+              "Ablation: L initial sets x init scheme (Algorithm 2)",
+              options);
+
+  PlantedSpec spec;
+  const std::int64_t dim = std::int64_t{1} << (6 + options.scale);
+  spec.dim_i = dim;
+  spec.dim_j = dim;
+  spec.dim_k = dim;
+  spec.rank = 8;
+  spec.factor_density = 0.12;
+  spec.additive_noise = 0.05;
+  spec.destructive_noise = 0.05;
+  spec.seed = 31;
+  auto planted = GeneratePlanted(spec);
+  if (!planted.ok()) return 1;
+  const std::int64_t nnz = planted->tensor.NumNonZeros();
+  std::printf("planted tensor: %lld^3, nnz=%lld\n",
+              static_cast<long long>(dim), static_cast<long long>(nnz));
+
+  TablePrinter table({"init scheme", "L", "time", "final error",
+                      "relative error"});
+  for (const InitScheme scheme :
+       {InitScheme::kFiberSample, InitScheme::kRandom}) {
+    for (const int l : {1, 2, 4, 8}) {
+      DbtfConfig config;
+      config.rank = 8;
+      config.num_initial_sets = l;
+      config.init_scheme = scheme;
+      config.max_iterations = options.max_iterations;
+      config.num_partitions = options.machines;
+      config.cluster.num_machines = options.machines;
+      config.seed = 7;
+      Timer timer;
+      auto result = Dbtf::Factorize(planted->tensor, config);
+      const double seconds = timer.ElapsedSeconds();
+      if (!result.ok()) return 1;
+      char time_str[32], rel_str[32];
+      std::snprintf(time_str, sizeof(time_str), "%.3fs", seconds);
+      std::snprintf(rel_str, sizeof(rel_str), "%.4f",
+                    static_cast<double>(result->final_error) /
+                        static_cast<double>(nnz));
+      table.AddRow({scheme == InitScheme::kFiberSample ? "fiber-sample"
+                                                       : "random",
+                    std::to_string(l), time_str,
+                    std::to_string(result->final_error), rel_str});
+    }
+  }
+  table.Print();
+  std::printf(
+      "expected: error never increases with L (time grows ~linearly in L); "
+      "random init is prone to the all-zero collapse, fiber-sampling is "
+      "not.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf
+
+int main() { return dbtf::bench::Main(); }

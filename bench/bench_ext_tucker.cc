@@ -1,0 +1,91 @@
+// Extension bench: Boolean Tucker vs Boolean CP on cross-structured data.
+// Tucker's core can couple factor columns off-diagonally; CP at the same
+// per-mode rank cannot. On tensors planted with off-diagonal cores the gap
+// widens with the number of cross couplings; on pure CP (superdiagonal)
+// structure the two match.
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "dbtf/dbtf.h"
+#include "harness/harness.h"
+#include "tucker/tucker.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchOptions options = BenchOptions::FromEnv();
+  PrintBanner("bench_ext_tucker",
+              "Extension: Boolean Tucker vs CP on planted core structures",
+              options);
+
+  TablePrinter table({"core couplings", "nnz", "CP error", "Tucker error",
+                      "CP time", "Tucker time"});
+  Rng rng(31);
+  const std::int64_t dim = 48 + 8 * options.scale;
+  for (const int cross : {0, 2, 4, 6}) {
+    // Planted factors plus a core: the superdiagonal and `cross` extra
+    // off-diagonal couplings.
+    const BitMatrix a = BitMatrix::Random(dim, 4, 0.15, &rng);
+    const BitMatrix b = BitMatrix::Random(dim, 4, 0.15, &rng);
+    const BitMatrix c = BitMatrix::Random(dim, 4, 0.15, &rng);
+    TuckerCore core = TuckerCore::Superdiagonal(4);
+    int added = 0;
+    while (added < cross) {
+      const auto p = static_cast<std::int64_t>(rng.NextBounded(4));
+      const auto q = static_cast<std::int64_t>(rng.NextBounded(4));
+      const auto r = static_cast<std::int64_t>(rng.NextBounded(4));
+      if (!core.Get(p, q, r)) {
+        core.Set(p, q, r, true);
+        ++added;
+      }
+    }
+    auto x = TuckerReconstruct(core, a, b, c);
+    if (!x.ok()) return 1;
+
+    Timer cp_timer;
+    DbtfConfig cp_config;
+    cp_config.rank = 4;
+    cp_config.max_iterations = options.max_iterations;
+    cp_config.num_initial_sets = 4;
+    cp_config.seed = 7;
+    auto cp = Dbtf::Factorize(*x, cp_config);
+    const double cp_seconds = cp_timer.ElapsedSeconds();
+    if (!cp.ok()) return 1;
+
+    Timer tucker_timer;
+    TuckerConfig tucker_config;
+    tucker_config.core_p = 4;
+    tucker_config.core_q = 4;
+    tucker_config.core_r = 4;
+    tucker_config.max_iterations = options.max_iterations;
+    tucker_config.num_restarts = 4;
+    tucker_config.seed = 7;
+    auto tucker = BooleanTucker(*x, tucker_config);
+    const double tucker_seconds = tucker_timer.ElapsedSeconds();
+    if (!tucker.ok()) return 1;
+
+    char cp_time[32], tucker_time[32];
+    std::snprintf(cp_time, sizeof(cp_time), "%.3fs", cp_seconds);
+    std::snprintf(tucker_time, sizeof(tucker_time), "%.3fs", tucker_seconds);
+    table.AddRow({std::to_string(cross),
+                  std::to_string(x->NumNonZeros()),
+                  std::to_string(cp->final_error),
+                  std::to_string(tucker->final_error), cp_time, tucker_time});
+  }
+  table.Print();
+  std::printf(
+      "expected: comparable at 0 couplings (CP = superdiagonal Tucker); "
+      "Tucker's advantage grows with off-diagonal couplings.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf
+
+int main() { return dbtf::bench::Main(); }

@@ -1,0 +1,69 @@
+// Reproduces Figure 1(a): running time vs dimensionality (I = J = K),
+// density 0.01, rank 10. The paper sweeps 2^6..2^13 on a 17-machine Spark
+// cluster with 6-hour budgets; this harness sweeps 2^5..2^8 (+DBTF_BENCH_SCALE)
+// with per-cell budgets, preserving the shape: baselines hit O.O.T. first
+// while DBTF keeps scaling.
+
+#include <cstdio>
+#include <string>
+
+#include "generator/generator.h"
+#include "harness/harness.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchOptions options = BenchOptions::FromEnv();
+  PrintBanner("bench_fig1a_dimensionality",
+              "Figure 1(a): time vs dimensionality (density=0.01, R=10)",
+              options);
+
+  const std::int64_t rank = 10;
+  const double density = 0.01;
+  TablePrinter table({"I=J=K", "nnz", "DBTF", "BCP_ALS", "Walk'n'Merge",
+                      "DBTF vs BCP", "DBTF vs WnM"});
+
+  bool bcp_dead = false;
+  bool wnm_dead = false;
+  const std::int64_t max_exp = 8 + options.scale;
+  for (std::int64_t exp = 5; exp <= max_exp; ++exp) {
+    const std::int64_t dim = std::int64_t{1} << exp;
+    auto tensor = UniformRandomTensor(dim, dim, dim, density, 42 + exp);
+    if (!tensor.ok()) {
+      std::printf("generator failed at 2^%lld: %s\n",
+                  static_cast<long long>(exp),
+                  tensor.status().ToString().c_str());
+      return 1;
+    }
+    const RunResult dbtf = RunDbtf(*tensor, rank, options);
+    RunResult bcp;
+    bcp.status = RunStatus::kSkipped;
+    if (!bcp_dead) bcp = RunBcpAls(*tensor, rank, options);
+    RunResult wnm;
+    wnm.status = RunStatus::kSkipped;
+    if (!wnm_dead) wnm = RunWalkNMerge(*tensor, rank, options);
+    bcp_dead = bcp_dead || bcp.status == RunStatus::kOutOfTime ||
+               bcp.status == RunStatus::kOutOfMemory;
+    wnm_dead = wnm_dead || wnm.status == RunStatus::kOutOfTime ||
+               wnm.status == RunStatus::kOutOfMemory;
+
+    table.AddRow({"2^" + std::to_string(exp),
+                  std::to_string(tensor->NumNonZeros()), dbtf.Cell(),
+                  bcp.Cell(), wnm.Cell(), Speedup(bcp, dbtf),
+                  Speedup(wnm, dbtf)});
+  }
+  table.Print();
+  std::printf(
+      "paper shape: DBTF decomposes tensors 10-100x larger; at the largest "
+      "size each baseline handles, DBTF is 68x (BCP_ALS) and 382x "
+      "(Walk'n'Merge) faster.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf
+
+int main() { return dbtf::bench::Main(); }

@@ -1,0 +1,62 @@
+// Reproduces Figure 6: running time on the real-world datasets of Table III.
+// The paper's datasets (Facebook, DBLP, CAIDA-DDoS, NELL) are proprietary /
+// large downloads; this harness substitutes synthetic stand-ins with the
+// same mode shapes, skew profile, and (scaled) non-zero counts — see
+// DESIGN.md. Expected shape: DBTF completes every dataset; Walk'n'Merge
+// only survives the smallest; BCP_ALS dies on all of them (O.O.M./O.O.T.).
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "generator/workload.h"
+#include "harness/harness.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+int Main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  // The paper's 12-hour ceiling is a small multiple of DBTF's slowest
+  // dataset time; scale the per-cell budget the same way relative to this
+  // harness (DBTF's slowest stand-in takes well under a second).
+  options.budget_ms = GetEnvInt64("DBTF_BENCH_FIG6_BUDGET_MS", 2000);
+  const double shrink = GetEnvDouble("DBTF_BENCH_SHRINK", 128.0);
+  PrintBanner("bench_fig6_realworld",
+              "Figure 6: real-world datasets (synthetic stand-ins, shrink=" +
+                  std::to_string(shrink) + ")",
+              options);
+
+  const std::int64_t rank = 10;
+  TablePrinter table({"dataset", "I", "J", "K", "nnz", "DBTF", "BCP_ALS",
+                      "Walk'n'Merge"});
+  for (const DatasetSpec& nominal : PaperDatasets()) {
+    const DatasetSpec spec = ScaleDataset(nominal, shrink);
+    auto tensor = GenerateWorkload(spec, 99);
+    if (!tensor.ok()) {
+      std::printf("generator failed for %s: %s\n", spec.name.c_str(),
+                  tensor.status().ToString().c_str());
+      continue;
+    }
+    const RunResult dbtf = RunDbtf(*tensor, rank, options);
+    // A fraction of the paper's 12-hour ceiling, matching the harness scale.
+    const RunResult bcp = RunBcpAls(*tensor, rank, options);
+    const RunResult wnm = RunWalkNMerge(*tensor, rank, options);
+    table.AddRow({spec.name, std::to_string(spec.dim_i),
+                  std::to_string(spec.dim_j), std::to_string(spec.dim_k),
+                  std::to_string(tensor->NumNonZeros()), dbtf.Cell(),
+                  bcp.Cell(), wnm.Cell()});
+  }
+  table.Print();
+  std::printf(
+      "paper shape: only DBTF scales to all datasets; Walk'n'Merge finishes "
+      "only Facebook (21x slower than DBTF); BCP_ALS fails everywhere.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf
+
+int main() { return dbtf::bench::Main(); }

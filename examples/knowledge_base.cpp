@@ -1,0 +1,109 @@
+// Latent concept discovery in a knowledge base — the application the paper's
+// introduction motivates with subject-relation-object triples such as
+// ("Seoul", "is the capital of", "South Korea").
+//
+// The example synthesizes a knowledge-base tensor with planted concepts
+// (groups of subjects connected to groups of objects through groups of
+// relations), factorizes it with DBTF, and prints each discovered concept as
+// its top subjects / relations / objects. With Boolean factors, "membership
+// of entity e in concept r" is simply bit (e, r) of a factor matrix.
+//
+//   ./examples/knowledge_base
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dbtf/dbtf.h"
+#include "eval/metrics.h"
+#include "generator/generator.h"
+
+namespace {
+
+// Human-readable entity names for the synthetic knowledge base.
+std::string SubjectName(int i) { return "subject_" + std::to_string(i); }
+std::string RelationName(int j) { return "relation_" + std::to_string(j); }
+std::string ObjectName(int k) { return "object_" + std::to_string(k); }
+
+void PrintConceptMembers(const dbtf::BitMatrix& factor, std::int64_t concept_id,
+                         const char* role,
+                         const std::function<std::string(int)>& name,
+                         int max_members = 6) {
+  std::printf("  %-9s:", role);
+  int shown = 0;
+  std::int64_t total = 0;
+  for (std::int64_t e = 0; e < factor.rows(); ++e) {
+    if (!factor.Get(e, concept_id)) continue;
+    ++total;
+    if (shown < max_members) {
+      std::printf(" %s", name(static_cast<int>(e)).c_str());
+      ++shown;
+    }
+  }
+  if (total > shown) std::printf(" ... (%lld total)", static_cast<long long>(total));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dbtf;
+
+  // Synthetic knowledge base: 120 subjects x 24 relations x 120 objects with
+  // 6 planted concepts. Subjects/objects join ~2 concepts on average, each
+  // concept uses a couple of relations.
+  PlantedSpec spec;
+  spec.dim_i = 120;  // subjects
+  spec.dim_j = 24;   // relations
+  spec.dim_k = 120;  // objects
+  spec.rank = 6;
+  spec.factor_density = 0.10;
+  spec.additive_noise = 0.02;     // spurious triples
+  spec.destructive_noise = 0.05;  // missing triples (incomplete KB)
+  spec.seed = 404;
+  auto kb = GeneratePlanted(spec);
+  if (!kb.ok()) {
+    std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "knowledge base: %lld subjects, %lld relations, %lld objects, "
+      "%lld triples\n\n",
+      static_cast<long long>(kb->tensor.dim_i()),
+      static_cast<long long>(kb->tensor.dim_j()),
+      static_cast<long long>(kb->tensor.dim_k()),
+      static_cast<long long>(kb->tensor.NumNonZeros()));
+
+  DbtfConfig config;
+  config.rank = 6;
+  config.max_iterations = 12;
+  config.num_initial_sets = 6;
+  config.num_partitions = 8;
+  config.cluster.num_machines = 8;
+  config.seed = 7;
+  auto result = Dbtf::Factorize(kb->tensor, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("discovered %lld Boolean concepts (relative error %.4f):\n\n",
+              static_cast<long long>(config.rank),
+              static_cast<double>(result->final_error) /
+                  static_cast<double>(kb->tensor.NumNonZeros()));
+  for (std::int64_t r = 0; r < config.rank; ++r) {
+    std::printf("concept %lld\n", static_cast<long long>(r));
+    PrintConceptMembers(result->a, r, "subjects", SubjectName);
+    PrintConceptMembers(result->b, r, "relations", RelationName);
+    PrintConceptMembers(result->c, r, "objects", ObjectName);
+  }
+
+  auto score = FactorMatchScore(kb->b, result->b);
+  if (score.ok()) {
+    std::printf(
+        "\nrelation-factor match vs planted concepts (Jaccard): %.2f\n",
+        *score);
+  }
+  return 0;
+}

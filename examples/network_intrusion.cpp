@@ -1,0 +1,95 @@
+// Attack-window detection in network traffic — the paper's CAIDA-DDoS
+// motivation: a source-IP x destination-IP x time binary tensor of traffic
+// events, where DDoS bursts form dense rank-1 blocks.
+//
+// The example synthesizes bursty attack traffic over background noise,
+// factorizes it with DBTF, and reads the attack windows straight off the
+// time-mode factor C: the time steps set in column r are the window of
+// attack component r, and the A/B columns give the participating sources
+// and targets.
+//
+//   ./examples/network_intrusion
+
+#include <cstdio>
+#include <vector>
+
+#include "dbtf/dbtf.h"
+#include "generator/workload.h"
+
+int main() {
+  using namespace dbtf;
+
+  // Bursty traffic: 128 sources x 128 destinations x 256 time steps.
+  DatasetSpec spec;
+  spec.name = "ddos-like";
+  spec.dim_i = 128;
+  spec.dim_j = 128;
+  spec.dim_k = 256;
+  spec.nnz = 30000;
+  spec.kind = WorkloadKind::kBursty;
+  auto traffic = GenerateWorkload(spec, 1337);
+  if (!traffic.ok()) {
+    std::fprintf(stderr, "%s\n", traffic.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("traffic tensor: %lldx%lldx%lld, %lld events\n\n",
+              static_cast<long long>(spec.dim_i),
+              static_cast<long long>(spec.dim_j),
+              static_cast<long long>(spec.dim_k),
+              static_cast<long long>(traffic->NumNonZeros()));
+
+  DbtfConfig config;
+  config.rank = 6;
+  config.max_iterations = 10;
+  config.num_initial_sets = 6;
+  config.num_partitions = 8;
+  config.cluster.num_machines = 8;
+  config.seed = 3;
+  auto result = Dbtf::Factorize(*traffic, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("factorized with relative error %.4f\n\n",
+              static_cast<double>(result->final_error) /
+                  static_cast<double>(traffic->NumNonZeros()));
+
+  // Each component = one traffic pattern. Report its time window (from C)
+  // and the size of its source/destination sets (from A and B).
+  for (std::int64_t r = 0; r < config.rank; ++r) {
+    std::int64_t first = -1;
+    std::int64_t last = -1;
+    std::int64_t active = 0;
+    for (std::int64_t k = 0; k < result->c.rows(); ++k) {
+      if (!result->c.Get(k, r)) continue;
+      if (first < 0) first = k;
+      last = k;
+      ++active;
+    }
+    std::int64_t sources = 0;
+    std::int64_t targets = 0;
+    for (std::int64_t i = 0; i < result->a.rows(); ++i) {
+      if (result->a.Get(i, r)) ++sources;
+    }
+    for (std::int64_t j = 0; j < result->b.rows(); ++j) {
+      if (result->b.Get(j, r)) ++targets;
+    }
+    if (active == 0) {
+      std::printf("component %lld: inactive\n", static_cast<long long>(r));
+      continue;
+    }
+    // A concentrated window with many sources hitting few targets (or the
+    // reverse) is the classic DDoS signature.
+    const double concentration =
+        static_cast<double>(active) / static_cast<double>(last - first + 1);
+    std::printf(
+        "component %lld: time window [%lld, %lld] (%lld steps, "
+        "concentration %.2f), %lld sources -> %lld targets%s\n",
+        static_cast<long long>(r), static_cast<long long>(first),
+        static_cast<long long>(last), static_cast<long long>(active),
+        concentration, static_cast<long long>(sources),
+        static_cast<long long>(targets),
+        (concentration > 0.5 && sources >= 8) ? "  <== burst" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef DBTF_ASSO_ASSO_H_
+#define DBTF_ASSO_ASSO_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+
+namespace dbtf {
+
+/// Parameters of the ASSO Boolean matrix factorization
+/// (Miettinen et al., "The Discrete Basis Problem").
+struct AssoConfig {
+  /// Number of basis vectors (columns of the factors).
+  std::int64_t rank = 10;
+
+  /// Association confidence threshold tau in (0, 1]: candidate basis vector
+  /// i has bit j set when conf(i -> j) = |col_i AND col_j| / |col_i| >= tau.
+  double threshold = 0.7;
+
+  /// Cover weights: reward for covering a 1 and penalty for covering a 0.
+  double weight_plus = 1.0;
+  double weight_minus = 1.0;
+
+  /// Maximum number of candidate basis vectors considered. Candidates are
+  /// seeded from matrix columns; when the matrix has more columns than this,
+  /// a uniform sample is used (0 means all columns). The full association
+  /// matrix is quadratic in the number of columns — the very cost that makes
+  /// ASSO-initialized BCP_ALS collapse on large unfoldings.
+  std::int64_t max_candidates = 0;
+
+  /// Memory gate: candidate storage beyond this returns ResourceExhausted,
+  /// reproducing the out-of-memory behaviour of the single-machine baseline.
+  std::int64_t max_memory_bytes = std::int64_t{4} << 30;
+
+  /// Seed for candidate sampling.
+  std::uint64_t seed = 0;
+
+  /// Cooperative wall-clock budget in seconds; 0 means unlimited. Expiry
+  /// returns DeadlineExceeded.
+  double time_budget_seconds = 0.0;
+
+  Status Validate() const;
+};
+
+/// Result of an ASSO factorization X ~ U o S^T.
+struct AssoResult {
+  BitMatrix u;         ///< m x R usage matrix
+  BitMatrix s;         ///< n x R basis matrix (column r is basis vector r)
+  std::int64_t error;  ///< |X xor (U o S^T)|
+};
+
+/// Factorizes a binary matrix X (m x n) into U (m x R) and S (n x R) with
+/// X ~ U o S^T under Boolean arithmetic:
+///   1. build candidate basis vectors from the row-association confidences
+///      of X's columns, thresholded at tau;
+///   2. greedily pick the candidate (with per-row usage decided by cover
+///      gain) that maximizes weighted cover, R times.
+Result<AssoResult> AssoFactorize(const BitMatrix& x, const AssoConfig& config);
+
+}  // namespace dbtf
+
+#endif  // DBTF_ASSO_ASSO_H_

@@ -1,0 +1,60 @@
+#ifndef DBTF_BCPALS_BCP_ALS_H_
+#define DBTF_BCPALS_BCP_ALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asso/asso.h"
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Parameters of the single-machine BCP_ALS baseline (Miettinen, "Boolean
+/// Tensor Factorizations", ICDM 2011), following the framework of
+/// Algorithm 1 of the DBTF paper.
+struct BcpAlsConfig {
+  std::int64_t rank = 10;
+  int max_iterations = 10;  ///< T
+  std::int64_t convergence_epsilon = 0;
+
+  /// ASSO configuration used to initialize the factors from the unfoldings.
+  /// Its quadratic-in-columns candidate matrix is the baseline's documented
+  /// scalability bottleneck.
+  AssoConfig asso;
+
+  /// Memory gate for the materialized unfoldings and Khatri-Rao products.
+  /// Exceeding it returns ResourceExhausted (the O.O.M. of paper Fig. 6).
+  std::int64_t max_memory_bytes = std::int64_t{4} << 30;
+
+  /// Cooperative wall-clock budget in seconds; 0 means unlimited. Expiry
+  /// returns DeadlineExceeded (the O.O.T. of the paper's experiments).
+  double time_budget_seconds = 0.0;
+
+  Status Validate() const;
+};
+
+/// Result of a BCP_ALS factorization.
+struct BcpAlsResult {
+  BitMatrix a;
+  BitMatrix b;
+  BitMatrix c;
+  std::vector<std::int64_t> iteration_errors;
+  std::int64_t final_error = 0;
+  int iterations_run = 0;
+  bool converged = false;
+  double wall_seconds = 0.0;
+};
+
+/// Single-machine Boolean CP factorization:
+///   1. initialize A, B, C from ASSO factorizations of X(1), X(2), X(3);
+///   2. alternately re-solve each factor with the same greedy column-wise
+///      update DBTF uses, but with no caching and no distribution — every
+///      Boolean row summation is recomputed from the materialized
+///      (M_f kr M_s)^T.
+Result<BcpAlsResult> BcpAls(const SparseTensor& x, const BcpAlsConfig& config);
+
+}  // namespace dbtf
+
+#endif  // DBTF_BCPALS_BCP_ALS_H_

@@ -1,0 +1,36 @@
+#ifndef DBTF_CLI_CLI_H_
+#define DBTF_CLI_CLI_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "common/status.h"
+
+namespace dbtf {
+namespace cli {
+
+/// Entry point of the `dbtf` command-line tool. The first positional
+/// argument selects a subcommand:
+///   generate     synthesize a tensor (uniform / planted / Table III stand-in)
+///   factorize    run DBTF, BCP_ALS, Walk'n'Merge, or Boolean Tucker
+///   eval         score given factor matrices against a tensor
+///   info         print tensor statistics
+///   select-rank  MDL scan for the Boolean rank of a tensor
+/// Returns a process exit code (0 on success); errors are printed to stderr.
+int RunCli(int argc, const char* const* argv);
+
+/// Subcommand implementations, exposed for testing. Each consumes the
+/// remaining flags of an already-constructed parser.
+Status RunGenerate(FlagParser* flags);
+Status RunFactorize(FlagParser* flags);
+Status RunEval(FlagParser* flags);
+Status RunInfo(FlagParser* flags);
+Status RunSelectRank(FlagParser* flags);
+
+/// The usage text printed for `dbtf help` / unknown subcommands.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace dbtf
+
+#endif  // DBTF_CLI_CLI_H_

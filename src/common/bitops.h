@@ -1,0 +1,76 @@
+#ifndef DBTF_COMMON_BITOPS_H_
+#define DBTF_COMMON_BITOPS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dbtf {
+
+/// Word type used by all packed-bit containers in the library. Binary
+/// matrices pack 64 matrix entries per word; Boolean sums become bitwise OR
+/// and error counts become popcount(xor).
+using BitWord = std::uint64_t;
+
+/// Number of bits per packed word.
+inline constexpr std::size_t kBitsPerWord = 64;
+
+/// Number of BitWords needed to hold `bits` bits.
+constexpr std::size_t WordsForBits(std::size_t bits) {
+  return (bits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+/// Word index containing bit `pos`.
+constexpr std::size_t WordIndex(std::size_t pos) { return pos / kBitsPerWord; }
+
+/// Single-bit mask for bit `pos` within its word.
+constexpr BitWord BitMask(std::size_t pos) {
+  return BitWord{1} << (pos % kBitsPerWord);
+}
+
+/// Mask keeping the low `n` bits of a word (n in [0, 64]).
+constexpr BitWord LowBitsMask(std::size_t n) {
+  return n >= kBitsPerWord ? ~BitWord{0} : ((BitWord{1} << n) - 1);
+}
+
+/// Population count of one word.
+inline int PopCount(BitWord w) { return std::popcount(w); }
+
+/// Population count over `n` words.
+inline std::int64_t PopCount(const BitWord* words, std::size_t n) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+/// Number of positions that differ between two n-word bit strings
+/// (the Boolean reconstruction-error kernel).
+inline std::int64_t XorPopCount(const BitWord* a, const BitWord* b,
+                                std::size_t n) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
+  return total;
+}
+
+/// dst |= src over n words (Boolean row summation kernel).
+inline void OrInto(BitWord* dst, const BitWord* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+/// dst = a | b over n words.
+inline void OrOut(BitWord* dst, const BitWord* a, const BitWord* b,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+/// True iff all n words are zero.
+inline bool AllZero(const BitWord* words, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_BITOPS_H_

@@ -1,0 +1,21 @@
+#ifndef DBTF_COMMON_ENV_H_
+#define DBTF_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dbtf {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable. Used by the bench harness for scale knobs (DBTF_BENCH_SCALE...).
+std::int64_t GetEnvInt64(const char* name, std::int64_t fallback);
+
+/// Reads a floating-point environment variable with a fallback.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Reads a string environment variable with a fallback.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_ENV_H_

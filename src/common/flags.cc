@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace dbtf {
+namespace {
+
+bool IsFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!IsFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag;
+    // otherwise a bare boolean "--name".
+    if (i + 1 < argc && !IsFlag(argv[i + 1])) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<std::int64_t> FlagParser::GetInt64(const std::string& name,
+                                          std::int64_t fallback) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" + it->second +
+                                   "'");
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name,
+                                     double fallback) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return parsed;
+}
+
+Result<bool> FlagParser::GetBool(const std::string& name, bool fallback) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value.empty() || value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return Status::InvalidArgument("flag --" + name +
+                                 " expects true/false, got '" + value + "'");
+}
+
+Status FlagParser::Finish() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (consumed_.count(name) == 0) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbtf

@@ -1,0 +1,57 @@
+#ifndef DBTF_COMMON_FLAGS_H_
+#define DBTF_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbtf {
+
+/// Minimal command-line parser for the repo's tools.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true);
+/// everything else is a positional argument. Flag accessors record which
+/// flags were read so Finish() can reject typos (unknown flags).
+class FlagParser {
+ public:
+  /// Parses argv[1..argc). Never fails: malformed input simply lands in
+  /// positional arguments.
+  FlagParser(int argc, const char* const* argv);
+
+  /// String flag with a default.
+  std::string GetString(const std::string& name, const std::string& fallback);
+
+  /// Integer flag with a default; error if present but unparsable.
+  Result<std::int64_t> GetInt64(const std::string& name,
+                                std::int64_t fallback);
+
+  /// Floating-point flag with a default; error if present but unparsable.
+  Result<double> GetDouble(const std::string& name, double fallback);
+
+  /// Boolean flag: absent -> fallback; bare or "true"/"1" -> true;
+  /// "false"/"0" -> false; anything else is an error.
+  Result<bool> GetBool(const std::string& name, bool fallback);
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Returns an error naming any flag that was provided but never read —
+  /// catches misspelled options. Call after all Get*() calls.
+  Status Finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_FLAGS_H_

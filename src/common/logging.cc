@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <atomic>
+
+namespace dbtf {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+namespace internal_logging {
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  if (static_cast<int>(level) < g_log_level.load()) return;
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal_logging
+}  // namespace dbtf

@@ -1,0 +1,43 @@
+#ifndef DBTF_COMMON_LOGGING_H_
+#define DBTF_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbtf {
+
+/// Severity levels for DBTF_LOG.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+
+/// Sets the global minimum log level (e.g. from DBTF_LOG_LEVEL env).
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+}  // namespace internal_logging
+
+}  // namespace dbtf
+
+/// printf-style logging: DBTF_LOG(kInfo, "rank=%d", rank);
+#define DBTF_LOG(level, ...)                                              \
+  ::dbtf::internal_logging::LogMessage(::dbtf::LogLevel::level, __FILE__, \
+                                       __LINE__, __VA_ARGS__)
+
+/// Internal invariant check; aborts with a message when violated. Used for
+/// programmer errors (out-of-contract calls detected in non-Status paths).
+#define DBTF_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dbtf::internal_logging::LogMessage(::dbtf::LogLevel::kError,      \
+                                           __FILE__, __LINE__,            \
+                                           "CHECK failed: %s (%s)", #cond, \
+                                           msg);                          \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // DBTF_COMMON_LOGGING_H_

@@ -1,0 +1,148 @@
+#ifndef DBTF_COMMON_STATUS_H_
+#define DBTF_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dbtf {
+
+/// Error categories used across the library. The library never throws;
+/// fallible operations return a Status (or Result<T>) instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object modeled after absl::Status / rocksdb::Status.
+/// A default-constructed Status is OK and carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after absl::StatusOr.
+/// Accessing value() on an error Result aborts the process, so callers must
+/// check ok() (or use DBTF_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error status keeps call sites
+  /// terse: `return some_value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Status of this result; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> storage_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieOnBadResultAccess(std::get<Status>(storage_));
+}
+
+}  // namespace dbtf
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DBTF_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dbtf::Status dbtf_status_macro_s = (expr);  \
+    if (!dbtf_status_macro_s.ok()) return dbtf_status_macro_s; \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define DBTF_ASSIGN_OR_RETURN(lhs, expr)                      \
+  DBTF_ASSIGN_OR_RETURN_IMPL_(                                \
+      DBTF_STATUS_MACRO_CONCAT_(dbtf_result_, __LINE__), lhs, expr)
+
+#define DBTF_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define DBTF_STATUS_MACRO_CONCAT_(x, y) DBTF_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define DBTF_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#endif  // DBTF_COMMON_STATUS_H_

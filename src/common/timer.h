@@ -1,0 +1,57 @@
+#ifndef DBTF_COMMON_TIMER_H_
+#define DBTF_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dbtf {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in whole nanoseconds.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Stopwatch over the calling thread's CPU time. Unlike wall time, this is
+/// unaffected by interleaving with other threads, which makes it the right
+/// input for the simulated cluster's per-machine virtual clocks.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  /// CPU seconds consumed by this thread since construction / last Reset.
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now();
+
+  double start_;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_TIMER_H_

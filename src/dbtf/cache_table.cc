@@ -1,0 +1,155 @@
+#include "dbtf/cache_table.h"
+
+#include <bit>
+#include <cstring>
+
+namespace dbtf {
+namespace {
+
+bool IsBuilt(const std::vector<BitWord>& built, std::uint64_t sub) {
+  return (built[sub / kBitsPerWord] & BitMask(sub)) != 0;
+}
+
+void MarkBuilt(std::vector<BitWord>* built, std::uint64_t sub) {
+  (*built)[sub / kBitsPerWord] |= BitMask(sub);
+}
+
+}  // namespace
+
+Result<CacheTable> CacheTable::Build(const BitMatrix& ms_t, int v,
+                                     bool enabled) {
+  if (ms_t.rows() > 64) {
+    return Status::InvalidArgument("cache table rank must be <= 64");
+  }
+  if (v < 1 || v > 24) {
+    return Status::InvalidArgument("cache group size V must be in [1, 24]");
+  }
+
+  CacheTable out;
+  out.ms_t_ = ms_t;
+  out.words_per_row_ = ms_t.words_per_row();
+  out.enabled_ = enabled;
+  out.rank_ = static_cast<int>(ms_t.rows());
+  if (!enabled) return out;
+
+  const int rank = out.rank_;
+  const std::int64_t words = out.words_per_row_;
+  for (int first = 0; first < rank; first += v) {
+    Group g;
+    g.first_row = first;
+    g.size = std::min(v, rank - first);
+    g.mask = LowBitsMask(static_cast<std::size_t>(g.size))
+             << static_cast<unsigned>(first);
+    const std::int64_t entries = std::int64_t{1} << g.size;
+    // Storage is reserved but deliberately left uninitialized; entries are
+    // materialized on first probe. Entry 0 (the empty summation) is always
+    // live so the all-zero fast path never recurses.
+    g.table = std::make_unique_for_overwrite<BitWord[]>(
+        static_cast<std::size_t>(entries * words));
+    g.built.assign(WordsForBits(static_cast<std::size_t>(entries)), 0);
+    std::memset(g.table.get(), 0,
+                static_cast<std::size_t>(words) * sizeof(BitWord));
+    MarkBuilt(&g.built, 0);
+    ++out.entries_built_;
+    out.total_entries_ += entries;
+    out.groups_.push_back(std::move(g));
+  }
+  return out;
+}
+
+const BitWord* CacheTable::Materialize(const Group& g,
+                                       std::uint64_t sub) const {
+  if (IsBuilt(g.built, sub)) return EntrySlot(g, sub);
+  // Collect the chain of missing ancestors (each clears the lowest bit),
+  // then build top-down: entry m = entry(m & (m-1)) OR one ms_t row.
+  std::uint64_t chain[64];
+  int depth = 0;
+  std::uint64_t cursor = sub;
+  while (!IsBuilt(g.built, cursor)) {
+    chain[depth++] = cursor;
+    cursor &= cursor - 1;
+  }
+  auto* mutable_group = const_cast<Group*>(&g);
+  for (int d = depth - 1; d >= 0; --d) {
+    const std::uint64_t m = chain[d];
+    const int bit = std::countr_zero(m);
+    const BitWord* parent = EntrySlot(g, m & (m - 1));
+    const BitWord* extra = ms_t_.RowData(g.first_row + bit);
+    BitWord* dst = EntrySlot(g, m);
+    for (std::int64_t w = 0; w < words_per_row_; ++w) {
+      dst[w] = parent[w] | extra[w];
+    }
+    MarkBuilt(&mutable_group->built, m);
+    ++entries_built_;
+  }
+  return EntrySlot(g, sub);
+}
+
+const BitWord* CacheTable::Lookup(std::uint64_t key, std::int64_t word_begin,
+                                  std::int64_t word_count,
+                                  BitWord* scratch) const {
+  if (!enabled_) {
+    return ComputeUncached(key, word_begin, word_count, scratch);
+  }
+
+  // Find the groups whose key bits are non-zero.
+  const Group* single = nullptr;
+  int live_groups = 0;
+  for (const Group& g : groups_) {
+    if ((key & g.mask) != 0) {
+      ++live_groups;
+      single = &g;
+    }
+  }
+  if (live_groups == 0) {
+    // All-zero summation: entry 0 of any group is an all-zero row; with no
+    // groups (rank 0) fall back to zeroing the scratch buffer.
+    if (!groups_.empty()) {
+      return EntrySlot(groups_.front(), 0) + word_begin;
+    }
+    std::memset(scratch, 0,
+                static_cast<std::size_t>(word_count) * sizeof(BitWord));
+    return scratch;
+  }
+  if (live_groups == 1) {
+    const std::uint64_t sub =
+        (key & single->mask) >> static_cast<unsigned>(single->first_row);
+    return Materialize(*single, sub) + word_begin;
+  }
+
+  // Multi-group key: OR one entry per live group into the scratch buffer
+  // (the additional summation cost Lemma 4 accounts for when R > V).
+  bool first = true;
+  for (const Group& g : groups_) {
+    const std::uint64_t sub =
+        (key & g.mask) >> static_cast<unsigned>(g.first_row);
+    if (sub == 0) continue;
+    const BitWord* row = Materialize(g, sub) + word_begin;
+    if (first) {
+      std::memcpy(scratch, row,
+                  static_cast<std::size_t>(word_count) * sizeof(BitWord));
+      first = false;
+    } else {
+      OrInto(scratch, row, static_cast<std::size_t>(word_count));
+    }
+  }
+  return scratch;
+}
+
+const BitWord* CacheTable::ComputeUncached(std::uint64_t key,
+                                           std::int64_t word_begin,
+                                           std::int64_t word_count,
+                                           BitWord* scratch) const {
+  std::memset(scratch, 0,
+              static_cast<std::size_t>(word_count) * sizeof(BitWord));
+  std::uint64_t bits = key & LowBitsMask(static_cast<std::size_t>(rank_));
+  while (bits != 0) {
+    const int r = std::countr_zero(bits);
+    bits &= bits - 1;
+    const BitWord* row = ms_t_.RowData(r) + word_begin;
+    OrInto(scratch, row, static_cast<std::size_t>(word_count));
+  }
+  return scratch;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,109 @@
+#ifndef DBTF_DBTF_CACHE_TABLE_H_
+#define DBTF_DBTF_CACHE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+
+namespace dbtf {
+
+/// Precomputed Boolean row summations of M_s^T (Sections III-C, Lemma 2).
+///
+/// The unit of caching is the transposed second Khatri-Rao operand
+/// M_s^T (R rows, each an S-bit packed row: column r of M_s). A cache key is
+/// an R-bit mask selecting a subset of those rows; the cached value is their
+/// Boolean (OR) summation. DBTF keys lookups with `a_r: AND [M_f]_q:`
+/// (Lemma 1), so every Boolean row summation the factor update needs is one
+/// table probe.
+///
+/// For rank R > V the rows split into ceil(R/V) groups with one table of
+/// 2^group_size entries each; a full summation then ORs one entry per group
+/// (Lemma 2's space/time trade-off).
+///
+/// Entries are materialized *lazily*: the first probe of key m builds it
+/// from the entry with m's lowest bit cleared plus one OR (the same
+/// incremental rule Lemma 4 uses for an eager build), then every later probe
+/// is a pointer fetch. Factor masks are sparse in practice, so only a small
+/// front of each table is ever touched — this keeps the paper's caching win
+/// without paying the full 2^V construction on every factor update.
+///
+/// Not thread-safe: each partition owns its table and probes it from one
+/// task at a time (the DBTF execution model guarantees this).
+class CacheTable {
+ public:
+  /// Creates tables for `ms_t` (R x S, rows = columns of M_s) with group
+  /// size limit `v`. When `enabled` is false no tables are allocated and
+  /// every Lookup recomputes its summation from `ms_t` (the ablation
+  /// baseline).
+  static Result<CacheTable> Build(const BitMatrix& ms_t, int v,
+                                  bool enabled = true);
+
+  /// Boolean summation of the rows selected by `key`, restricted to words
+  /// [word_begin, word_begin + word_count) of the S-bit row. Returns a
+  /// pointer either directly into a table (single-group keys: zero copies)
+  /// or to `scratch`, which must hold at least word_count words.
+  ///
+  /// Bits of the final word beyond the logical slice width are whatever the
+  /// full-width summation holds; callers mask them (blocks know their width).
+  const BitWord* Lookup(std::uint64_t key, std::int64_t word_begin,
+                        std::int64_t word_count, BitWord* scratch) const;
+
+  /// Number of groups (tables); ceil(R/V), or 0 for rank 0.
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+  /// Total entry capacity across all tables (sum of 2^group_size).
+  std::int64_t total_entries() const { return total_entries_; }
+
+  /// Entries materialized so far (grows as keys are probed).
+  std::int64_t entries_built() const { return entries_built_; }
+
+  /// Bytes of table storage reserved (the memory term of Lemma 5).
+  std::int64_t memory_bytes() const {
+    return total_entries_ * words_per_row_ *
+           static_cast<std::int64_t>(sizeof(BitWord));
+  }
+
+  std::int64_t words_per_row() const { return words_per_row_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  struct Group {
+    int first_row;                 ///< first M_s^T row covered by this group
+    int size;                      ///< number of rows (<= V)
+    std::uint64_t mask;            ///< key bits owned by this group
+    /// 2^size rows of words_per_row words, materialized on demand.
+    /// Deliberately uninitialized until `built` marks an entry live.
+    std::unique_ptr<BitWord[]> table;
+    std::vector<BitWord> built;    ///< bitmap: 1 = entry materialized
+  };
+
+  CacheTable() = default;
+
+  BitWord* EntrySlot(const Group& g, std::uint64_t sub) const {
+    return g.table.get() + static_cast<std::int64_t>(sub) * words_per_row_;
+  }
+
+  /// Ensures entry `sub` of group `g` is materialized and returns it.
+  const BitWord* Materialize(const Group& g, std::uint64_t sub) const;
+
+  /// Fallback used when caching is disabled: ORs the selected ms_t rows.
+  const BitWord* ComputeUncached(std::uint64_t key, std::int64_t word_begin,
+                                 std::int64_t word_count,
+                                 BitWord* scratch) const;
+
+  std::vector<Group> groups_;
+  BitMatrix ms_t_;  ///< kept for the uncached fallback and lazy builds
+  std::int64_t words_per_row_ = 0;
+  std::int64_t total_entries_ = 0;
+  mutable std::int64_t entries_built_ = 0;
+  bool enabled_ = true;
+  int rank_ = 0;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DBTF_CACHE_TABLE_H_

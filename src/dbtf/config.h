@@ -1,0 +1,72 @@
+#ifndef DBTF_DBTF_CONFIG_H_
+#define DBTF_DBTF_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+
+namespace dbtf {
+
+/// How the L initial factor sets are produced.
+enum class InitScheme {
+  /// Independent Bernoulli(init_density) entries, as described in the paper.
+  /// Boolean ALS can collapse to the all-zero factorization from such
+  /// starts; the paper's L-sets mechanism exists to mitigate exactly that.
+  kRandom,
+  /// Data-driven seeding (default): each rank-1 component starts from the
+  /// three fibers through a uniformly random non-zero cell, so the first
+  /// iteration begins from patterns that already cover part of the tensor.
+  kFiberSample,
+};
+
+/// Parameters of the DBTF factorization (Algorithm 2 of the paper).
+struct DbtfConfig {
+  /// Rank R: number of rank-1 components. Must be in [1, 64]; factor rows
+  /// double as 64-bit cache keys.
+  std::int64_t rank = 10;
+
+  /// T: maximum number of alternating iterations.
+  int max_iterations = 10;
+
+  /// L: number of random initial factor sets; the first iteration updates
+  /// all of them and keeps the one with the smallest error.
+  int num_initial_sets = 1;
+
+  /// N: number of vertical partitions per unfolded tensor.
+  std::int64_t num_partitions = 16;
+
+  /// V: maximum number of factor columns cached in a single table; ranks
+  /// above V split into ceil(R/V) tables (Lemma 2). Must be in [1, 24].
+  int cache_group_size = 15;
+
+  /// Initialization scheme for the L factor sets.
+  InitScheme init_scheme = InitScheme::kFiberSample;
+
+  /// Density of the random initial factor matrices (kRandom scheme).
+  double init_density = 0.1;
+
+  /// Seed for initialization (factorization is deterministic given it).
+  std::uint64_t seed = 0;
+
+  /// Convergence: stop when the error improves by at most this many cells
+  /// between consecutive iterations.
+  std::int64_t convergence_epsilon = 0;
+
+  /// Ablation knob: when false, Boolean row summations are recomputed on
+  /// every lookup instead of being served from the precomputed tables.
+  bool enable_caching = true;
+
+  /// Cooperative wall-clock budget in seconds; 0 means unlimited. Checked
+  /// between factor updates; expiry returns DeadlineExceeded.
+  double time_budget_seconds = 0.0;
+
+  /// Simulated cluster configuration (machines, threads, network model).
+  ClusterConfig cluster;
+
+  Status Validate() const;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DBTF_CONFIG_H_

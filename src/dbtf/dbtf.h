@@ -1,0 +1,57 @@
+#ifndef DBTF_DBTF_DBTF_H_
+#define DBTF_DBTF_DBTF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dbtf/config.h"
+#include "dist/cluster.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Output of one DBTF factorization.
+struct DbtfResult {
+  BitMatrix a;  ///< I x R binary factor
+  BitMatrix b;  ///< J x R binary factor
+  BitMatrix c;  ///< K x R binary factor
+
+  /// |X - reconstruction| after each completed iteration. The first entry is
+  /// the error of the best of the L initial factor sets after one iteration.
+  std::vector<std::int64_t> iteration_errors;
+
+  std::int64_t final_error = 0;  ///< last entry of iteration_errors
+  int iterations_run = 0;
+  bool converged = false;
+
+  /// Bytes a real cluster would have moved (Lemmas 6-7 instrumented).
+  CommSnapshot comm;
+
+  /// Real elapsed time of this (single-node) run.
+  double wall_seconds = 0.0;
+
+  /// Simulated M-machine makespan: max per-machine compute plus driver and
+  /// network time. This is the number the machine-scalability experiment
+  /// reports.
+  double virtual_seconds = 0.0;
+
+  /// Actual partitions used per unfolding (may be below the requested N for
+  /// very small tensors).
+  std::int64_t partitions_used = 0;
+};
+
+/// Distributed Boolean CP factorization (Algorithm 2 of the paper).
+class Dbtf {
+ public:
+  /// Factorizes `x` with the given configuration. Deterministic given
+  /// config.seed. The tensor's entries must be deduplicated
+  /// (SparseTensor::SortAndDedup); generators in this repo always are.
+  static Result<DbtfResult> Factorize(const SparseTensor& x,
+                                      const DbtfConfig& config);
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DBTF_DBTF_H_

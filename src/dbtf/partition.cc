@@ -1,0 +1,144 @@
+#include "dbtf/partition.h"
+
+#include <algorithm>
+
+namespace dbtf {
+namespace {
+
+/// Rounds a candidate global column boundary down so that its within-PVM
+/// offset is a multiple of 64 (keeping cache slices word-aligned).
+std::int64_t AlignBoundary(std::int64_t col, std::int64_t within_size) {
+  const std::int64_t block = col / within_size;
+  const std::int64_t within = col % within_size;
+  const std::int64_t aligned_within =
+      (within / static_cast<std::int64_t>(kBitsPerWord)) *
+      static_cast<std::int64_t>(kBitsPerWord);
+  return block * within_size + aligned_within;
+}
+
+BlockType ClassifyBlock(std::int64_t within_begin, std::int64_t within_end,
+                        std::int64_t within_size) {
+  const bool starts_at_boundary = within_begin == 0;
+  const bool ends_at_boundary = within_end == within_size;
+  if (starts_at_boundary && ends_at_boundary) return BlockType::kFullPvm;
+  if (starts_at_boundary) return BlockType::kPrefix;
+  if (ends_at_boundary) return BlockType::kSuffix;
+  return BlockType::kInterior;
+}
+
+}  // namespace
+
+Result<PartitionedUnfolding> PartitionedUnfolding::Build(
+    const SparseTensor& tensor, Mode mode, std::int64_t num_partitions) {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  PartitionedUnfolding out;
+  out.mode_ = mode;
+  out.shape_ =
+      ShapeForMode(tensor.dim_i(), tensor.dim_j(), tensor.dim_k(), mode);
+  const UnfoldShape& shape = out.shape_;
+  const std::int64_t cols = shape.cols();
+  if (cols == 0 || shape.rows == 0) {
+    return Status::InvalidArgument("cannot partition an empty unfolding");
+  }
+
+  // Choose aligned, strictly increasing partition boundaries.
+  std::vector<std::int64_t> bounds;
+  bounds.push_back(0);
+  for (std::int64_t p = 1; p < num_partitions; ++p) {
+    const std::int64_t target = (cols * p) / num_partitions;
+    const std::int64_t aligned = AlignBoundary(target, shape.within);
+    if (aligned > bounds.back() && aligned < cols) bounds.push_back(aligned);
+  }
+  bounds.push_back(cols);
+
+  // Materialize partitions and their PVM-aligned blocks.
+  out.partitions_.reserve(bounds.size() - 1);
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p) {
+    Partition part;
+    part.col_begin = bounds[p];
+    part.col_end = bounds[p + 1];
+    std::int64_t cursor = part.col_begin;
+    while (cursor < part.col_end) {
+      const std::int64_t block_index = cursor / shape.within;
+      const std::int64_t block_start = block_index * shape.within;
+      const std::int64_t piece_end =
+          std::min(part.col_end, block_start + shape.within);
+      PartitionBlock block;
+      block.block_index = block_index;
+      block.within_begin = cursor - block_start;
+      block.within_end = piece_end - block_start;
+      block.word_begin =
+          block.within_begin / static_cast<std::int64_t>(kBitsPerWord);
+      const std::int64_t width = block.within_end - block.within_begin;
+      const std::int64_t tail =
+          width % static_cast<std::int64_t>(kBitsPerWord);
+      block.last_word_mask =
+          tail == 0 ? ~BitWord{0}
+                    : LowBitsMask(static_cast<std::size_t>(tail));
+      block.type =
+          ClassifyBlock(block.within_begin, block.within_end, shape.within);
+      block.rows = BitMatrix(shape.rows, width);
+      block.row_nnz.assign(static_cast<std::size_t>(shape.rows), 0);
+      part.blocks.push_back(std::move(block));
+      cursor = piece_end;
+    }
+    out.partitions_.push_back(std::move(part));
+  }
+
+  // Scatter tensor non-zeros into their blocks.
+  std::vector<std::int64_t> starts;
+  starts.reserve(out.partitions_.size());
+  for (const Partition& part : out.partitions_) {
+    starts.push_back(part.col_begin);
+  }
+  for (const Coord& c : tensor.entries()) {
+    const UnfoldedCell cell = MapCell(c, mode);
+    const std::int64_t col = cell.col(shape);
+    const auto it = std::upper_bound(starts.begin(), starts.end(), col);
+    Partition& part =
+        out.partitions_[static_cast<std::size_t>(it - starts.begin() - 1)];
+    // Blocks within a partition cover consecutive PVM products; at most one
+    // piece per product, so the offset from the first block's index locates
+    // the piece directly.
+    const std::int64_t first_block = part.blocks.front().block_index;
+    PartitionBlock& block =
+        part.blocks[static_cast<std::size_t>(cell.block - first_block)];
+    block.rows.Set(cell.row, cell.within - block.within_begin, true);
+  }
+
+  // Per-row non-zero counts (the key == 0 fast path of the factor update).
+  for (Partition& part : out.partitions_) {
+    for (PartitionBlock& block : part.blocks) {
+      for (std::int64_t r = 0; r < shape.rows; ++r) {
+        block.row_nnz[static_cast<std::size_t>(r)] =
+            static_cast<std::int32_t>(block.rows.RowNnz(r));
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t PartitionedUnfolding::TotalNnz() const {
+  std::int64_t total = 0;
+  for (const Partition& part : partitions_) {
+    for (const PartitionBlock& block : part.blocks) {
+      total += block.rows.NumNonZeros();
+    }
+  }
+  return total;
+}
+
+std::int64_t PartitionedUnfolding::MemoryBytes() const {
+  std::int64_t total = 0;
+  for (const Partition& part : partitions_) {
+    for (const PartitionBlock& block : part.blocks) {
+      total += block.rows.rows() * block.rows.words_per_row() *
+               static_cast<std::int64_t>(sizeof(BitWord));
+    }
+  }
+  return total;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,88 @@
+#ifndef DBTF_DBTF_PARTITION_H_
+#define DBTF_DBTF_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+/// Classification of a block against its PVM product (paper Figure 5).
+enum class BlockType {
+  kFullPvm,   ///< covers one whole PVM product [0, S)
+  kPrefix,    ///< starts at the PVM boundary, ends early: [0, w1), w1 < S
+  kSuffix,    ///< starts late, ends at the boundary: [w0, S), w0 > 0
+  kInterior,  ///< strictly inside one PVM product: [w0, w1), 0 < w0, w1 < S
+};
+
+/// One block of a partition: the slice of X(n) covering PVM product
+/// `block_index` restricted to within-columns [within_begin, within_end).
+///
+/// within_begin is always a multiple of 64, so the slice corresponds to a
+/// whole-word range of the cached S-bit row summations: a cache entry plus
+/// `word_begin` is directly comparable against this block's packed rows,
+/// with only the final word masked (`last_word_mask`). This implements the
+/// paper's "slice the full-size cache for partial blocks" with zero-copy
+/// word-aligned slices.
+struct PartitionBlock {
+  std::int64_t block_index;   ///< q: the M_f row of this PVM product
+  std::int64_t within_begin;  ///< w0 (multiple of 64)
+  std::int64_t within_end;    ///< w1 (exclusive, <= S)
+  std::int64_t word_begin;    ///< w0 / 64
+  BitWord last_word_mask;     ///< keeps bits [.., w1) of the final word
+  BlockType type;
+  BitMatrix rows;                     ///< P x (w1 - w0) slice of X(n)
+  std::vector<std::int32_t> row_nnz;  ///< per-row non-zeros of the slice
+
+  std::int64_t width() const { return within_end - within_begin; }
+};
+
+/// One vertical partition: a contiguous global column range of X(n), split
+/// into PVM-aligned blocks.
+struct Partition {
+  std::int64_t col_begin;  ///< global column range [col_begin, col_end)
+  std::int64_t col_end;
+  std::vector<PartitionBlock> blocks;
+};
+
+/// A mode-n unfolding of a binary tensor, vertically partitioned once at
+/// construction and never reshuffled (Algorithm 3 / Section III-B).
+class PartitionedUnfolding {
+ public:
+  /// Partitions the mode-`mode` unfolding of `tensor` into at most
+  /// `num_partitions` vertical slices. Boundaries are aligned to 64-column
+  /// multiples within each PVM product, so very small unfoldings may yield
+  /// fewer partitions than requested.
+  static Result<PartitionedUnfolding> Build(const SparseTensor& tensor,
+                                            Mode mode,
+                                            std::int64_t num_partitions);
+
+  const UnfoldShape& shape() const { return shape_; }
+  Mode mode() const { return mode_; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  std::int64_t num_partitions() const {
+    return static_cast<std::int64_t>(partitions_.size());
+  }
+
+  /// Total non-zeros across all partitions (equals the tensor's nnz).
+  std::int64_t TotalNnz() const;
+
+  /// Packed bytes held by all blocks (the partition term of Lemma 5).
+  std::int64_t MemoryBytes() const;
+
+ private:
+  PartitionedUnfolding() = default;
+
+  UnfoldShape shape_{0, 0, 0};
+  Mode mode_ = Mode::kOne;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DBTF_PARTITION_H_

@@ -1,0 +1,105 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace dbtf {
+
+Status ClusterConfig::Validate() const {
+  if (num_machines < 1) {
+    return Status::InvalidArgument("num_machines must be >= 1");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (network_bandwidth_bytes_per_second <= 0.0) {
+    return Status::InvalidArgument("network bandwidth must be positive");
+  }
+  if (network_latency_seconds < 0.0 || driver_seconds_per_byte < 0.0) {
+    return Status::InvalidArgument("network costs must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterConfig& config) {
+  DBTF_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<Cluster>(new Cluster(config));
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      machine_seconds_(static_cast<std::size_t>(config.num_machines), 0.0) {
+  int threads = config_.num_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads == 0) threads = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void Cluster::RunTasks(std::int64_t n,
+                       const std::function<void(std::int64_t)>& fn) {
+  pool_->ParallelFor(n, [this, &fn](std::int64_t t) {
+    ThreadCpuTimer timer;
+    fn(t);
+    ChargeCompute(OwnerOf(t), timer.ElapsedSeconds());
+  });
+}
+
+void Cluster::ChargeCompute(int machine, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  machine_seconds_[static_cast<std::size_t>(machine)] += seconds;
+}
+
+void Cluster::ChargeBroadcast(std::int64_t bytes_per_machine) {
+  comm_.RecordBroadcast(bytes_per_machine * config_.num_machines);
+  const double seconds = TransferSeconds(bytes_per_machine);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Broadcasts to different machines proceed in parallel; the driver pays
+  // one transfer worth of serialized time.
+  driver_seconds_ += seconds;
+}
+
+void Cluster::ChargeCollect(std::int64_t total_bytes) {
+  comm_.RecordCollect(total_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  driver_seconds_ += TransferSeconds(total_bytes) +
+                     static_cast<double>(total_bytes) *
+                         config_.driver_seconds_per_byte;
+}
+
+void Cluster::ChargeShuffle(std::int64_t total_bytes) {
+  comm_.RecordShuffle(total_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  // The shuffle is spread over all machine pairs; machines pay in parallel.
+  const double seconds =
+      TransferSeconds(total_bytes / std::max(1, config_.num_machines));
+  for (double& m : machine_seconds_) m += seconds;
+}
+
+double Cluster::VirtualMakespanSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double max_machine = 0.0;
+  for (const double m : machine_seconds_) max_machine = std::max(max_machine, m);
+  return max_machine + driver_seconds_;
+}
+
+double Cluster::MachineComputeSeconds(int machine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return machine_seconds_[static_cast<std::size_t>(machine)];
+}
+
+double Cluster::DriverSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return driver_seconds_;
+}
+
+void Cluster::ResetVirtualTime() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(machine_seconds_.begin(), machine_seconds_.end(), 0.0);
+  driver_seconds_ = 0.0;
+}
+
+}  // namespace dbtf

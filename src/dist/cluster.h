@@ -1,0 +1,110 @@
+#ifndef DBTF_DIST_CLUSTER_H_
+#define DBTF_DIST_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/comm_stats.h"
+#include "dist/thread_pool.h"
+
+namespace dbtf {
+
+/// Configuration of the simulated cluster.
+struct ClusterConfig {
+  /// Number of simulated machines (Spark executors in the paper's setup).
+  int num_machines = 4;
+  /// OS threads actually used to execute tasks; 0 means hardware concurrency.
+  int num_threads = 0;
+  /// Network model for virtual time: per-message latency and bandwidth.
+  double network_latency_seconds = 1e-3;
+  double network_bandwidth_bytes_per_second = 1e9;
+  /// Driver-side per-byte processing cost (deserialize + reduce), applied to
+  /// collected bytes. This is what curbs linear scaling as N and M grow.
+  double driver_seconds_per_byte = 2e-9;
+
+  Status Validate() const;
+};
+
+/// In-process stand-in for the Spark cluster the paper runs on.
+///
+/// Tasks execute for real on a thread pool (so results are exact), while a
+/// deterministic *virtual clock* per machine records the CPU time each task
+/// consumed. The virtual makespan
+///     max_m(compute time of machine m) + driver/network time
+/// is what a real M-machine cluster would take, and is what the machine-
+/// scalability experiment (paper Fig. 7) reports. On a single-core host the
+/// wall clock cannot show multi-machine speedups; the virtual clock can,
+/// because per-task CPU time is independent of interleaving.
+class Cluster {
+ public:
+  /// Creates a cluster after validating the configuration.
+  static Result<std::unique_ptr<Cluster>> Create(const ClusterConfig& config);
+
+  int num_machines() const { return config_.num_machines; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Machine that owns task (or partition) index t: round-robin placement.
+  int OwnerOf(std::int64_t task) const {
+    return static_cast<int>(task % config_.num_machines);
+  }
+
+  /// Runs fn(t) for t in [0, n) on the pool. Each task's thread-CPU time is
+  /// added to the virtual clock of machine OwnerOf(t).
+  void RunTasks(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+  /// Adds `seconds` of compute to machine m's virtual clock directly.
+  void ChargeCompute(int machine, double seconds);
+
+  /// Records a broadcast of `bytes_per_machine` to every machine: ledger
+  /// bytes M * bytes_per_machine, plus network time on the virtual clock.
+  void ChargeBroadcast(std::int64_t bytes_per_machine);
+
+  /// Records `total_bytes` of results collected at the driver: ledger bytes
+  /// plus driver network + processing time.
+  void ChargeCollect(std::int64_t total_bytes);
+
+  /// Records the one-off shuffle of `total_bytes` of partitioned input.
+  void ChargeShuffle(std::int64_t total_bytes);
+
+  /// Busiest machine's compute seconds plus accumulated driver seconds.
+  double VirtualMakespanSeconds() const;
+
+  /// Compute seconds on machine m's virtual clock.
+  double MachineComputeSeconds(int machine) const;
+
+  /// Driver-side (network + reduce) virtual seconds.
+  double DriverSeconds() const;
+
+  /// Zeroes all virtual clocks (the communication ledger is separate).
+  void ResetVirtualTime();
+
+  CommStats& comm() { return comm_; }
+  const CommStats& comm() const { return comm_; }
+
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  explicit Cluster(const ClusterConfig& config);
+
+  double TransferSeconds(std::int64_t bytes) const {
+    return config_.network_latency_seconds +
+           static_cast<double>(bytes) /
+               config_.network_bandwidth_bytes_per_second;
+  }
+
+  ClusterConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  CommStats comm_;
+
+  mutable std::mutex mu_;
+  std::vector<double> machine_seconds_;
+  double driver_seconds_ = 0.0;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_CLUSTER_H_

@@ -1,0 +1,65 @@
+#ifndef DBTF_DIST_COMM_STATS_H_
+#define DBTF_DIST_COMM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dbtf {
+
+/// Snapshot of the communication ledger.
+struct CommSnapshot {
+  std::int64_t shuffle_bytes = 0;    ///< one-off partitioning of unfoldings
+  std::int64_t broadcast_bytes = 0;  ///< factor matrices sent to machines
+  std::int64_t collect_bytes = 0;    ///< per-column errors sent to the driver
+  std::int64_t shuffle_events = 0;
+  std::int64_t broadcast_events = 0;
+  std::int64_t collect_events = 0;
+
+  std::int64_t TotalBytes() const {
+    return shuffle_bytes + broadcast_bytes + collect_bytes;
+  }
+  std::string ToString() const;
+};
+
+/// Thread-safe ledger of the bytes a real cluster would move over the
+/// network. DBTF charges it exactly the volumes analyzed in Lemmas 6 and 7
+/// of the paper: O(|X|) for the one-off partitioning shuffle, O(M*I*R) per
+/// iteration of factor-matrix broadcast, and O(N*I) per column update of
+/// error collection.
+class CommStats {
+ public:
+  CommStats() = default;
+  CommStats(const CommStats&) = delete;
+  CommStats& operator=(const CommStats&) = delete;
+
+  void RecordShuffle(std::int64_t bytes) {
+    shuffle_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    shuffle_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBroadcast(std::int64_t bytes) {
+    broadcast_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    broadcast_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCollect(std::int64_t bytes) {
+    collect_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    collect_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  CommSnapshot Snapshot() const;
+
+  /// Zeroes all counters.
+  void Reset();
+
+ private:
+  std::atomic<std::int64_t> shuffle_bytes_{0};
+  std::atomic<std::int64_t> broadcast_bytes_{0};
+  std::atomic<std::int64_t> collect_bytes_{0};
+  std::atomic<std::int64_t> shuffle_events_{0};
+  std::atomic<std::int64_t> broadcast_events_{0};
+  std::atomic<std::int64_t> collect_events_{0};
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_COMM_STATS_H_

@@ -1,0 +1,51 @@
+#ifndef DBTF_DIST_THREAD_POOL_H_
+#define DBTF_DIST_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbtf {
+
+/// Fixed-size worker pool. Tasks are arbitrary callables; ParallelFor blocks
+/// until every iteration has finished. Not copyable or movable.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributed over the pool; returns when all
+  /// iterations are done. Safe to call from one thread at a time.
+  void ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_THREAD_POOL_H_

@@ -1,0 +1,38 @@
+#ifndef DBTF_EVAL_METRICS_H_
+#define DBTF_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Relative reconstruction error |X xor recon| / |X| (the metric of the
+/// paper's Section IV-D). Requires |X| > 0.
+Result<double> RelativeError(const SparseTensor& x, const BitMatrix& a,
+                             const BitMatrix& b, const BitMatrix& c);
+
+/// Jaccard similarity |u AND v| / |u OR v| of two equal-length binary
+/// columns; 1.0 when both are empty.
+double ColumnJaccard(const BitMatrix& m1, std::int64_t col1,
+                     const BitMatrix& m2, std::int64_t col2);
+
+/// Greedy best-match score between the columns of a ground-truth factor and
+/// an estimated factor: repeatedly pairs the remaining columns with the
+/// highest Jaccard similarity and returns the mean similarity over
+/// ground-truth columns. 1.0 means the planted factor was recovered exactly
+/// up to column permutation.
+Result<double> FactorMatchScore(const BitMatrix& truth,
+                                const BitMatrix& estimate);
+
+/// Fraction of tensor non-zeros covered by the reconstruction (recall of
+/// the 1s), useful for link-prediction style evaluations.
+Result<double> CoverageOfOnes(const SparseTensor& x, const BitMatrix& a,
+                              const BitMatrix& b, const BitMatrix& c);
+
+}  // namespace dbtf
+
+#endif  // DBTF_EVAL_METRICS_H_

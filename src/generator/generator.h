@@ -1,0 +1,52 @@
+#ifndef DBTF_GENERATOR_GENERATOR_H_
+#define DBTF_GENERATOR_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Uniform random binary tensor: approximately density * I*J*K distinct
+/// non-zero cells placed uniformly at random. This is the synthetic
+/// "Synthetic-scalability" family of the paper (Section IV-A), used by the
+/// dimensionality / density / rank / machine scalability experiments.
+Result<SparseTensor> UniformRandomTensor(std::int64_t dim_i,
+                                         std::int64_t dim_j,
+                                         std::int64_t dim_k, double density,
+                                         std::uint64_t seed);
+
+/// A planted Boolean CP tensor together with its ground-truth factors.
+struct PlantedTensor {
+  SparseTensor tensor;        ///< noise-free or noisy observed tensor
+  SparseTensor noise_free;    ///< exact OR of the rank-1 components
+  BitMatrix a;                ///< ground-truth factor A (I x R)
+  BitMatrix b;                ///< ground-truth factor B (J x R)
+  BitMatrix c;                ///< ground-truth factor C (K x R)
+};
+
+/// Parameters for planted-factor generation, matching the reconstruction
+/// error experiments of Section IV-D: random factors of a given density,
+/// the noise-free tensor X = OR_r a_r o b_r o c_r, then additive noise
+/// (extra 1s, as a fraction of |X|) and destructive noise (deleted 1s).
+struct PlantedSpec {
+  std::int64_t dim_i = 0;
+  std::int64_t dim_j = 0;
+  std::int64_t dim_k = 0;
+  std::int64_t rank = 10;
+  double factor_density = 0.1;
+  double additive_noise = 0.0;     ///< e.g. 0.10 adds 10% more 1s
+  double destructive_noise = 0.0;  ///< e.g. 0.05 deletes 5% of the 1s
+  std::uint64_t seed = 0;
+};
+
+/// Generates a planted tensor per the spec. Guarantees every ground-truth
+/// factor column is non-empty (resampling empty columns) so the nominal rank
+/// is the effective rank.
+Result<PlantedTensor> GeneratePlanted(const PlantedSpec& spec);
+
+}  // namespace dbtf
+
+#endif  // DBTF_GENERATOR_GENERATOR_H_

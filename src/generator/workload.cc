@@ -1,0 +1,218 @@
+#include "generator/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "generator/generator.h"
+
+namespace dbtf {
+namespace {
+
+std::uint64_t PackCoord(std::uint64_t i, std::uint64_t j, std::uint64_t k) {
+  return (i << 42) | (j << 21) | k;
+}
+
+/// Draws an index in [0, n) with an approximate Zipf(alpha ~ 1) bias via
+/// inverse-power transform of a uniform draw.
+std::int64_t ZipfIndex(Rng* rng, std::int64_t n) {
+  const double u = rng->NextDouble();
+  // Map u in [0,1) through u^3 to concentrate mass at small indices.
+  const double biased = u * u * u;
+  auto idx = static_cast<std::int64_t>(biased * static_cast<double>(n));
+  return std::min(idx, n - 1);
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> PaperDatasets() {
+  // Sizes from Table III of the paper (B: billion, M: million, K: thousand).
+  return {
+      {"Facebook", 64000, 64000, 870, 1500000, WorkloadKind::kPowerLaw},
+      {"DBLP", 418000, 3500, 50, 1300000, WorkloadKind::kPowerLaw},
+      {"CAIDA-DDoS-S", 9000, 9000, 4000, 22000000, WorkloadKind::kBursty},
+      {"CAIDA-DDoS-L", 9000, 9000, 393000, 331000000, WorkloadKind::kBursty},
+      {"NELL-S", 15000, 15000, 29000, 77000000, WorkloadKind::kBlocky},
+      {"NELL-L", 112000, 112000, 213000, 18000000, WorkloadKind::kBlocky},
+  };
+}
+
+DatasetSpec ScaleDataset(const DatasetSpec& spec, double shrink) {
+  DatasetSpec out = spec;
+  if (shrink <= 1.0) return out;
+  // Modes already small are kept (floored at 48), so skewed datasets such
+  // as DBLP (K = 50) do not degenerate to single-slice tensors.
+  const auto scale_dim = [&](std::int64_t d) {
+    const auto shrunk =
+        static_cast<std::int64_t>(static_cast<double>(d) / shrink);
+    return std::max(std::min<std::int64_t>(d, 48), shrunk);
+  };
+  out.dim_i = scale_dim(spec.dim_i);
+  out.dim_j = scale_dim(spec.dim_j);
+  out.dim_k = scale_dim(spec.dim_k);
+  // Non-zeros follow the volume reduction at exponent 1/2: slower than
+  // density-preserving (exponent 1), so extremely sparse datasets keep a
+  // workable number of non-zeros at small scale, yet fast enough that the
+  // stand-in stays sparse.
+  const double volume_ratio = (static_cast<double>(out.dim_i) *
+                               static_cast<double>(out.dim_j) *
+                               static_cast<double>(out.dim_k)) /
+                              (static_cast<double>(spec.dim_i) *
+                               static_cast<double>(spec.dim_j) *
+                               static_cast<double>(spec.dim_k));
+  out.nnz = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(spec.nnz) *
+                                   std::pow(volume_ratio, 0.5)));
+  const double cells = static_cast<double>(out.dim_i) *
+                       static_cast<double>(out.dim_j) *
+                       static_cast<double>(out.dim_k);
+  out.nnz = std::min(out.nnz, static_cast<std::int64_t>(cells * 0.5));
+  return out;
+}
+
+Result<SparseTensor> GenerateWorkload(const DatasetSpec& spec,
+                                      std::uint64_t seed) {
+  if (spec.dim_i <= 0 || spec.dim_j <= 0 || spec.dim_k <= 0) {
+    return Status::InvalidArgument("workload dimensions must be positive");
+  }
+  if (spec.dim_i >= (std::int64_t{1} << 21) ||
+      spec.dim_j >= (std::int64_t{1} << 21) ||
+      spec.dim_k >= (std::int64_t{1} << 21)) {
+    return Status::InvalidArgument("workload dimension too large");
+  }
+  if (spec.kind == WorkloadKind::kUniform) {
+    const double cells = static_cast<double>(spec.dim_i) *
+                         static_cast<double>(spec.dim_j) *
+                         static_cast<double>(spec.dim_k);
+    return UniformRandomTensor(spec.dim_i, spec.dim_j, spec.dim_k,
+                               static_cast<double>(spec.nnz) / cells, seed);
+  }
+
+  Rng rng(seed);
+  DBTF_ASSIGN_OR_RETURN(
+      SparseTensor tensor,
+      SparseTensor::Create(spec.dim_i, spec.dim_j, spec.dim_k));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(spec.nnz) * 2);
+  tensor.Reserve(spec.nnz);
+
+  const auto add = [&](std::uint64_t i, std::uint64_t j, std::uint64_t k) {
+    if (seen.insert(PackCoord(i, j, k)).second) {
+      tensor.AddUnchecked(static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j),
+                          static_cast<std::uint32_t>(k));
+    }
+  };
+
+  // Bail out if dedup collisions make the target unreachable (tiny tensors).
+  const double cells = static_cast<double>(spec.dim_i) *
+                       static_cast<double>(spec.dim_j) *
+                       static_cast<double>(spec.dim_k);
+  const auto target = std::min(
+      spec.nnz, static_cast<std::int64_t>(cells * 0.9));
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = target * 20 + 1000;
+
+  switch (spec.kind) {
+    case WorkloadKind::kPowerLaw: {
+      while (tensor.NumNonZeros() < target && attempts++ < max_attempts) {
+        const std::int64_t i = ZipfIndex(&rng, spec.dim_i);
+        const std::int64_t j = ZipfIndex(&rng, spec.dim_j);
+        const std::uint64_t k =
+            rng.NextBounded(static_cast<std::uint64_t>(spec.dim_k));
+        add(static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(j), k);
+      }
+      break;
+    }
+    case WorkloadKind::kBursty: {
+      // A handful of attack bursts: narrow time windows with concentrated
+      // source/destination sets, plus background noise. Boxes are sized so
+      // the bursts can absorb the target non-zero count even at small scale.
+      const int num_bursts = 4;
+      struct Burst {
+        std::int64_t k0, klen;
+        std::int64_t i0, ilen;
+        std::int64_t j0, jlen;
+      };
+      std::vector<Burst> bursts;
+      for (int b = 0; b < num_bursts; ++b) {
+        Burst burst;
+        burst.klen = std::max<std::int64_t>(1, spec.dim_k / 32);
+        burst.k0 = static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(spec.dim_k - burst.klen + 1)));
+        burst.ilen = std::max<std::int64_t>(2, spec.dim_i / 4);
+        burst.i0 = static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(spec.dim_i - burst.ilen + 1)));
+        burst.jlen = std::max<std::int64_t>(2, spec.dim_j / 4);
+        burst.j0 = static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(spec.dim_j - burst.jlen + 1)));
+        bursts.push_back(burst);
+      }
+      while (tensor.NumNonZeros() < target && attempts++ < max_attempts) {
+        if (rng.NextBool(0.85)) {
+          const Burst& burst = bursts[static_cast<std::size_t>(
+              rng.NextBounded(static_cast<std::uint64_t>(num_bursts)))];
+          add(static_cast<std::uint64_t>(burst.i0) +
+                  rng.NextBounded(static_cast<std::uint64_t>(burst.ilen)),
+              static_cast<std::uint64_t>(burst.j0) +
+                  rng.NextBounded(static_cast<std::uint64_t>(burst.jlen)),
+              static_cast<std::uint64_t>(burst.k0) +
+                  rng.NextBounded(static_cast<std::uint64_t>(burst.klen)));
+        } else {
+          add(rng.NextBounded(static_cast<std::uint64_t>(spec.dim_i)),
+              rng.NextBounded(static_cast<std::uint64_t>(spec.dim_j)),
+              rng.NextBounded(static_cast<std::uint64_t>(spec.dim_k)));
+        }
+      }
+      break;
+    }
+    case WorkloadKind::kBlocky: {
+      // Latent concept blocks: entity clusters related through relation
+      // clusters, the Boolean CP structure knowledge bases exhibit.
+      const int num_blocks = 12;
+      struct Block {
+        std::int64_t i0, ilen, j0, jlen, k0, klen;
+      };
+      std::vector<Block> blocks;
+      for (int b = 0; b < num_blocks; ++b) {
+        Block blk;
+        blk.ilen = std::max<std::int64_t>(2, spec.dim_i / 6);
+        blk.jlen = std::max<std::int64_t>(2, spec.dim_j / 6);
+        blk.klen = std::max<std::int64_t>(2, spec.dim_k / 6);
+        blk.i0 = static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(spec.dim_i - blk.ilen + 1)));
+        blk.j0 = static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(spec.dim_j - blk.jlen + 1)));
+        blk.k0 = static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(spec.dim_k - blk.klen + 1)));
+        blocks.push_back(blk);
+      }
+      while (tensor.NumNonZeros() < target && attempts++ < max_attempts) {
+        if (rng.NextBool(0.9)) {
+          const Block& blk = blocks[static_cast<std::size_t>(
+              rng.NextBounded(static_cast<std::uint64_t>(num_blocks)))];
+          add(static_cast<std::uint64_t>(blk.i0) +
+                  rng.NextBounded(static_cast<std::uint64_t>(blk.ilen)),
+              static_cast<std::uint64_t>(blk.j0) +
+                  rng.NextBounded(static_cast<std::uint64_t>(blk.jlen)),
+              static_cast<std::uint64_t>(blk.k0) +
+                  rng.NextBounded(static_cast<std::uint64_t>(blk.klen)));
+        } else {
+          add(rng.NextBounded(static_cast<std::uint64_t>(spec.dim_i)),
+              rng.NextBounded(static_cast<std::uint64_t>(spec.dim_j)),
+              rng.NextBounded(static_cast<std::uint64_t>(spec.dim_k)));
+        }
+      }
+      break;
+    }
+    case WorkloadKind::kUniform:
+      break;  // Handled above.
+  }
+
+  tensor.SortAndDedup();
+  return tensor;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,54 @@
+#ifndef DBTF_GENERATOR_WORKLOAD_H_
+#define DBTF_GENERATOR_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Structural family of a synthetic real-world stand-in.
+enum class WorkloadKind {
+  kPowerLaw,   ///< skewed degree distribution (social / bibliographic data)
+  kBursty,     ///< heavy temporal bursts (network attack traffic)
+  kBlocky,     ///< latent block structure (knowledge-base triples)
+  kUniform,    ///< uniform random (synthetic scalability tensors)
+};
+
+/// A dataset description in the shape of the paper's Table III. The
+/// `scale` factor shrinks both mode sizes and the non-zero count so the
+/// stand-in fits a single-node budget; scale = 1 reproduces the paper's
+/// nominal sizes.
+struct DatasetSpec {
+  std::string name;
+  std::int64_t dim_i = 0;
+  std::int64_t dim_j = 0;
+  std::int64_t dim_k = 0;
+  std::int64_t nnz = 0;
+  WorkloadKind kind = WorkloadKind::kUniform;
+};
+
+/// The paper's Table III datasets (real-world rows plus the two synthetic
+/// families), at nominal (paper) size.
+std::vector<DatasetSpec> PaperDatasets();
+
+/// Returns `spec` with every mode size and the non-zero count divided by
+/// `shrink` (at least 1 along each axis; nnz capped by the cell count).
+DatasetSpec ScaleDataset(const DatasetSpec& spec, double shrink);
+
+/// Generates a tensor matching the spec's shape, non-zero count, and
+/// structural family:
+///   kPowerLaw: mode-1/2 indices drawn from a Zipf-like distribution;
+///   kBursty:   non-zeros concentrated in a few mode-3 (time) bursts;
+///   kBlocky:   non-zeros clustered into latent (i, j, k) blocks plus noise;
+///   kUniform:  uniform random cells.
+/// The exact non-zero count may be slightly below spec.nnz after dedup.
+Result<SparseTensor> GenerateWorkload(const DatasetSpec& spec,
+                                      std::uint64_t seed);
+
+}  // namespace dbtf
+
+#endif  // DBTF_GENERATOR_WORKLOAD_H_

@@ -1,0 +1,53 @@
+#ifndef DBTF_MODELSELECT_RANK_SELECTION_H_
+#define DBTF_MODELSELECT_RANK_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dbtf/dbtf.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Two-part MDL description length of a Boolean CP model, in bits:
+/// the factor matrices (binomial enumerative code per matrix) plus the
+/// residual (positions of the cells where the reconstruction differs from
+/// the tensor, again enumeratively coded over all I*J*K cells).
+/// Lower is better; the factorization rank that minimizes this balances
+/// model complexity against fit (the Boolean-rank analogue of MDL4BMF).
+struct DescriptionLength {
+  double model_bits = 0.0;
+  double error_bits = 0.0;
+
+  double total_bits() const { return model_bits + error_bits; }
+};
+
+/// Computes the description length of (a, b, c) as a model of x.
+/// Factor ranks must match; requires rank <= 64.
+Result<DescriptionLength> ComputeDescriptionLength(const SparseTensor& x,
+                                                   const BitMatrix& a,
+                                                   const BitMatrix& b,
+                                                   const BitMatrix& c);
+
+/// Result of a rank scan.
+struct RankSelection {
+  std::int64_t best_rank = 0;
+  std::vector<std::int64_t> ranks;        ///< ranks evaluated
+  std::vector<double> total_bits;          ///< MDL score per rank
+  std::vector<std::int64_t> errors;        ///< reconstruction error per rank
+};
+
+/// Scans ranks 1..max_rank (geometrically thinned above 8 to limit runs),
+/// factorizes the tensor at each rank with the given base configuration
+/// (its `rank` field is overridden), and returns the MDL-minimizing rank.
+/// The scan stops early once the score has worsened for two consecutive
+/// evaluated ranks past the current minimum.
+Result<RankSelection> EstimateBooleanRank(const SparseTensor& x,
+                                          std::int64_t max_rank,
+                                          const DbtfConfig& base_config);
+
+}  // namespace dbtf
+
+#endif  // DBTF_MODELSELECT_RANK_SELECTION_H_

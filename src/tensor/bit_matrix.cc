@@ -1,0 +1,109 @@
+#include "tensor/bit_matrix.h"
+
+#include "common/logging.h"
+
+namespace dbtf {
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(
+          static_cast<std::int64_t>(WordsForBits(static_cast<std::size_t>(cols)))) {
+  DBTF_CHECK(rows >= 0 && cols >= 0, "BitMatrix shape must be non-negative");
+  data_.assign(static_cast<std::size_t>(rows_ * words_per_row_), 0);
+}
+
+Result<BitMatrix> BitMatrix::Create(std::int64_t rows, std::int64_t cols) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("BitMatrix shape must be non-negative");
+  }
+  return BitMatrix(rows, cols);
+}
+
+BitMatrix BitMatrix::Random(std::int64_t rows, std::int64_t cols,
+                            double density, Rng* rng) {
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (rng->NextBool(density)) m.Set(r, c, true);
+    }
+  }
+  return m;
+}
+
+Result<BitMatrix> BitMatrix::FromStrings(const std::vector<std::string>& rows) {
+  const std::int64_t nrows = static_cast<std::int64_t>(rows.size());
+  const std::int64_t ncols =
+      rows.empty() ? 0 : static_cast<std::int64_t>(rows[0].size());
+  BitMatrix m(nrows, ncols);
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    if (static_cast<std::int64_t>(rows[r].size()) != ncols) {
+      return Status::InvalidArgument("FromStrings: ragged rows");
+    }
+    for (std::int64_t c = 0; c < ncols; ++c) {
+      const char ch = rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      if (ch == '1') {
+        m.Set(r, c, true);
+      } else if (ch != '0') {
+        return Status::InvalidArgument("FromStrings: entries must be 0 or 1");
+      }
+    }
+  }
+  return m;
+}
+
+std::uint64_t BitMatrix::RowMask64(std::int64_t r) const {
+  DBTF_CHECK(cols_ <= 64, "RowMask64 requires at most 64 columns");
+  if (cols_ == 0) return 0;
+  return RowData(r)[0];
+}
+
+void BitMatrix::SetRowMask64(std::int64_t r, std::uint64_t mask) {
+  DBTF_CHECK(cols_ <= 64, "SetRowMask64 requires at most 64 columns");
+  if (cols_ == 0) return;
+  MutableRowData(r)[0] = mask & LowBitsMask(static_cast<std::size_t>(cols_));
+}
+
+std::int64_t BitMatrix::NumNonZeros() const {
+  return PopCount(data_.data(), data_.size());
+}
+
+void BitMatrix::Clear() { std::fill(data_.begin(), data_.end(), BitWord{0}); }
+
+BitMatrix BitMatrix::Transpose() const {
+  BitMatrix t(cols_, rows_);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const BitWord* row = RowData(r);
+    for (std::int64_t w = 0; w < words_per_row_; ++w) {
+      BitWord word = row[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        t.Set(w * static_cast<std::int64_t>(kBitsPerWord) + bit, r, true);
+      }
+    }
+  }
+  return t;
+}
+
+std::int64_t BitMatrix::HammingDistance(const BitMatrix& other) const {
+  DBTF_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "HammingDistance requires equal shapes");
+  return XorPopCount(data_.data(), other.data_.data(), data_.size());
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+std::string BitMatrix::ToString() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows_ * (cols_ + 1)));
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) out += Get(r, c) ? '1' : '0';
+    if (r + 1 < rows_) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dbtf

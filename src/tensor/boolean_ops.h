@@ -1,0 +1,58 @@
+#ifndef DBTF_TENSOR_BOOLEAN_OPS_H_
+#define DBTF_TENSOR_BOOLEAN_OPS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Boolean matrix product (A o B)_ij = OR_k (a_ik AND b_kj).
+/// A is m x r, B is r x n; the result is m x n.
+Result<BitMatrix> BooleanProduct(const BitMatrix& a, const BitMatrix& b);
+
+/// Boolean sum (element-wise OR) of two equal-shaped matrices.
+Result<BitMatrix> BooleanSum(const BitMatrix& a, const BitMatrix& b);
+
+/// Khatri-Rao (column-wise Kronecker) product of A (I x R) and B (J x R):
+/// the result is (I*J) x R with entry (i*J + j, r) = a_ir AND b_jr.
+/// Row-major in i, matching the paper's matricized CP forms where
+/// X(1) ~ A o (C kr B)^T with column index j + k*J.
+Result<BitMatrix> KhatriRao(const BitMatrix& a, const BitMatrix& b);
+
+/// Kronecker product of A (I1 x J1) and B (I2 x J2): (I1*I2) x (J1*J2),
+/// entry (i1*I2 + i2, j1*J2 + j2) = a_{i1 j1} AND b_{i2 j2}.
+Result<BitMatrix> Kronecker(const BitMatrix& a, const BitMatrix& b);
+
+/// Pointwise vector-matrix product of row vector `row` (the r-th row of a
+/// factor, given as a 64-bit mask over `rank` columns) and matrix B (J x R):
+/// result is J x R with column r equal to b_:r when bit r of `row` is set and
+/// zero otherwise (Equation (4) of the paper).
+Result<BitMatrix> PointwiseVectorMatrix(std::uint64_t row_mask,
+                                        std::int64_t rank,
+                                        const BitMatrix& b);
+
+/// Reconstructs the Boolean CP tensor  X = OR_r a_:r o b_:r o c_:r  from
+/// factor matrices A (I x R), B (J x R), C (K x R). All three must share the
+/// same number of columns R. The result is sorted and deduplicated.
+Result<SparseTensor> ReconstructTensor(const BitMatrix& a, const BitMatrix& b,
+                                       const BitMatrix& c);
+
+/// Boolean reconstruction error |X xor OR_r a_:r o b_:r o c_:r|, the
+/// objective of Definition 4, computed sparsely without materializing the
+/// reconstruction:
+///   error = |recon| + |X| - 2 * |recon AND X|.
+/// Rows of the mode-1 unfolding of the reconstruction are memoized per cache
+/// key (the AND of an A-row mask and a C-row mask), so the cost is
+/// O((I*K) * J/64 + nnz) after at most 2^R distinct key materializations.
+/// Requires R <= 64.
+Result<std::int64_t> ReconstructionError(const SparseTensor& x,
+                                         const BitMatrix& a,
+                                         const BitMatrix& b,
+                                         const BitMatrix& c);
+
+}  // namespace dbtf
+
+#endif  // DBTF_TENSOR_BOOLEAN_OPS_H_

@@ -1,0 +1,120 @@
+#include "tensor/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace dbtf {
+
+Status WriteTensorText(const SparseTensor& tensor, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << tensor.dim_i() << ' ' << tensor.dim_j() << ' ' << tensor.dim_k()
+      << ' ' << tensor.NumNonZeros() << '\n';
+  for (const Coord& c : tensor.entries()) {
+    out << c.i << ' ' << c.j << ' ' << c.k << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SparseTensor> ReadTensorText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::vector<Coord> coords;
+  std::int64_t dim_i = 0;
+  std::int64_t dim_j = 0;
+  std::int64_t dim_k = 0;
+  bool have_header = false;
+
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    long long a = 0;
+    long long b = 0;
+    long long c = 0;
+    long long d = 0;
+    ls >> a >> b >> c;
+    if (!ls) return Status::IoError("malformed line in " + path);
+    if (first && (ls >> d)) {
+      // Four numbers on the first line: "I J K nnz" header.
+      have_header = true;
+      dim_i = a;
+      dim_j = b;
+      dim_k = c;
+      first = false;
+      continue;
+    }
+    first = false;
+    if (a < 0 || b < 0 || c < 0) {
+      return Status::IoError("negative coordinate in " + path);
+    }
+    coords.push_back(Coord{static_cast<std::uint32_t>(a),
+                           static_cast<std::uint32_t>(b),
+                           static_cast<std::uint32_t>(c)});
+    if (!have_header) {
+      dim_i = std::max<std::int64_t>(dim_i, a + 1);
+      dim_j = std::max<std::int64_t>(dim_j, b + 1);
+      dim_k = std::max<std::int64_t>(dim_k, c + 1);
+    }
+  }
+
+  DBTF_ASSIGN_OR_RETURN(SparseTensor tensor,
+                        SparseTensor::Create(dim_i, dim_j, dim_k));
+  tensor.Reserve(static_cast<std::int64_t>(coords.size()));
+  for (const Coord& c : coords) {
+    DBTF_RETURN_IF_ERROR(tensor.Add(c.i, c.j, c.k));
+  }
+  tensor.SortAndDedup();
+  return tensor;
+}
+
+Status WriteMatrixText(const BitMatrix& matrix, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << matrix.rows() << ' ' << matrix.cols() << '\n';
+  for (std::int64_t r = 0; r < matrix.rows(); ++r) {
+    for (std::int64_t c = 0; c < matrix.cols(); ++c) {
+      out << (matrix.Get(r, c) ? '1' : '0');
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BitMatrix> ReadMatrixText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  in >> rows >> cols;
+  if (!in || rows < 0 || cols < 0) {
+    return Status::IoError("malformed matrix header in " + path);
+  }
+  std::string line;
+  std::getline(in, line);  // Consume the rest of the header line.
+  DBTF_ASSIGN_OR_RETURN(BitMatrix m, BitMatrix::Create(rows, cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (!std::getline(in, line) ||
+        static_cast<std::int64_t>(line.size()) < cols) {
+      return Status::IoError("truncated matrix row in " + path);
+    }
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (line[static_cast<std::size_t>(c)] == '1') {
+        m.Set(r, c, true);
+      } else if (line[static_cast<std::size_t>(c)] != '0') {
+        return Status::IoError("matrix entries must be 0/1 in " + path);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dbtf

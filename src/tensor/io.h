@@ -1,0 +1,29 @@
+#ifndef DBTF_TENSOR_IO_H_
+#define DBTF_TENSOR_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Writes a tensor as text: a header line "i j k nnz" followed by one
+/// "i j k" line per non-zero (0-based coordinates).
+Status WriteTensorText(const SparseTensor& tensor, const std::string& path);
+
+/// Reads a tensor written by WriteTensorText. Also accepts header-less files
+/// of "i j k" lines, inferring dimensions as max coordinate + 1.
+Result<SparseTensor> ReadTensorText(const std::string& path);
+
+/// Writes a binary factor matrix as text: "rows cols" then one 0/1 row of
+/// characters per line.
+Status WriteMatrixText(const BitMatrix& matrix, const std::string& path);
+
+/// Reads a matrix written by WriteMatrixText.
+Result<BitMatrix> ReadMatrixText(const std::string& path);
+
+}  // namespace dbtf
+
+#endif  // DBTF_TENSOR_IO_H_

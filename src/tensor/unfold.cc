@@ -1,0 +1,85 @@
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+UnfoldShape ShapeForMode(std::int64_t dim_i, std::int64_t dim_j,
+                         std::int64_t dim_k, Mode mode) {
+  switch (mode) {
+    case Mode::kOne:
+      return UnfoldShape{dim_i, dim_k, dim_j};
+    case Mode::kTwo:
+      return UnfoldShape{dim_j, dim_k, dim_i};
+    case Mode::kThree:
+      return UnfoldShape{dim_k, dim_j, dim_i};
+  }
+  return UnfoldShape{0, 0, 0};
+}
+
+UnfoldedCell MapCell(const Coord& c, Mode mode) {
+  switch (mode) {
+    case Mode::kOne:
+      return UnfoldedCell{c.i, c.k, c.j};
+    case Mode::kTwo:
+      return UnfoldedCell{c.j, c.k, c.i};
+    case Mode::kThree:
+      return UnfoldedCell{c.k, c.j, c.i};
+  }
+  return UnfoldedCell{0, 0, 0};
+}
+
+Coord UnmapCell(const UnfoldedCell& cell, Mode mode) {
+  const auto row = static_cast<std::uint32_t>(cell.row);
+  const auto block = static_cast<std::uint32_t>(cell.block);
+  const auto within = static_cast<std::uint32_t>(cell.within);
+  switch (mode) {
+    case Mode::kOne:
+      return Coord{row, within, block};
+    case Mode::kTwo:
+      return Coord{within, row, block};
+    case Mode::kThree:
+      return Coord{within, block, row};
+  }
+  return Coord{0, 0, 0};
+}
+
+Result<BitMatrix> DenseUnfold(const SparseTensor& tensor, Mode mode,
+                              std::int64_t max_bytes) {
+  const UnfoldShape shape =
+      ShapeForMode(tensor.dim_i(), tensor.dim_j(), tensor.dim_k(), mode);
+  const std::int64_t words =
+      shape.rows * static_cast<std::int64_t>(WordsForBits(
+                       static_cast<std::size_t>(shape.cols())));
+  if (words * static_cast<std::int64_t>(sizeof(BitWord)) > max_bytes) {
+    return Status::ResourceExhausted("dense unfolding exceeds memory budget");
+  }
+  DBTF_ASSIGN_OR_RETURN(BitMatrix out,
+                        BitMatrix::Create(shape.rows, shape.cols()));
+  for (const Coord& c : tensor.entries()) {
+    const UnfoldedCell cell = MapCell(c, mode);
+    out.Set(cell.row, cell.col(shape), true);
+  }
+  return out;
+}
+
+Result<SparseTensor> FoldBack(const BitMatrix& unfolded, Mode mode,
+                              std::int64_t dim_i, std::int64_t dim_j,
+                              std::int64_t dim_k) {
+  const UnfoldShape shape = ShapeForMode(dim_i, dim_j, dim_k, mode);
+  if (unfolded.rows() != shape.rows || unfolded.cols() != shape.cols()) {
+    return Status::InvalidArgument("unfolded matrix shape mismatch");
+  }
+  DBTF_ASSIGN_OR_RETURN(SparseTensor out,
+                        SparseTensor::Create(dim_i, dim_j, dim_k));
+  for (std::int64_t r = 0; r < unfolded.rows(); ++r) {
+    for (std::int64_t c = 0; c < unfolded.cols(); ++c) {
+      if (!unfolded.Get(r, c)) continue;
+      const UnfoldedCell cell{r, c / shape.within, c % shape.within};
+      const Coord coord = UnmapCell(cell, mode);
+      DBTF_RETURN_IF_ERROR(out.Add(coord.i, coord.j, coord.k));
+    }
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,72 @@
+#ifndef DBTF_TENSOR_UNFOLD_H_
+#define DBTF_TENSOR_UNFOLD_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Tensor mode (1-based, following the paper's X(1), X(2), X(3) notation).
+enum class Mode { kOne = 1, kTwo = 2, kThree = 3 };
+
+/// Shape of a mode-n unfolding X(n) of an IxJxK tensor, expressed in the
+/// block structure that the DBTF algorithm operates on.
+///
+/// X(n) has `rows` rows and `blocks * within` columns. The columns decompose
+/// into `blocks` consecutive groups of `within` columns each: column block q
+/// is the pointwise vector-matrix product ([M_f]_q: * M_s)^T, where M_f is
+/// the "first" Khatri-Rao operand (block selector, `blocks` rows) and M_s the
+/// "second" operand (the unit of caching, `within` rows).
+///
+/// Per Equation (1) of the paper (0-based):
+///   mode 1: row=i, col=j + k*J  -> rows=I, within=J (M_s=B), blocks=K (M_f=C)
+///   mode 2: row=j, col=i + k*I  -> rows=J, within=I (M_s=A), blocks=K (M_f=C)
+///   mode 3: row=k, col=i + j*I  -> rows=K, within=I (M_s=A), blocks=J (M_f=B)
+struct UnfoldShape {
+  std::int64_t rows;
+  std::int64_t blocks;
+  std::int64_t within;
+
+  std::int64_t cols() const { return blocks * within; }
+};
+
+/// Position of one tensor cell within an unfolding.
+struct UnfoldedCell {
+  std::int64_t row;
+  std::int64_t block;
+  std::int64_t within;
+
+  std::int64_t col(const UnfoldShape& shape) const {
+    return block * shape.within + within;
+  }
+};
+
+/// Shape of the mode-n unfolding of a tensor with the given dimensions.
+UnfoldShape ShapeForMode(std::int64_t dim_i, std::int64_t dim_j,
+                         std::int64_t dim_k, Mode mode);
+
+/// Maps a tensor cell to its unfolded position for the given mode.
+UnfoldedCell MapCell(const Coord& c, Mode mode);
+
+/// Inverse of MapCell: reconstructs the tensor cell from an unfolded
+/// position. Used by tests to verify the unfolding is a bijection.
+Coord UnmapCell(const UnfoldedCell& cell, Mode mode);
+
+/// Materializes the full dense unfolding X(n) as a bit matrix. Intended for
+/// tests and small tensors; the DBTF driver partitions the unfolding without
+/// ever materializing it in one piece. Fails if the unfolding would exceed
+/// `max_bytes` of packed storage.
+Result<BitMatrix> DenseUnfold(const SparseTensor& tensor, Mode mode,
+                              std::int64_t max_bytes = std::int64_t{1} << 31);
+
+/// Folds a dense unfolding back into a sparse tensor (test utility).
+Result<SparseTensor> FoldBack(const BitMatrix& unfolded, Mode mode,
+                              std::int64_t dim_i, std::int64_t dim_j,
+                              std::int64_t dim_k);
+
+}  // namespace dbtf
+
+#endif  // DBTF_TENSOR_UNFOLD_H_

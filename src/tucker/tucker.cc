@@ -1,0 +1,495 @@
+#include "tucker/tucker.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/random.h"
+
+namespace dbtf {
+
+TuckerCore::TuckerCore(std::int64_t p, std::int64_t q, std::int64_t r)
+    : p_(p), q_(q), r_(r),
+      bits_(static_cast<std::size_t>(p * q * r), false) {}
+
+std::int64_t TuckerCore::NumNonZeros() const {
+  std::int64_t count = 0;
+  for (const bool bit : bits_) count += bit ? 1 : 0;
+  return count;
+}
+
+TuckerCore TuckerCore::Superdiagonal(std::int64_t n) {
+  TuckerCore core(n, n, n);
+  for (std::int64_t t = 0; t < n; ++t) core.Set(t, t, t, true);
+  return core;
+}
+
+Status TuckerConfig::Validate() const {
+  if (core_p < 1 || core_p > 16 || core_q < 1 || core_q > 16 || core_r < 1 ||
+      core_r > 16) {
+    return Status::InvalidArgument("Tucker core dimensions must be in [1, 16]");
+  }
+  // Selector masks pack pairs of core modes into one 64-bit word.
+  if (core_q * core_r > 64 || core_p * core_r > 64 || core_p * core_q > 64) {
+    return Status::InvalidArgument(
+        "products of core dimensions per mode pair must be <= 64");
+  }
+  if (max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (num_restarts < 1) {
+    return Status::InvalidArgument("num_restarts must be >= 1");
+  }
+  if (convergence_epsilon < 0) {
+    return Status::InvalidArgument("convergence_epsilon must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateShapes(const SparseTensor& x, const TuckerCore& core,
+                      const BitMatrix& a, const BitMatrix& b,
+                      const BitMatrix& c) {
+  if (a.cols() != core.dim_p() || b.cols() != core.dim_q() ||
+      c.cols() != core.dim_r()) {
+    return Status::InvalidArgument("factor columns must match the core");
+  }
+  if (a.rows() != x.dim_i() || b.rows() != x.dim_j() || c.rows() != x.dim_k()) {
+    return Status::InvalidArgument("factor rows must match the tensor");
+  }
+  if (a.cols() > 16 || b.cols() > 16 || c.cols() > 16) {
+    return Status::InvalidArgument("core dimensions must be <= 16");
+  }
+  return Status::OK();
+}
+
+/// Packs the (A-mask, C-mask) pair into one memo key.
+std::uint64_t PackKey(std::uint64_t ma, std::uint64_t mc) {
+  return (ma << 32) | mc;
+}
+
+}  // namespace
+
+Result<std::int64_t> TuckerReconstructionError(const SparseTensor& x,
+                                               const TuckerCore& core,
+                                               const BitMatrix& a,
+                                               const BitMatrix& b,
+                                               const BitMatrix& c) {
+  DBTF_RETURN_IF_ERROR(ValidateShapes(x, core, a, b, c));
+  const std::int64_t dim_p = core.dim_p();
+  const std::int64_t dim_r = core.dim_r();
+  const std::int64_t dim_q = core.dim_q();
+
+  // u_pr = OR over q with g_pqr of column q of B (a J-bit packed row):
+  // the mode-2 pattern that core slab (p, :, r) contributes.
+  const BitMatrix bt = b.Transpose();  // Q x J packed rows
+  const std::size_t words = static_cast<std::size_t>(bt.words_per_row());
+  std::vector<std::vector<BitWord>> u(
+      static_cast<std::size_t>(dim_p * dim_r));
+  std::vector<bool> u_nonzero(static_cast<std::size_t>(dim_p * dim_r), false);
+  for (std::int64_t p = 0; p < dim_p; ++p) {
+    for (std::int64_t r = 0; r < dim_r; ++r) {
+      auto& row = u[static_cast<std::size_t>(p * dim_r + r)];
+      row.assign(words, 0);
+      for (std::int64_t q = 0; q < dim_q; ++q) {
+        if (core.Get(p, q, r)) {
+          OrInto(row.data(), bt.RowData(q), words);
+        }
+      }
+      u_nonzero[static_cast<std::size_t>(p * dim_r + r)] =
+          !AllZero(row.data(), words);
+    }
+  }
+
+  // Memoized mode-2 rows per (A-mask, C-mask) key.
+  struct Memo {
+    std::vector<BitWord> row;
+    std::int64_t nnz;
+  };
+  std::unordered_map<std::uint64_t, Memo> memo;
+  const auto lookup = [&](std::uint64_t ma, std::uint64_t mc) -> const Memo& {
+    const std::uint64_t key = PackKey(ma, mc);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    Memo m;
+    m.row.assign(words, 0);
+    std::uint64_t pa = ma;
+    while (pa != 0) {
+      const int p = std::countr_zero(pa);
+      pa &= pa - 1;
+      std::uint64_t rc = mc;
+      while (rc != 0) {
+        const int r = std::countr_zero(rc);
+        rc &= rc - 1;
+        const auto idx = static_cast<std::size_t>(p * dim_r + r);
+        if (u_nonzero[idx]) OrInto(m.row.data(), u[idx].data(), words);
+      }
+    }
+    m.nnz = PopCount(m.row.data(), words);
+    return memo.emplace(key, std::move(m)).first->second;
+  };
+
+  std::vector<std::uint64_t> a_masks(static_cast<std::size_t>(a.rows()));
+  std::vector<std::uint64_t> c_masks(static_cast<std::size_t>(c.rows()));
+  for (std::int64_t i = 0; i < a.rows(); ++i) a_masks[i] = a.RowMask64(i);
+  for (std::int64_t k = 0; k < c.rows(); ++k) c_masks[k] = c.RowMask64(k);
+
+  std::int64_t recon_nnz = 0;
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    if (a_masks[i] == 0) continue;
+    for (std::int64_t k = 0; k < c.rows(); ++k) {
+      if (c_masks[k] == 0) continue;
+      recon_nnz += lookup(a_masks[i], c_masks[k]).nnz;
+    }
+  }
+  std::int64_t overlap = 0;
+  for (const Coord& cell : x.entries()) {
+    if (a_masks[cell.i] == 0 || c_masks[cell.k] == 0) continue;
+    const Memo& m = lookup(a_masks[cell.i], c_masks[cell.k]);
+    if ((m.row[WordIndex(cell.j)] & BitMask(cell.j)) != 0) ++overlap;
+  }
+  return recon_nnz + x.NumNonZeros() - 2 * overlap;
+}
+
+Result<SparseTensor> TuckerReconstruct(const TuckerCore& core,
+                                       const BitMatrix& a, const BitMatrix& b,
+                                       const BitMatrix& c) {
+  DBTF_ASSIGN_OR_RETURN(SparseTensor out,
+                        SparseTensor::Create(a.rows(), b.rows(), c.rows()));
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.rows(); ++j) {
+      for (std::int64_t k = 0; k < c.rows(); ++k) {
+        bool on = false;
+        for (std::int64_t p = 0; p < core.dim_p() && !on; ++p) {
+          if (!a.Get(i, p)) continue;
+          for (std::int64_t q = 0; q < core.dim_q() && !on; ++q) {
+            if (!b.Get(j, q)) continue;
+            for (std::int64_t r = 0; r < core.dim_r() && !on; ++r) {
+              on = core.Get(p, q, r) && c.Get(k, r);
+            }
+          }
+        }
+        if (on) {
+          out.AddUnchecked(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j),
+                           static_cast<std::uint32_t>(k));
+        }
+      }
+    }
+  }
+  out.SortAndDedup();
+  return out;
+}
+
+namespace {
+
+/// One mode's view for the selector-mask factor update. Updating factor F
+/// (rows x dims) uses, for every complementary index pair t, the selector
+/// mask sel[t]: bit d is set when turning on F(row, d) would activate cell
+/// (row, t). The predicted value of cell (row, t) is (mask_row & sel[t]) != 0.
+struct SelectorView {
+  std::vector<std::uint32_t> selectors;  ///< one per complementary pair t
+  /// Histogram over selector values (selector space is <= 2^8).
+  std::vector<std::int64_t> histogram;
+  /// Per factor row, the selector values at this row's tensor non-zeros.
+  std::vector<std::vector<std::uint32_t>> row_ones;
+};
+
+/// Builds the selector view for the factor over `dims` columns, where the
+/// complementary pair (s, t) has masks ms (over S core bits) and mt (over T
+/// core bits), and g_pair[d] packs the core slab for factor column d as bits
+/// s * T + t. `pair_index` maps a tensor cell to (row, s, t).
+SelectorView BuildSelectorView(
+    const SparseTensor& x, std::int64_t factor_rows, std::int64_t dims,
+    const std::vector<std::uint64_t>& g_pair,
+    const std::vector<std::uint64_t>& masks_s,
+    const std::vector<std::uint64_t>& masks_t, std::int64_t t_count,
+    std::int64_t core_t,
+    const std::function<void(const Coord&, std::int64_t*, std::int64_t*,
+                             std::int64_t*)>& split) {
+  SelectorView view;
+  const std::int64_t num_s = static_cast<std::int64_t>(masks_s.size());
+  view.selectors.assign(static_cast<std::size_t>(num_s * t_count), 0);
+  view.histogram.assign(std::size_t{1} << dims, 0);
+  view.row_ones.assign(static_cast<std::size_t>(factor_rows), {});
+
+  for (std::int64_t s = 0; s < num_s; ++s) {
+    for (std::int64_t t = 0; t < t_count; ++t) {
+      // pair mask: bit (cs * core_t + ct) set when column cs of the first
+      // complementary factor and column ct of the second are both on.
+      std::uint64_t pair_st = 0;
+      std::uint64_t s_bits = masks_s[static_cast<std::size_t>(s)];
+      const std::uint64_t mt = masks_t[static_cast<std::size_t>(t)];
+      while (s_bits != 0) {
+        const int cs = std::countr_zero(s_bits);
+        s_bits &= s_bits - 1;
+        pair_st |= mt << static_cast<unsigned>(cs * core_t);
+      }
+      std::uint32_t selector = 0;
+      for (std::int64_t d = 0; d < dims; ++d) {
+        if ((g_pair[static_cast<std::size_t>(d)] & pair_st) != 0) {
+          selector |= std::uint32_t{1} << d;
+        }
+      }
+      view.selectors[static_cast<std::size_t>(s * t_count + t)] = selector;
+      ++view.histogram[selector];
+    }
+  }
+  for (const Coord& cell : x.entries()) {
+    std::int64_t row = 0;
+    std::int64_t s = 0;
+    std::int64_t t = 0;
+    split(cell, &row, &s, &t);
+    view.row_ones[static_cast<std::size_t>(row)].push_back(
+        view.selectors[static_cast<std::size_t>(s * t_count + t)]);
+  }
+  return view;
+}
+
+/// Greedy column-wise update of `factor` against a selector view. Returns
+/// the factor's exact reconstruction error after the sweep.
+std::int64_t UpdateFactorWithView(const SelectorView& view,
+                                  BitMatrix* factor) {
+  const std::int64_t rows = factor->rows();
+  const std::int64_t dims = factor->cols();
+
+  // predicted-ones count for a row mask m: cells whose selector intersects m.
+  const auto predicted = [&](std::uint64_t m) {
+    std::int64_t count = 0;
+    for (std::size_t v = 1; v < view.histogram.size(); ++v) {
+      if ((m & v) != 0) count += view.histogram[v];
+    }
+    return count;
+  };
+  const auto hits = [&](std::int64_t row, std::uint64_t m) {
+    std::int64_t count = 0;
+    for (const std::uint32_t v :
+         view.row_ones[static_cast<std::size_t>(row)]) {
+      if ((m & v) != 0) ++count;
+    }
+    return count;
+  };
+  const auto row_error = [&](std::int64_t row, std::uint64_t m) {
+    const auto ones = static_cast<std::int64_t>(
+        view.row_ones[static_cast<std::size_t>(row)].size());
+    return predicted(m) + ones - 2 * hits(row, m);
+  };
+
+  std::int64_t final_error = 0;
+  for (std::int64_t d = 0; d < dims; ++d) {
+    const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(d);
+    for (std::int64_t row = 0; row < rows; ++row) {
+      const std::uint64_t mask = factor->RowMask64(row);
+      const std::int64_t e0 = row_error(row, mask & ~bit);
+      const std::int64_t e1 = row_error(row, mask | bit);
+      const bool value = e1 < e0;
+      factor->SetRowMask64(row, value ? (mask | bit) : (mask & ~bit));
+      if (d == dims - 1) final_error += value ? e1 : e0;
+    }
+  }
+  return final_error;
+}
+
+/// Packs core slab masks: g_pair[d] has bit (s * core_t + t) set when the
+/// core couples factor column d with complementary columns (s, t).
+std::vector<std::uint64_t> CoreSlabs(
+    const TuckerCore& core, std::int64_t dims, std::int64_t s_count,
+    std::int64_t t_count,
+    const std::function<bool(std::int64_t d, std::int64_t s, std::int64_t t)>&
+        get) {
+  std::vector<std::uint64_t> slabs(static_cast<std::size_t>(dims), 0);
+  (void)core;
+  for (std::int64_t d = 0; d < dims; ++d) {
+    for (std::int64_t s = 0; s < s_count; ++s) {
+      for (std::int64_t t = 0; t < t_count; ++t) {
+        if (get(d, s, t)) {
+          slabs[static_cast<std::size_t>(d)] |=
+              std::uint64_t{1} << static_cast<unsigned>(s * t_count + t);
+        }
+      }
+    }
+  }
+  return slabs;
+}
+
+std::vector<std::uint64_t> RowMasks(const BitMatrix& m) {
+  std::vector<std::uint64_t> masks(static_cast<std::size_t>(m.rows()));
+  for (std::int64_t r = 0; r < m.rows(); ++r) masks[r] = m.RowMask64(r);
+  return masks;
+}
+
+}  // namespace
+
+namespace {
+
+/// One full alternating solve from one seed.
+Result<TuckerResult> SolveOnce(const SparseTensor& x,
+                               const TuckerConfig& config,
+                               std::uint64_t seed) {
+  TuckerResult result;
+  result.a = BitMatrix(x.dim_i(), config.core_p);
+  result.b = BitMatrix(x.dim_j(), config.core_q);
+  result.c = BitMatrix(x.dim_k(), config.core_r);
+  result.core = TuckerCore(config.core_p, config.core_q, config.core_r);
+
+  // Initialization: every factor column is seeded from a fiber through a
+  // random non-zero cell (so no column starts dead), and the core starts
+  // superdiagonal — a CP-style start the core sweep can rewire.
+  const std::vector<Coord>& entries = x.entries();
+  if (!entries.empty()) {
+    Rng rng(seed);
+    const auto random_cell = [&]() -> const Coord& {
+      return entries[static_cast<std::size_t>(rng.NextBounded(entries.size()))];
+    };
+    const std::int64_t max_cols =
+        std::max({config.core_p, config.core_q, config.core_r});
+    const std::int64_t diag =
+        std::min({config.core_p, config.core_q, config.core_r});
+    for (std::int64_t t = 0; t < max_cols; ++t) {
+      // One seed cell aligns the three mode-t columns, so the diagonal core
+      // entry (t, t, t) describes a real dense region from the start.
+      const Coord& seed = random_cell();
+      for (const Coord& cell : entries) {
+        if (t < config.core_p && cell.j == seed.j && cell.k == seed.k) {
+          result.a.Set(cell.i, t, true);
+        }
+        if (t < config.core_q && cell.i == seed.i && cell.k == seed.k) {
+          result.b.Set(cell.j, t, true);
+        }
+        if (t < config.core_r && cell.i == seed.i && cell.j == seed.j) {
+          result.c.Set(cell.k, t, true);
+        }
+      }
+      if (t < diag) result.core.Set(t, t, t, true);
+    }
+  }
+
+  DBTF_ASSIGN_OR_RETURN(
+      std::int64_t current_error,
+      TuckerReconstructionError(x, result.core, result.a, result.b, result.c));
+
+  for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
+    // --- Factor sweeps via selector views. ---
+    const std::int64_t dim_p = config.core_p;
+    const std::int64_t dim_q = config.core_q;
+    const std::int64_t dim_r = config.core_r;
+
+    // Update A: complementary pair (j over Q, k over R).
+    {
+      const auto slabs = CoreSlabs(
+          result.core, dim_p, dim_q, dim_r,
+          [&](std::int64_t d, std::int64_t s, std::int64_t t) {
+            return result.core.Get(d, s, t);
+          });
+      const SelectorView view = BuildSelectorView(
+          x, x.dim_i(), dim_p, slabs, RowMasks(result.b), RowMasks(result.c),
+          x.dim_k(), dim_r,
+          [&](const Coord& cell, std::int64_t* row, std::int64_t* s,
+              std::int64_t* t) {
+            *row = cell.i;
+            *s = cell.j;
+            *t = cell.k;
+          });
+      current_error = UpdateFactorWithView(view, &result.a);
+    }
+    // Update B: complementary pair (i over P, k over R).
+    {
+      const auto slabs = CoreSlabs(
+          result.core, dim_q, dim_p, dim_r,
+          [&](std::int64_t d, std::int64_t s, std::int64_t t) {
+            return result.core.Get(s, d, t);
+          });
+      const SelectorView view = BuildSelectorView(
+          x, x.dim_j(), dim_q, slabs, RowMasks(result.a), RowMasks(result.c),
+          x.dim_k(), dim_r,
+          [&](const Coord& cell, std::int64_t* row, std::int64_t* s,
+              std::int64_t* t) {
+            *row = cell.j;
+            *s = cell.i;
+            *t = cell.k;
+          });
+      current_error = UpdateFactorWithView(view, &result.b);
+    }
+    // Update C: complementary pair (i over P, j over Q).
+    {
+      const auto slabs = CoreSlabs(
+          result.core, dim_r, dim_p, dim_q,
+          [&](std::int64_t d, std::int64_t s, std::int64_t t) {
+            return result.core.Get(s, t, d);
+          });
+      const SelectorView view = BuildSelectorView(
+          x, x.dim_k(), dim_r, slabs, RowMasks(result.a), RowMasks(result.b),
+          x.dim_j(), dim_q,
+          [&](const Coord& cell, std::int64_t* row, std::int64_t* s,
+              std::int64_t* t) {
+            *row = cell.k;
+            *s = cell.i;
+            *t = cell.j;
+          });
+      current_error = UpdateFactorWithView(view, &result.c);
+    }
+
+    // --- Core sweep: flip any bit that lowers the exact error. Runs after
+    // the factor sweeps so fresh columns can be wired into cross terms. ---
+    for (std::int64_t p = 0; p < config.core_p; ++p) {
+      for (std::int64_t q = 0; q < config.core_q; ++q) {
+        for (std::int64_t r = 0; r < config.core_r; ++r) {
+          result.core.Set(p, q, r, !result.core.Get(p, q, r));
+          DBTF_ASSIGN_OR_RETURN(
+              const std::int64_t flipped,
+              TuckerReconstructionError(x, result.core, result.a, result.b,
+                                        result.c));
+          if (flipped < current_error) {
+            current_error = flipped;
+          } else {
+            result.core.Set(p, q, r, !result.core.Get(p, q, r));  // revert
+          }
+        }
+      }
+    }
+
+    result.iterations_run = iteration;
+    if (!result.iteration_errors.empty()) {
+      const std::int64_t previous = result.iteration_errors.back();
+      result.iteration_errors.push_back(current_error);
+      if (previous - current_error <= config.convergence_epsilon) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      result.iteration_errors.push_back(current_error);
+    }
+  }
+
+  result.final_error = result.iteration_errors.back();
+  return result;
+}
+
+}  // namespace
+
+Result<TuckerResult> BooleanTucker(const SparseTensor& x,
+                                   const TuckerConfig& config) {
+  DBTF_RETURN_IF_ERROR(config.Validate());
+  if (x.dim_i() < 1 || x.dim_j() < 1 || x.dim_k() < 1) {
+    return Status::InvalidArgument("tensor dimensions must be positive");
+  }
+  TuckerResult best;
+  bool have_best = false;
+  for (int restart = 0; restart < config.num_restarts; ++restart) {
+    DBTF_ASSIGN_OR_RETURN(
+        TuckerResult candidate,
+        SolveOnce(x, config,
+                  config.seed + static_cast<std::uint64_t>(restart) * 0x9e37ULL));
+    if (!have_best || candidate.final_error < best.final_error) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,107 @@
+#ifndef DBTF_TUCKER_TUCKER_H_
+#define DBTF_TUCKER_TUCKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// A binary three-way core tensor G of shape P x Q x R (all <= 16), stored
+/// densely as bits. Entry (p, q, r) couples column p of A, column q of B,
+/// and column r of C in a Boolean Tucker decomposition.
+class TuckerCore {
+ public:
+  TuckerCore() : p_(0), q_(0), r_(0) {}
+  TuckerCore(std::int64_t p, std::int64_t q, std::int64_t r);
+
+  std::int64_t dim_p() const { return p_; }
+  std::int64_t dim_q() const { return q_; }
+  std::int64_t dim_r() const { return r_; }
+
+  bool Get(std::int64_t p, std::int64_t q, std::int64_t r) const {
+    return bits_[static_cast<std::size_t>(Index(p, q, r))];
+  }
+  void Set(std::int64_t p, std::int64_t q, std::int64_t r, bool value) {
+    bits_[static_cast<std::size_t>(Index(p, q, r))] = value;
+  }
+
+  std::int64_t NumNonZeros() const;
+
+  /// Superdiagonal core of size n (Boolean CP as a special case of Tucker).
+  static TuckerCore Superdiagonal(std::int64_t n);
+
+ private:
+  std::int64_t Index(std::int64_t p, std::int64_t q, std::int64_t r) const {
+    return (p * q_ + q) * r_ + r;
+  }
+
+  std::int64_t p_;
+  std::int64_t q_;
+  std::int64_t r_;
+  std::vector<bool> bits_;
+};
+
+/// Parameters of the Boolean Tucker factorization.
+struct TuckerConfig {
+  /// Core dimensions (ranks per mode), each in [1, 16].
+  std::int64_t core_p = 4;
+  std::int64_t core_q = 4;
+  std::int64_t core_r = 4;
+
+  /// Alternating iterations over (A, B, C, core).
+  int max_iterations = 10;
+
+  /// Independent restarts from different fiber seeds; the best final result
+  /// is kept (the Tucker analogue of DBTF's L initial factor sets).
+  int num_restarts = 1;
+
+  /// Stop when an iteration improves the error by at most this many cells.
+  std::int64_t convergence_epsilon = 0;
+
+  std::uint64_t seed = 0;
+
+  Status Validate() const;
+};
+
+/// Result of a Boolean Tucker factorization
+/// X ~ G x1 A x2 B x3 C (all Boolean): x_ijk = OR_pqr g_pqr a_ip b_jq c_kr.
+struct TuckerResult {
+  TuckerCore core;
+  BitMatrix a;  ///< I x P
+  BitMatrix b;  ///< J x Q
+  BitMatrix c;  ///< K x R
+  std::vector<std::int64_t> iteration_errors;
+  std::int64_t final_error = 0;
+  int iterations_run = 0;
+  bool converged = false;
+};
+
+/// Exact Boolean Tucker reconstruction error |X xor (G x1 A x2 B x3 C)|,
+/// computed sparsely: rows of the mode-1 view are memoized per
+/// (A-row-mask, C-row-mask) key. Factor column counts must match the core.
+Result<std::int64_t> TuckerReconstructionError(const SparseTensor& x,
+                                               const TuckerCore& core,
+                                               const BitMatrix& a,
+                                               const BitMatrix& b,
+                                               const BitMatrix& c);
+
+/// Materializes the reconstruction as a sparse tensor (test/debug utility).
+Result<SparseTensor> TuckerReconstruct(const TuckerCore& core,
+                                       const BitMatrix& a, const BitMatrix& b,
+                                       const BitMatrix& c);
+
+/// Boolean Tucker factorization by alternating greedy coordinate descent:
+/// fiber-sampled factor initialization, then per-iteration sweeps over the
+/// core bits and the rows of each factor matrix, each flip kept only if it
+/// lowers the exact reconstruction error (so the error trace is
+/// non-increasing). An extension beyond the paper's CP scope; see DESIGN.md.
+Result<TuckerResult> BooleanTucker(const SparseTensor& x,
+                                   const TuckerConfig& config);
+
+}  // namespace dbtf
+
+#endif  // DBTF_TUCKER_TUCKER_H_

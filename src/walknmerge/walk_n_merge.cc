@@ -1,0 +1,261 @@
+#include "walknmerge/walk_n_merge.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace dbtf {
+
+Status WalkNMergeConfig::Validate() const {
+  if (density_threshold <= 0.0 || density_threshold > 1.0) {
+    return Status::InvalidArgument("density_threshold must be in (0, 1]");
+  }
+  if (walk_length < 1) {
+    return Status::InvalidArgument("walk_length must be >= 1");
+  }
+  if (num_walks < 0 || min_block_volume < 1 || max_blocks < 1 || rank < 0 ||
+      max_candidates < 0) {
+    return Status::InvalidArgument("Walk'n'Merge parameter out of range");
+  }
+  if (time_budget_seconds < 0.0) {
+    return Status::InvalidArgument("time budget must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::uint64_t PackPair(std::uint64_t a, std::uint64_t b) {
+  return (a << 32) | b;
+}
+
+std::uint64_t PackCoord(const Coord& c) {
+  return (static_cast<std::uint64_t>(c.i) << 42) |
+         (static_cast<std::uint64_t>(c.j) << 21) | c.k;
+}
+
+/// Sorted union of two sorted coordinate lists.
+std::vector<std::uint32_t> UnionSorted(const std::vector<std::uint32_t>& a,
+                                       const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Counts the tensor non-zeros inside the (is x js x ks) box using the
+/// row-major CSR offsets of the sorted entry list.
+std::int64_t CountOnesInBox(const SparseTensor& x,
+                            const std::vector<std::int64_t>& row_offsets,
+                            const std::vector<std::uint32_t>& is,
+                            const std::vector<std::uint32_t>& js,
+                            const std::vector<std::uint32_t>& ks) {
+  const std::unordered_set<std::uint32_t> jset(js.begin(), js.end());
+  const std::unordered_set<std::uint32_t> kset(ks.begin(), ks.end());
+  const std::vector<Coord>& entries = x.entries();
+  std::int64_t ones = 0;
+  for (const std::uint32_t i : is) {
+    const std::int64_t begin = row_offsets[i];
+    const std::int64_t end = row_offsets[i + 1];
+    for (std::int64_t e = begin; e < end; ++e) {
+      const Coord& c = entries[static_cast<std::size_t>(e)];
+      if (jset.count(c.j) != 0 && kset.count(c.k) != 0) ++ones;
+    }
+  }
+  return ones;
+}
+
+}  // namespace
+
+Result<WalkNMergeResult> WalkNMerge(const SparseTensor& x,
+                                    const WalkNMergeConfig& config) {
+  DBTF_RETURN_IF_ERROR(config.Validate());
+  Timer wall;
+  const auto expired = [&]() {
+    return config.time_budget_seconds > 0.0 &&
+           wall.ElapsedSeconds() > config.time_budget_seconds;
+  };
+  WalkNMergeResult result;
+  const std::vector<Coord>& entries = x.entries();
+  const auto nnz = static_cast<std::int64_t>(entries.size());
+  if (nnz == 0) {
+    result.a = BitMatrix(x.dim_i(), 0);
+    result.b = BitMatrix(x.dim_j(), 0);
+    result.c = BitMatrix(x.dim_k(), 0);
+    return result;
+  }
+
+  // CSR offsets over mode-1 indices (entries are sorted lexicographically).
+  std::vector<std::int64_t> row_offsets(
+      static_cast<std::size_t>(x.dim_i()) + 1, 0);
+  for (const Coord& c : entries) ++row_offsets[c.i + 1];
+  for (std::size_t i = 1; i < row_offsets.size(); ++i) {
+    row_offsets[i] += row_offsets[i - 1];
+  }
+
+  // Fiber indexes: cells sharing two coordinates are walk neighbors.
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> fiber_jk;
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> fiber_ik;
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> fiber_ij;
+  fiber_jk.reserve(static_cast<std::size_t>(nnz));
+  fiber_ik.reserve(static_cast<std::size_t>(nnz));
+  fiber_ij.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t e = 0; e < nnz; ++e) {
+    const Coord& c = entries[static_cast<std::size_t>(e)];
+    fiber_jk[PackPair(c.j, c.k)].push_back(e);
+    fiber_ik[PackPair(c.i, c.k)].push_back(e);
+    fiber_ij[PackPair(c.i, c.j)].push_back(e);
+  }
+
+  Rng rng(config.seed);
+  const std::int64_t num_walks =
+      config.num_walks > 0 ? config.num_walks
+                           : std::max<std::int64_t>(16, nnz / 2);
+
+  // Random-walk phase: each walk yields a small candidate block.
+  std::vector<TensorBlock> candidates;
+  std::vector<std::uint32_t> seen_i;
+  std::vector<std::uint32_t> seen_j;
+  std::vector<std::uint32_t> seen_k;
+  for (std::int64_t w = 0; w < num_walks; ++w) {
+    if ((w & 1023) == 0 && expired()) {
+      return Status::DeadlineExceeded("Walk'n'Merge: walk phase");
+    }
+    std::int64_t cell = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(nnz)));
+    seen_i.clear();
+    seen_j.clear();
+    seen_k.clear();
+    for (int step = 0; step <= config.walk_length; ++step) {
+      const Coord& c = entries[static_cast<std::size_t>(cell)];
+      seen_i.push_back(c.i);
+      seen_j.push_back(c.j);
+      seen_k.push_back(c.k);
+      // Move along a random fiber through the current cell.
+      const std::uint64_t which = rng.NextBounded(3);
+      const std::vector<std::int64_t>* fiber = nullptr;
+      if (which == 0) {
+        fiber = &fiber_jk.find(PackPair(c.j, c.k))->second;
+      } else if (which == 1) {
+        fiber = &fiber_ik.find(PackPair(c.i, c.k))->second;
+      } else {
+        fiber = &fiber_ij.find(PackPair(c.i, c.j))->second;
+      }
+      cell = (*fiber)[static_cast<std::size_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(fiber->size())))];
+    }
+    const auto dedup = [](std::vector<std::uint32_t>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    dedup(&seen_i);
+    dedup(&seen_j);
+    dedup(&seen_k);
+    TensorBlock block;
+    block.is = seen_i;
+    block.js = seen_j;
+    block.ks = seen_k;
+    block.ones = CountOnesInBox(x, row_offsets, block.is, block.js, block.ks);
+    if (block.DensityOf() >= config.density_threshold && block.ones >= 2) {
+      candidates.push_back(std::move(block));
+    }
+  }
+
+  // Merge phase: greedily fold candidates into accepted blocks whenever the
+  // merged box stays dense.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TensorBlock& a, const TensorBlock& b) {
+              return a.ones > b.ones;
+            });
+  const std::int64_t max_candidates = config.max_candidates > 0
+                                          ? config.max_candidates
+                                          : 16 * config.max_blocks;
+  if (static_cast<std::int64_t>(candidates.size()) > max_candidates) {
+    candidates.resize(static_cast<std::size_t>(max_candidates));
+  }
+  std::vector<TensorBlock> accepted;
+  for (TensorBlock& cand : candidates) {
+    if (expired()) {
+      return Status::DeadlineExceeded("Walk'n'Merge: merge phase");
+    }
+    bool merged = false;
+    for (TensorBlock& block : accepted) {
+      TensorBlock trial;
+      trial.is = UnionSorted(block.is, cand.is);
+      trial.js = UnionSorted(block.js, cand.js);
+      trial.ks = UnionSorted(block.ks, cand.ks);
+      trial.ones = CountOnesInBox(x, row_offsets, trial.is, trial.js,
+                                  trial.ks);
+      if (trial.DensityOf() >= config.density_threshold) {
+        block = std::move(trial);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged &&
+        static_cast<std::int64_t>(accepted.size()) < config.max_blocks) {
+      accepted.push_back(std::move(cand));
+    }
+  }
+
+  // Drop blocks that never grew to the minimum volume.
+  accepted.erase(std::remove_if(accepted.begin(), accepted.end(),
+                                [&](const TensorBlock& b) {
+                                  return b.Volume() < config.min_block_volume;
+                                }),
+                 accepted.end());
+
+  // Rank truncation: keep the blocks covering the most non-zeros.
+  std::sort(accepted.begin(), accepted.end(),
+            [](const TensorBlock& a, const TensorBlock& b) {
+              return a.ones > b.ones;
+            });
+  if (config.rank > 0 &&
+      static_cast<std::int64_t>(accepted.size()) > config.rank) {
+    accepted.resize(static_cast<std::size_t>(config.rank));
+  }
+
+  // Emit blocks as rank-1 indicator factors.
+  const auto num_blocks = static_cast<std::int64_t>(accepted.size());
+  result.a = BitMatrix(x.dim_i(), num_blocks);
+  result.b = BitMatrix(x.dim_j(), num_blocks);
+  result.c = BitMatrix(x.dim_k(), num_blocks);
+  for (std::int64_t r = 0; r < num_blocks; ++r) {
+    const TensorBlock& block = accepted[static_cast<std::size_t>(r)];
+    for (const std::uint32_t i : block.is) result.a.Set(i, r, true);
+    for (const std::uint32_t j : block.js) result.b.Set(j, r, true);
+    for (const std::uint32_t k : block.ks) result.c.Set(k, r, true);
+  }
+
+  // Reconstruction error: the union of the block boxes against X.
+  std::unordered_set<std::uint64_t> recon;
+  std::int64_t overlap = 0;
+  for (const TensorBlock& block : accepted) {
+    if (expired()) {
+      return Status::DeadlineExceeded("Walk'n'Merge: error computation");
+    }
+    for (const std::uint32_t i : block.is) {
+      for (const std::uint32_t j : block.js) {
+        for (const std::uint32_t k : block.ks) {
+          if (recon.insert(PackCoord(Coord{i, j, k})).second &&
+              x.Contains(i, j, k)) {
+            ++overlap;
+          }
+        }
+      }
+    }
+  }
+  result.final_error =
+      static_cast<std::int64_t>(recon.size()) + nnz - 2 * overlap;
+  result.blocks = std::move(accepted);
+  result.num_blocks = num_blocks;
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,91 @@
+#ifndef DBTF_WALKNMERGE_WALK_N_MERGE_H_
+#define DBTF_WALKNMERGE_WALK_N_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace dbtf {
+
+/// Parameters of the Walk'n'Merge baseline (Erdos & Miettinen, "Walk 'n'
+/// Merge: A Scalable Algorithm for Boolean Tensor Factorization").
+struct WalkNMergeConfig {
+  /// Minimum density for a candidate or merged block; the paper sets the
+  /// merging threshold t = 1 - n_d (n_d = destructive noise level).
+  double density_threshold = 0.8;
+
+  /// Length of each random walk (paper default: 5).
+  int walk_length = 5;
+
+  /// Number of random walks; 0 derives one walk per two non-zeros.
+  std::int64_t num_walks = 0;
+
+  /// Minimum block volume |I|*|J|*|K| (paper default: 4x4x4 = 64). Smaller
+  /// blocks found by walks survive only if merging grows them past this.
+  std::int64_t min_block_volume = 64;
+
+  /// Maximum number of blocks retained after merging.
+  std::int64_t max_blocks = 128;
+
+  /// Maximum number of walk candidates entering the merge phase (the merge
+  /// is quadratic in this); 0 derives 16 * max_blocks. The densest
+  /// candidates are kept.
+  std::int64_t max_candidates = 0;
+
+  /// When > 0, the output factors are truncated to the `rank` blocks that
+  /// cover the most tensor non-zeros (for comparisons at a fixed rank).
+  std::int64_t rank = 0;
+
+  std::uint64_t seed = 0;
+
+  /// Cooperative wall-clock budget in seconds; 0 means unlimited. When the
+  /// budget expires mid-run the call returns DeadlineExceeded (the paper's
+  /// O.O.T. outcome).
+  double time_budget_seconds = 0.0;
+
+  Status Validate() const;
+};
+
+/// One dense block: index sets along the three modes.
+struct TensorBlock {
+  std::vector<std::uint32_t> is;
+  std::vector<std::uint32_t> js;
+  std::vector<std::uint32_t> ks;
+  std::int64_t ones = 0;  ///< tensor non-zeros inside the block
+
+  std::int64_t Volume() const {
+    return static_cast<std::int64_t>(is.size()) *
+           static_cast<std::int64_t>(js.size()) *
+           static_cast<std::int64_t>(ks.size());
+  }
+  double DensityOf() const {
+    const std::int64_t v = Volume();
+    return v == 0 ? 0.0
+                  : static_cast<double>(ones) / static_cast<double>(v);
+  }
+};
+
+/// Result of a Walk'n'Merge run.
+struct WalkNMergeResult {
+  BitMatrix a;  ///< I x R' indicator factors (R' = number of kept blocks)
+  BitMatrix b;
+  BitMatrix c;
+  std::vector<TensorBlock> blocks;  ///< all retained blocks
+  std::int64_t num_blocks = 0;
+  std::int64_t final_error = 0;  ///< |X xor union of block boxes|
+  double wall_seconds = 0.0;
+};
+
+/// Finds dense rank-1 blocks of a binary tensor via random walks on its
+/// non-zero graph (cells adjacent when they share two coordinates), merges
+/// overlapping blocks while density stays above the threshold, and emits
+/// each block as a rank-1 component (indicator vectors of its index sets).
+Result<WalkNMergeResult> WalkNMerge(const SparseTensor& x,
+                                    const WalkNMergeConfig& config);
+
+}  // namespace dbtf
+
+#endif  // DBTF_WALKNMERGE_WALK_N_MERGE_H_

@@ -1,0 +1,163 @@
+#include "asso/asso.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tensor/boolean_ops.h"
+
+namespace dbtf {
+namespace {
+
+TEST(AssoConfig, Validation) {
+  AssoConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.rank = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AssoConfig{};
+  config.rank = 65;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AssoConfig{};
+  config.threshold = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AssoConfig{};
+  config.threshold = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AssoConfig{};
+  config.weight_plus = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AssoConfig{};
+  config.max_candidates = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Asso, RejectsEmptyMatrix) {
+  AssoConfig config;
+  EXPECT_FALSE(AssoFactorize(BitMatrix(0, 4), config).ok());
+  EXPECT_FALSE(AssoFactorize(BitMatrix(4, 0), config).ok());
+}
+
+TEST(Asso, ZeroMatrixIsExact) {
+  AssoConfig config;
+  config.rank = 3;
+  auto r = AssoFactorize(BitMatrix(6, 8), config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->error, 0);
+  EXPECT_EQ(r->u.rows(), 6);
+  EXPECT_EQ(r->s.rows(), 8);
+  EXPECT_EQ(r->u.cols(), 3);
+}
+
+TEST(Asso, RecoversDisjointBlockStructure) {
+  // Two disjoint combinatorial blocks: rows 0-3 x cols 0-4, rows 4-7 x 5-9.
+  BitMatrix x(8, 10);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) x.Set(i, j, true);
+  }
+  for (int i = 4; i < 8; ++i) {
+    for (int j = 5; j < 10; ++j) x.Set(i, j, true);
+  }
+  AssoConfig config;
+  config.rank = 2;
+  auto r = AssoFactorize(x, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->error, 0) << "rank-2 block matrix must factor exactly";
+  auto recon = BooleanProduct(r->u, r->s.Transpose());
+  ASSERT_TRUE(recon.ok());
+  EXPECT_EQ(*recon, x);
+}
+
+TEST(Asso, ErrorMatchesReportedReconstruction) {
+  Rng rng(5);
+  const BitMatrix x = BitMatrix::Random(20, 30, 0.2, &rng);
+  AssoConfig config;
+  config.rank = 5;
+  auto r = AssoFactorize(x, config);
+  ASSERT_TRUE(r.ok());
+  auto recon = BooleanProduct(r->u, r->s.Transpose());
+  ASSERT_TRUE(recon.ok());
+  EXPECT_EQ(recon->HammingDistance(x), r->error);
+}
+
+TEST(Asso, ErrorNeverExceedsNnz) {
+  // The greedy only commits candidates with positive gain, so the result is
+  // never worse than the empty factorization.
+  Rng rng(6);
+  const BitMatrix x = BitMatrix::Random(25, 25, 0.15, &rng);
+  AssoConfig config;
+  config.rank = 6;
+  auto r = AssoFactorize(x, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->error, x.NumNonZeros());
+}
+
+TEST(Asso, HigherRankNeverHurts) {
+  Rng rng(7);
+  const BitMatrix x = BitMatrix::Random(20, 20, 0.25, &rng);
+  AssoConfig config;
+  config.rank = 2;
+  auto low = AssoFactorize(x, config);
+  config.rank = 8;
+  auto high = AssoFactorize(x, config);
+  ASSERT_TRUE(low.ok() && high.ok());
+  EXPECT_LE(high->error, low->error);
+}
+
+TEST(Asso, MemoryGateReturnsResourceExhausted) {
+  Rng rng(8);
+  const BitMatrix x = BitMatrix::Random(10, 100, 0.3, &rng);
+  AssoConfig config;
+  config.rank = 2;
+  config.max_memory_bytes = 8;  // Absurdly small.
+  auto r = AssoFactorize(x, config);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Asso, CandidateSamplingIsDeterministic) {
+  Rng rng(9);
+  const BitMatrix x = BitMatrix::Random(16, 64, 0.2, &rng);
+  AssoConfig config;
+  config.rank = 4;
+  config.max_candidates = 8;
+  config.seed = 3;
+  auto a = AssoFactorize(x, config);
+  auto b = AssoFactorize(x, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->u, b->u);
+  EXPECT_EQ(a->s, b->s);
+  EXPECT_EQ(a->error, b->error);
+}
+
+TEST(Asso, ThresholdOneKeepsOnlyPerfectAssociations) {
+  // With tau = 1, candidate vectors only include columns fully implied by
+  // the seed column.
+  BitMatrix x(4, 3);
+  // col0 = {0,1}, col1 = {0,1,2}, col2 = {3}.
+  x.Set(0, 0, true);
+  x.Set(1, 0, true);
+  x.Set(0, 1, true);
+  x.Set(1, 1, true);
+  x.Set(2, 1, true);
+  x.Set(3, 2, true);
+  AssoConfig config;
+  config.rank = 3;
+  config.threshold = 1.0;
+  auto r = AssoFactorize(x, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->error, 0);
+}
+
+
+TEST(Asso, TimeBudgetReturnsDeadlineExceeded) {
+  Rng rng(10);
+  const BitMatrix x = BitMatrix::Random(64, 256, 0.2, &rng);
+  AssoConfig config;
+  config.rank = 8;
+  config.time_budget_seconds = 1e-7;
+  auto r = AssoFactorize(x, config);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,133 @@
+#include "bcpals/bcp_als.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "generator/generator.h"
+#include "tensor/boolean_ops.h"
+
+namespace dbtf {
+namespace {
+
+PlantedTensor Planted(std::uint64_t seed, std::int64_t dim = 20,
+                      std::int64_t rank = 3) {
+  PlantedSpec spec;
+  spec.dim_i = dim;
+  spec.dim_j = dim;
+  spec.dim_k = dim;
+  spec.rank = rank;
+  spec.factor_density = 0.2;
+  spec.seed = seed;
+  return GeneratePlanted(spec).value();
+}
+
+TEST(BcpAlsConfig, Validation) {
+  BcpAlsConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.rank = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BcpAlsConfig{};
+  config.rank = 65;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BcpAlsConfig{};
+  config.max_iterations = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BcpAlsConfig{};
+  config.asso.threshold = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(BcpAls, RejectsDegenerateTensor) {
+  auto t = SparseTensor::Create(0, 2, 2);
+  ASSERT_TRUE(t.ok());
+  BcpAlsConfig config;
+  EXPECT_FALSE(BcpAls(*t, config).ok());
+}
+
+TEST(BcpAls, FinalErrorMatchesEvaluator) {
+  const PlantedTensor p = Planted(1);
+  BcpAlsConfig config;
+  config.rank = 3;
+  config.max_iterations = 5;
+  auto r = BcpAls(p.tensor, config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto err = ReconstructionError(p.tensor, r->a, r->b, r->c);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(*err, r->final_error);
+}
+
+TEST(BcpAls, ErrorTraceMonotoneNonIncreasing) {
+  const PlantedTensor p = Planted(2, 24, 4);
+  BcpAlsConfig config;
+  config.rank = 4;
+  config.max_iterations = 8;
+  auto r = BcpAls(p.tensor, config);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t t = 1; t < r->iteration_errors.size(); ++t) {
+    EXPECT_LE(r->iteration_errors[t], r->iteration_errors[t - 1]);
+  }
+}
+
+TEST(BcpAls, AssoInitRecoversCleanPlantedTensorWell) {
+  const PlantedTensor p = Planted(3, 24, 3);
+  BcpAlsConfig config;
+  config.rank = 3;
+  config.max_iterations = 10;
+  auto r = BcpAls(p.tensor, config);
+  ASSERT_TRUE(r.ok());
+  auto rel = RelativeError(p.tensor, r->a, r->b, r->c);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_LT(*rel, 0.5);
+}
+
+TEST(BcpAls, MemoryGateReproducesOom) {
+  const PlantedTensor p = Planted(4);
+  BcpAlsConfig config;
+  config.rank = 3;
+  config.max_memory_bytes = 128;  // A single machine with tiny memory.
+  auto r = BcpAls(p.tensor, config);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BcpAls, ConvergesAndStopsEarly) {
+  const PlantedTensor p = Planted(5);
+  BcpAlsConfig config;
+  config.rank = 3;
+  config.max_iterations = 30;
+  auto r = BcpAls(p.tensor, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_LT(r->iterations_run, 30);
+}
+
+TEST(BcpAls, ReportsWallTime) {
+  const PlantedTensor p = Planted(6);
+  BcpAlsConfig config;
+  config.rank = 2;
+  config.max_iterations = 2;
+  auto r = BcpAls(p.tensor, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->wall_seconds, 0.0);
+}
+
+
+TEST(BcpAls, TimeBudgetReturnsDeadlineExceeded) {
+  const PlantedTensor p = Planted(7, 24, 4);
+  BcpAlsConfig config;
+  config.rank = 4;
+  config.max_iterations = 50;
+  config.time_budget_seconds = 1e-6;
+  auto r = BcpAls(p.tensor, config);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BcpAls, NegativeTimeBudgetRejected) {
+  BcpAlsConfig config;
+  config.time_budget_seconds = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,177 @@
+#include "tensor/bit_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+
+namespace dbtf {
+namespace {
+
+TEST(BitMatrix, DefaultIsEmpty) {
+  BitMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.NumNonZeros(), 0);
+}
+
+TEST(BitMatrix, StartsAllZero) {
+  BitMatrix m(5, 70);
+  EXPECT_EQ(m.NumNonZeros(), 0);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    for (std::int64_t c = 0; c < 70; ++c) EXPECT_FALSE(m.Get(r, c));
+  }
+}
+
+TEST(BitMatrix, SetAndGetAcrossWordBoundary) {
+  BitMatrix m(2, 130);
+  m.Set(0, 0, true);
+  m.Set(0, 63, true);
+  m.Set(0, 64, true);
+  m.Set(1, 129, true);
+  EXPECT_TRUE(m.Get(0, 0));
+  EXPECT_TRUE(m.Get(0, 63));
+  EXPECT_TRUE(m.Get(0, 64));
+  EXPECT_TRUE(m.Get(1, 129));
+  EXPECT_FALSE(m.Get(1, 128));
+  m.Set(0, 63, false);
+  EXPECT_FALSE(m.Get(0, 63));
+  EXPECT_EQ(m.NumNonZeros(), 3);
+}
+
+TEST(BitMatrix, WordsPerRow) {
+  EXPECT_EQ(BitMatrix(1, 1).words_per_row(), 1);
+  EXPECT_EQ(BitMatrix(1, 64).words_per_row(), 1);
+  EXPECT_EQ(BitMatrix(1, 65).words_per_row(), 2);
+  EXPECT_EQ(BitMatrix(1, 0).words_per_row(), 0);
+}
+
+TEST(BitMatrix, CreateRejectsNegativeShape) {
+  EXPECT_FALSE(BitMatrix::Create(-1, 3).ok());
+  EXPECT_FALSE(BitMatrix::Create(3, -1).ok());
+  EXPECT_TRUE(BitMatrix::Create(0, 0).ok());
+}
+
+TEST(BitMatrix, FromStrings) {
+  auto m = BitMatrix::FromStrings({"0101", "1110"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 2);
+  EXPECT_EQ(m->cols(), 4);
+  EXPECT_TRUE(m->Get(0, 1));
+  EXPECT_FALSE(m->Get(0, 0));
+  EXPECT_TRUE(m->Get(1, 0));
+  EXPECT_EQ(m->NumNonZeros(), 5);
+}
+
+TEST(BitMatrix, FromStringsRejectsRaggedAndBadChars) {
+  EXPECT_FALSE(BitMatrix::FromStrings({"01", "011"}).ok());
+  EXPECT_FALSE(BitMatrix::FromStrings({"0a"}).ok());
+}
+
+TEST(BitMatrix, ToStringRoundTrip) {
+  auto m = BitMatrix::FromStrings({"010", "111"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->ToString(), "010\n111");
+}
+
+TEST(BitMatrix, RowMask64) {
+  auto m = BitMatrix::FromStrings({"1010"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->RowMask64(0), 0b0101u) << "bit c of the mask is column c";
+}
+
+TEST(BitMatrix, SetRowMask64TruncatesToColumns) {
+  BitMatrix m(1, 4);
+  m.SetRowMask64(0, 0xFFFF);
+  EXPECT_EQ(m.RowMask64(0), 0b1111u);
+  EXPECT_EQ(m.NumNonZeros(), 4);
+}
+
+TEST(BitMatrix, RowNnz) {
+  auto m = BitMatrix::FromStrings({"0110", "0000", "1111"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->RowNnz(0), 2);
+  EXPECT_EQ(m->RowNnz(1), 0);
+  EXPECT_EQ(m->RowNnz(2), 4);
+}
+
+TEST(BitMatrix, Clear) {
+  BitMatrix m(3, 80);
+  m.Set(2, 79, true);
+  m.Clear();
+  EXPECT_EQ(m.NumNonZeros(), 0);
+}
+
+TEST(BitMatrix, TransposeSmall) {
+  auto m = BitMatrix::FromStrings({"01", "10", "11"});
+  ASSERT_TRUE(m.ok());
+  const BitMatrix t = m->Transpose();
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.ToString(), "011\n101");
+}
+
+TEST(BitMatrix, HammingDistance) {
+  auto a = BitMatrix::FromStrings({"0101"});
+  auto b = BitMatrix::FromStrings({"0011"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->HammingDistance(*b), 2);
+  EXPECT_EQ(a->HammingDistance(*a), 0);
+}
+
+TEST(BitMatrix, Equality) {
+  auto a = BitMatrix::FromStrings({"01"});
+  auto b = BitMatrix::FromStrings({"01"});
+  auto c = BitMatrix::FromStrings({"11"});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+  EXPECT_NE(*a, BitMatrix(1, 3));
+}
+
+TEST(BitMatrix, RandomDensityApproximate) {
+  Rng rng(5);
+  const BitMatrix m = BitMatrix::Random(100, 100, 0.25, &rng);
+  const double density =
+      static_cast<double>(m.NumNonZeros()) / (100.0 * 100.0);
+  EXPECT_NEAR(density, 0.25, 0.05);
+}
+
+TEST(BitMatrix, RandomExtremeDensities) {
+  Rng rng(5);
+  EXPECT_EQ(BitMatrix::Random(10, 10, 0.0, &rng).NumNonZeros(), 0);
+  EXPECT_EQ(BitMatrix::Random(10, 10, 1.0, &rng).NumNonZeros(), 100);
+}
+
+/// Property: transpose is an involution and preserves nnz, for a sweep of
+/// shapes crossing word boundaries.
+class TransposeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TransposeProperty, InvolutionAndNnz) {
+  const auto [rows, cols, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const BitMatrix m = BitMatrix::Random(rows, cols, 0.3, &rng);
+  const BitMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), cols);
+  EXPECT_EQ(t.cols(), rows);
+  EXPECT_EQ(t.NumNonZeros(), m.NumNonZeros());
+  EXPECT_EQ(t.Transpose(), m);
+  for (std::int64_t r = 0; r < std::min<std::int64_t>(rows, 8); ++r) {
+    for (std::int64_t c = 0; c < std::min<std::int64_t>(cols, 8); ++c) {
+      EXPECT_EQ(m.Get(r, c), t.Get(c, r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeProperty,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 64, 2),
+                      std::make_tuple(64, 3, 3), std::make_tuple(65, 65, 4),
+                      std::make_tuple(10, 128, 5), std::make_tuple(128, 10, 6),
+                      std::make_tuple(200, 130, 7),
+                      std::make_tuple(63, 129, 8)));
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,106 @@
+#include "common/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dbtf {
+namespace {
+
+TEST(BitOps, WordsForBits) {
+  EXPECT_EQ(WordsForBits(0), 0u);
+  EXPECT_EQ(WordsForBits(1), 1u);
+  EXPECT_EQ(WordsForBits(64), 1u);
+  EXPECT_EQ(WordsForBits(65), 2u);
+  EXPECT_EQ(WordsForBits(128), 2u);
+  EXPECT_EQ(WordsForBits(129), 3u);
+}
+
+TEST(BitOps, WordIndexAndMask) {
+  EXPECT_EQ(WordIndex(0), 0u);
+  EXPECT_EQ(WordIndex(63), 0u);
+  EXPECT_EQ(WordIndex(64), 1u);
+  EXPECT_EQ(BitMask(0), 1u);
+  EXPECT_EQ(BitMask(63), BitWord{1} << 63);
+  EXPECT_EQ(BitMask(64), 1u) << "mask is relative to the word";
+}
+
+TEST(BitOps, LowBitsMask) {
+  EXPECT_EQ(LowBitsMask(0), 0u);
+  EXPECT_EQ(LowBitsMask(1), 1u);
+  EXPECT_EQ(LowBitsMask(8), 0xFFu);
+  EXPECT_EQ(LowBitsMask(64), ~BitWord{0});
+  EXPECT_EQ(LowBitsMask(100), ~BitWord{0}) << "clamped at word width";
+}
+
+TEST(BitOps, PopCountWord) {
+  EXPECT_EQ(PopCount(BitWord{0}), 0);
+  EXPECT_EQ(PopCount(~BitWord{0}), 64);
+  EXPECT_EQ(PopCount(BitWord{0b1011}), 3);
+}
+
+TEST(BitOps, PopCountSpan) {
+  const std::vector<BitWord> words = {0b1, 0b11, 0b111};
+  EXPECT_EQ(PopCount(words.data(), words.size()), 6);
+  EXPECT_EQ(PopCount(words.data(), 0), 0);
+}
+
+TEST(BitOps, XorPopCount) {
+  const std::vector<BitWord> a = {0b1010, 0xFF};
+  const std::vector<BitWord> b = {0b0110, 0xF0};
+  EXPECT_EQ(XorPopCount(a.data(), b.data(), 2), 2 + 4);
+  EXPECT_EQ(XorPopCount(a.data(), a.data(), 2), 0);
+}
+
+TEST(BitOps, OrInto) {
+  std::vector<BitWord> dst = {0b0011, 0};
+  const std::vector<BitWord> src = {0b0101, 0b1000};
+  OrInto(dst.data(), src.data(), 2);
+  EXPECT_EQ(dst[0], BitWord{0b0111});
+  EXPECT_EQ(dst[1], BitWord{0b1000});
+}
+
+TEST(BitOps, OrOut) {
+  const std::vector<BitWord> a = {0b0011};
+  const std::vector<BitWord> b = {0b0101};
+  std::vector<BitWord> dst = {0};
+  OrOut(dst.data(), a.data(), b.data(), 1);
+  EXPECT_EQ(dst[0], BitWord{0b0111});
+}
+
+TEST(BitOps, AllZero) {
+  const std::vector<BitWord> zeros = {0, 0, 0};
+  const std::vector<BitWord> mixed = {0, 1, 0};
+  EXPECT_TRUE(AllZero(zeros.data(), zeros.size()));
+  EXPECT_FALSE(AllZero(mixed.data(), mixed.size()));
+  EXPECT_TRUE(AllZero(mixed.data(), 1)) << "prefix is zero";
+}
+
+/// Property: popcount(a xor b) = popcount(a) + popcount(b) - 2*popcount(a&b).
+class XorPopCountProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XorPopCountProperty, MatchesInclusionExclusion) {
+  const std::uint64_t seed = GetParam();
+  std::uint64_t s = seed;
+  const auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  std::vector<BitWord> a(8);
+  std::vector<BitWord> b(8);
+  for (auto& w : a) w = next();
+  for (auto& w : b) w = next();
+  std::int64_t and_pc = 0;
+  for (std::size_t i = 0; i < 8; ++i) and_pc += PopCount(a[i] & b[i]);
+  EXPECT_EQ(XorPopCount(a.data(), b.data(), 8),
+            PopCount(a.data(), 8) + PopCount(b.data(), 8) - 2 * and_pc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XorPopCountProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,251 @@
+#include "tensor/boolean_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "tensor/unfold.h"
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+TEST(BooleanProduct, MatchesNaiveOnRandomInputs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitMatrix a = BitMatrix::Random(13, 7, 0.3, &rng);
+    const BitMatrix b = BitMatrix::Random(7, 70, 0.3, &rng);
+    auto fast = BooleanProduct(a, b);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, testing::NaiveBooleanProduct(a, b));
+  }
+}
+
+TEST(BooleanProduct, RejectsDimensionMismatch) {
+  EXPECT_FALSE(BooleanProduct(BitMatrix(2, 3), BitMatrix(4, 2)).ok());
+}
+
+TEST(BooleanProduct, BooleanNotInteger) {
+  // 1+1 = 1: overlapping contributions do not double-count.
+  auto a = BitMatrix::FromStrings({"11"});
+  auto b = BitMatrix::FromStrings({"1", "1"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto p = BooleanProduct(*a, *b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "1");
+}
+
+TEST(BooleanSum, ElementwiseOr) {
+  auto a = BitMatrix::FromStrings({"0101"});
+  auto b = BitMatrix::FromStrings({"0011"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto s = BooleanSum(*a, *b);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "0111");
+  EXPECT_FALSE(BooleanSum(*a, BitMatrix(1, 5)).ok());
+}
+
+TEST(KhatriRao, DefinitionOnSmallInput) {
+  // (A kr B)[(i*J + j), r] = A[i,r] & B[j,r].
+  auto a = BitMatrix::FromStrings({"10", "01"});
+  auto b = BitMatrix::FromStrings({"11", "01", "10"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto kr = KhatriRao(*a, *b);
+  ASSERT_TRUE(kr.ok());
+  EXPECT_EQ(kr->rows(), 6);
+  EXPECT_EQ(kr->cols(), 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      for (std::int64_t r = 0; r < 2; ++r) {
+        EXPECT_EQ(kr->Get(i * 3 + j, r), a->Get(i, r) && b->Get(j, r));
+      }
+    }
+  }
+}
+
+TEST(KhatriRao, RejectsRankMismatch) {
+  EXPECT_FALSE(KhatriRao(BitMatrix(2, 3), BitMatrix(2, 4)).ok());
+}
+
+TEST(Kronecker, Definition) {
+  auto a = BitMatrix::FromStrings({"10", "01"});
+  auto b = BitMatrix::FromStrings({"11"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto kron = Kronecker(*a, *b);
+  ASSERT_TRUE(kron.ok());
+  EXPECT_EQ(kron->rows(), 2);
+  EXPECT_EQ(kron->cols(), 4);
+  EXPECT_EQ(kron->ToString(), "1100\n0011");
+}
+
+TEST(KhatriRao, ColumnsAreKroneckerColumns) {
+  // Column r of A kr B equals a_:r kron b_:r (Equation (3) of the paper).
+  Rng rng(3);
+  const BitMatrix a = BitMatrix::Random(4, 3, 0.5, &rng);
+  const BitMatrix b = BitMatrix::Random(5, 3, 0.5, &rng);
+  auto kr = KhatriRao(a, b);
+  ASSERT_TRUE(kr.ok());
+  for (std::int64_t r = 0; r < 3; ++r) {
+    BitMatrix ac(a.rows(), 1);
+    BitMatrix bc(b.rows(), 1);
+    for (std::int64_t i = 0; i < a.rows(); ++i) ac.Set(i, 0, a.Get(i, r));
+    for (std::int64_t j = 0; j < b.rows(); ++j) bc.Set(j, 0, b.Get(j, r));
+    auto kron = Kronecker(ac, bc);
+    ASSERT_TRUE(kron.ok());
+    for (std::int64_t row = 0; row < kr->rows(); ++row) {
+      EXPECT_EQ(kr->Get(row, r), kron->Get(row, 0));
+    }
+  }
+}
+
+TEST(PointwiseVectorMatrix, KeepsSelectedColumns) {
+  auto b = BitMatrix::FromStrings({"110", "011"});
+  ASSERT_TRUE(b.ok());
+  // Row mask 0b101 keeps columns 0 and 2, zeroes column 1.
+  auto pvm = PointwiseVectorMatrix(0b101, 3, *b);
+  ASSERT_TRUE(pvm.ok());
+  EXPECT_EQ(pvm->ToString(), "100\n001");
+}
+
+TEST(PointwiseVectorMatrix, Validation) {
+  EXPECT_FALSE(PointwiseVectorMatrix(0, 4, BitMatrix(2, 3)).ok());
+  EXPECT_FALSE(PointwiseVectorMatrix(0, 65, BitMatrix(2, 65)).ok());
+}
+
+TEST(ReconstructTensor, SingleRankOne) {
+  auto a = BitMatrix::FromStrings({"1", "0", "1"});
+  auto b = BitMatrix::FromStrings({"1", "1"});
+  auto c = BitMatrix::FromStrings({"0", "1"});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  auto t = ReconstructTensor(*a, *b, *c);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumNonZeros(), 2 * 2 * 1);
+  EXPECT_TRUE(t->Contains(0, 0, 1));
+  EXPECT_TRUE(t->Contains(2, 1, 1));
+  EXPECT_FALSE(t->Contains(1, 0, 1));
+  EXPECT_FALSE(t->Contains(0, 0, 0));
+}
+
+TEST(ReconstructTensor, BooleanSumOfComponents) {
+  Rng rng(9);
+  const BitMatrix a = BitMatrix::Random(6, 3, 0.4, &rng);
+  const BitMatrix b = BitMatrix::Random(7, 3, 0.4, &rng);
+  const BitMatrix c = BitMatrix::Random(5, 3, 0.4, &rng);
+  auto t = ReconstructTensor(a, b, c);
+  ASSERT_TRUE(t.ok());
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 7; ++j) {
+      for (std::int64_t k = 0; k < 5; ++k) {
+        EXPECT_EQ(t->Contains(i, j, k),
+                  testing::NaiveReconCell(a, b, c, i, j, k));
+      }
+    }
+  }
+}
+
+TEST(ReconstructTensor, RejectsRankMismatch) {
+  EXPECT_FALSE(
+      ReconstructTensor(BitMatrix(2, 2), BitMatrix(2, 3), BitMatrix(2, 2))
+          .ok());
+}
+
+/// The matricized CP identity (Equation (12)): X(n) = F o (Mf kr Ms)^T for
+/// a tensor X built from the factors, for each of the three modes.
+class MatricizationIdentity : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(MatricizationIdentity, HoldsForRandomFactors) {
+  const Mode mode = GetParam();
+  Rng rng(11);
+  const BitMatrix a = BitMatrix::Random(9, 4, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(8, 4, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(7, 4, 0.3, &rng);
+  auto x = ReconstructTensor(a, b, c);
+  ASSERT_TRUE(x.ok());
+  auto unfolded = DenseUnfold(*x, mode);
+  ASSERT_TRUE(unfolded.ok());
+
+  const BitMatrix* factor = nullptr;
+  const BitMatrix* mf = nullptr;
+  const BitMatrix* ms = nullptr;
+  switch (mode) {
+    case Mode::kOne:  // X(1) = A o (C kr B)^T
+      factor = &a;
+      mf = &c;
+      ms = &b;
+      break;
+    case Mode::kTwo:  // X(2) = B o (C kr A)^T
+      factor = &b;
+      mf = &c;
+      ms = &a;
+      break;
+    case Mode::kThree:  // X(3) = C o (B kr A)^T
+      factor = &c;
+      mf = &b;
+      ms = &a;
+      break;
+  }
+  auto kr = KhatriRao(*mf, *ms);
+  ASSERT_TRUE(kr.ok());
+  auto product = BooleanProduct(*factor, kr->Transpose());
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(*product, *unfolded);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MatricizationIdentity,
+                         ::testing::Values(Mode::kOne, Mode::kTwo,
+                                           Mode::kThree));
+
+/// ReconstructionError agrees with the brute-force cell sweep on random
+/// factor/tensor pairs of varied shapes.
+class ReconstructionErrorProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReconstructionErrorProperty, MatchesBruteForce) {
+  const auto [rank, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const SparseTensor x = testing::RandomTensor(12, 11, 10, 0.1, seed);
+  const BitMatrix a = BitMatrix::Random(12, rank, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(11, rank, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(10, rank, 0.3, &rng);
+  auto fast = ReconstructionError(x, a, b, c);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*fast, testing::NaiveReconstructionError(x, a, b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksAndSeeds, ReconstructionErrorProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 11),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(ReconstructionError, Validation) {
+  const SparseTensor x = testing::RandomTensor(4, 4, 4, 0.2, 1);
+  EXPECT_FALSE(
+      ReconstructionError(x, BitMatrix(4, 2), BitMatrix(4, 3), BitMatrix(4, 2))
+          .ok());
+  EXPECT_FALSE(
+      ReconstructionError(x, BitMatrix(5, 2), BitMatrix(4, 2), BitMatrix(4, 2))
+          .ok());
+}
+
+TEST(ReconstructionError, ZeroFactorsGiveNnz) {
+  const SparseTensor x = testing::RandomTensor(6, 6, 6, 0.2, 4);
+  auto err =
+      ReconstructionError(x, BitMatrix(6, 2), BitMatrix(6, 2), BitMatrix(6, 2));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(*err, x.NumNonZeros());
+}
+
+TEST(ReconstructionError, ExactFactorsGiveZero) {
+  Rng rng(21);
+  const BitMatrix a = BitMatrix::Random(8, 3, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(8, 3, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(8, 3, 0.3, &rng);
+  auto x = ReconstructTensor(a, b, c);
+  ASSERT_TRUE(x.ok());
+  auto err = ReconstructionError(*x, a, b, c);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(*err, 0);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,205 @@
+#include "dbtf/cache_table.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dbtf {
+namespace {
+
+/// Reference: OR of the ms_t rows selected by key, full width.
+std::vector<BitWord> NaiveSummation(const BitMatrix& ms_t, std::uint64_t key) {
+  std::vector<BitWord> out(static_cast<std::size_t>(ms_t.words_per_row()), 0);
+  for (std::int64_t r = 0; r < ms_t.rows(); ++r) {
+    if ((key >> r) & 1) {
+      OrInto(out.data(), ms_t.RowData(r), out.size());
+    }
+  }
+  return out;
+}
+
+TEST(CacheTable, BuildValidation) {
+  BitMatrix ms_t(4, 16);
+  EXPECT_FALSE(CacheTable::Build(ms_t, 0).ok());
+  EXPECT_FALSE(CacheTable::Build(ms_t, 25).ok());
+  EXPECT_TRUE(CacheTable::Build(ms_t, 1).ok());
+  EXPECT_FALSE(CacheTable::Build(BitMatrix(65, 8), 10).ok());
+}
+
+TEST(CacheTable, GroupCountsMatchLemmaTwo) {
+  Rng rng(1);
+  const BitMatrix ms_t = BitMatrix::Random(18, 32, 0.3, &rng);
+  // R=18, V=10 -> ceil(18/10)=2 groups, sizes 10 and 8 -> 2^10 + 2^8 entries.
+  auto cache = CacheTable::Build(ms_t, 10);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache->num_groups(), 2);
+  EXPECT_EQ(cache->total_entries(), (1 << 10) + (1 << 8));
+  // R <= V -> one table of 2^R.
+  auto single = CacheTable::Build(ms_t, 20);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->num_groups(), 1);
+  EXPECT_EQ(single->total_entries(), 1 << 18);
+}
+
+TEST(CacheTable, MemoryBytesMatchesEntries) {
+  Rng rng(2);
+  const BitMatrix ms_t = BitMatrix::Random(6, 130, 0.3, &rng);
+  auto cache = CacheTable::Build(ms_t, 10);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache->memory_bytes(),
+            cache->total_entries() * ms_t.words_per_row() * 8);
+}
+
+TEST(CacheTable, ZeroKeyIsAllZero) {
+  Rng rng(3);
+  const BitMatrix ms_t = BitMatrix::Random(5, 100, 0.5, &rng);
+  auto cache = CacheTable::Build(ms_t, 15);
+  ASSERT_TRUE(cache.ok());
+  std::vector<BitWord> scratch(
+      static_cast<std::size_t>(ms_t.words_per_row()));
+  const BitWord* row = cache->Lookup(0, 0, ms_t.words_per_row(),
+                                     scratch.data());
+  EXPECT_TRUE(AllZero(row, static_cast<std::size_t>(ms_t.words_per_row())));
+}
+
+/// Property: every key's lookup equals the naive OR, across (rank, V, width)
+/// combinations covering single-group, multi-group, and multi-word rows.
+class CacheLookupProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CacheLookupProperty, AllKeysMatchNaive) {
+  const auto [rank, v, width] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rank * 100 + v));
+  const BitMatrix ms_t = BitMatrix::Random(rank, width, 0.3, &rng);
+  auto cache = CacheTable::Build(ms_t, v);
+  ASSERT_TRUE(cache.ok());
+  const std::int64_t words = ms_t.words_per_row();
+  std::vector<BitWord> scratch(static_cast<std::size_t>(words));
+
+  const std::uint64_t key_space = std::uint64_t{1} << rank;
+  // Exhaustive for small ranks, sampled beyond 2^12 keys.
+  const bool exhaustive = key_space <= 4096;
+  const std::int64_t trials =
+      exhaustive ? static_cast<std::int64_t>(key_space) : 4096;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const std::uint64_t key =
+        exhaustive ? static_cast<std::uint64_t>(t)
+                   : rng.NextBounded(key_space);
+    const BitWord* got = cache->Lookup(key, 0, words, scratch.data());
+    const std::vector<BitWord> want = NaiveSummation(ms_t, key);
+    for (std::int64_t w = 0; w < words; ++w) {
+      ASSERT_EQ(got[w], want[static_cast<std::size_t>(w)])
+          << "key=" << key << " word=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankVWidth, CacheLookupProperty,
+    ::testing::Values(std::make_tuple(1, 15, 10),     // trivial
+                      std::make_tuple(8, 15, 64),     // single group
+                      std::make_tuple(10, 4, 100),    // 3 groups
+                      std::make_tuple(12, 5, 130),    // 3 groups, multiword
+                      std::make_tuple(16, 8, 40),     // 2 groups
+                      std::make_tuple(20, 7, 257),    // 3 groups, wide
+                      std::make_tuple(24, 24, 65)));  // big single group
+
+TEST(CacheTable, WordRangeSlicing) {
+  Rng rng(7);
+  const BitMatrix ms_t = BitMatrix::Random(6, 300, 0.4, &rng);
+  auto cache = CacheTable::Build(ms_t, 15);
+  ASSERT_TRUE(cache.ok());
+  const std::int64_t words = ms_t.words_per_row();
+  std::vector<BitWord> scratch(static_cast<std::size_t>(words));
+  for (std::uint64_t key : {1ull, 17ull, 63ull}) {
+    const std::vector<BitWord> full = NaiveSummation(ms_t, key);
+    for (std::int64_t begin = 0; begin < words; ++begin) {
+      const std::int64_t count = words - begin;
+      const BitWord* got = cache->Lookup(key, begin, count, scratch.data());
+      for (std::int64_t w = 0; w < count; ++w) {
+        ASSERT_EQ(got[w], full[static_cast<std::size_t>(begin + w)]);
+      }
+    }
+  }
+}
+
+TEST(CacheTable, DisabledModeMatchesEnabled) {
+  Rng rng(8);
+  const BitMatrix ms_t = BitMatrix::Random(9, 120, 0.35, &rng);
+  auto enabled = CacheTable::Build(ms_t, 4);
+  auto disabled = CacheTable::Build(ms_t, 4, /*enabled=*/false);
+  ASSERT_TRUE(enabled.ok() && disabled.ok());
+  EXPECT_TRUE(enabled->enabled());
+  EXPECT_FALSE(disabled->enabled());
+  EXPECT_EQ(disabled->total_entries(), 0);
+  EXPECT_EQ(disabled->memory_bytes(), 0);
+  const std::int64_t words = ms_t.words_per_row();
+  std::vector<BitWord> scratch_a(static_cast<std::size_t>(words));
+  std::vector<BitWord> scratch_b(static_cast<std::size_t>(words));
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    const BitWord* a = enabled->Lookup(key, 0, words, scratch_a.data());
+    const BitWord* b = disabled->Lookup(key, 0, words, scratch_b.data());
+    for (std::int64_t w = 0; w < words; ++w) {
+      ASSERT_EQ(a[w], b[w]) << "key=" << key;
+    }
+  }
+}
+
+TEST(CacheTable, SingleGroupLookupIsZeroCopy) {
+  Rng rng(9);
+  const BitMatrix ms_t = BitMatrix::Random(6, 64, 0.5, &rng);
+  auto cache = CacheTable::Build(ms_t, 15);
+  ASSERT_TRUE(cache.ok());
+  std::vector<BitWord> scratch(1, BitWord{0xDEADBEEF});
+  const BitWord* row = cache->Lookup(5, 0, 1, scratch.data());
+  EXPECT_NE(row, scratch.data())
+      << "single-group lookups must point into the table";
+  EXPECT_EQ(scratch[0], BitWord{0xDEADBEEF}) << "scratch untouched";
+}
+
+
+TEST(CacheTable, LazyMaterialization) {
+  Rng rng(11);
+  const BitMatrix ms_t = BitMatrix::Random(12, 128, 0.4, &rng);
+  auto cache = CacheTable::Build(ms_t, 15);
+  ASSERT_TRUE(cache.ok());
+  // Only entry 0 exists up front.
+  EXPECT_EQ(cache->entries_built(), 1);
+  std::vector<BitWord> scratch(static_cast<std::size_t>(ms_t.words_per_row()));
+  // Probing key 0b101 materializes at most its ancestor chain (pop = 2).
+  cache->Lookup(0b101, 0, ms_t.words_per_row(), scratch.data());
+  EXPECT_LE(cache->entries_built(), 3);
+  const std::int64_t after_first = cache->entries_built();
+  // Probing the same key again builds nothing new.
+  cache->Lookup(0b101, 0, ms_t.words_per_row(), scratch.data());
+  EXPECT_EQ(cache->entries_built(), after_first);
+  // Built entries never exceed capacity.
+  EXPECT_LE(cache->entries_built(), cache->total_entries());
+}
+
+TEST(CacheTable, LazyEntriesAreCorrectInAnyProbeOrder) {
+  Rng rng(12);
+  const BitMatrix ms_t = BitMatrix::Random(10, 90, 0.3, &rng);
+  // Probe keys high-to-low so deep chains materialize before shallow ones.
+  auto cache = CacheTable::Build(ms_t, 15);
+  ASSERT_TRUE(cache.ok());
+  const std::int64_t words = ms_t.words_per_row();
+  std::vector<BitWord> scratch(static_cast<std::size_t>(words));
+  for (std::int64_t key = 1023; key >= 0; --key) {
+    const BitWord* got =
+        cache->Lookup(static_cast<std::uint64_t>(key), 0, words,
+                      scratch.data());
+    const std::vector<BitWord> want =
+        NaiveSummation(ms_t, static_cast<std::uint64_t>(key));
+    for (std::int64_t w = 0; w < words; ++w) {
+      ASSERT_EQ(got[w], want[static_cast<std::size_t>(w)]) << "key=" << key;
+    }
+  }
+  EXPECT_EQ(cache->entries_built(), 1024) << "all entries eventually built";
+}
+
+}  // namespace
+}  // namespace dbtf

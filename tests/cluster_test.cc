@@ -1,0 +1,149 @@
+#include "dist/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace dbtf {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.num_threads = 2;
+  return config;
+}
+
+TEST(ClusterConfig, Validation) {
+  ClusterConfig config = SmallConfig();
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_machines = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.num_threads = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.network_bandwidth_bytes_per_second = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.network_latency_seconds = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Cluster, CreateRejectsBadConfig) {
+  ClusterConfig config;
+  config.num_machines = -1;
+  EXPECT_FALSE(Cluster::Create(config).ok());
+}
+
+TEST(Cluster, OwnerIsRoundRobin) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->OwnerOf(0), 0);
+  EXPECT_EQ((*cluster)->OwnerOf(1), 1);
+  EXPECT_EQ((*cluster)->OwnerOf(4), 0);
+  EXPECT_EQ((*cluster)->OwnerOf(7), 3);
+}
+
+TEST(Cluster, RunTasksExecutesAll) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  std::atomic<int> count{0};
+  (*cluster)->RunTasks(37, [&count](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 37);
+}
+
+TEST(Cluster, RunTasksAccumulatesVirtualTime) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->RunTasks(8, [](std::int64_t) {
+    // Burn a little CPU so the thread-CPU clock moves.
+    volatile double x = 1.0;
+    for (int i = 0; i < 200000; ++i) x = x * 1.0000001 + 0.5;
+  });
+  double total = 0.0;
+  for (int m = 0; m < 4; ++m) {
+    total += (*cluster)->MachineComputeSeconds(m);
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_GT((*cluster)->VirtualMakespanSeconds(), 0.0);
+}
+
+TEST(Cluster, ChargeComputeAffectsMakespan) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->ChargeCompute(2, 1.5);
+  (*cluster)->ChargeCompute(1, 0.5);
+  EXPECT_DOUBLE_EQ((*cluster)->MachineComputeSeconds(2), 1.5);
+  EXPECT_DOUBLE_EQ((*cluster)->VirtualMakespanSeconds(), 1.5)
+      << "makespan is the busiest machine";
+}
+
+TEST(Cluster, BroadcastLedgerAndDriverTime) {
+  ClusterConfig config = SmallConfig();
+  config.network_latency_seconds = 0.0;
+  config.network_bandwidth_bytes_per_second = 1000.0;
+  auto cluster = Cluster::Create(config);
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->ChargeBroadcast(500);
+  const CommSnapshot snap = (*cluster)->comm().Snapshot();
+  EXPECT_EQ(snap.broadcast_bytes, 500 * 4) << "4 machines each receive 500B";
+  EXPECT_EQ(snap.broadcast_events, 1);
+  EXPECT_DOUBLE_EQ((*cluster)->DriverSeconds(), 0.5);
+}
+
+TEST(Cluster, CollectLedgerIncludesProcessingCost) {
+  ClusterConfig config = SmallConfig();
+  config.network_latency_seconds = 0.0;
+  config.network_bandwidth_bytes_per_second = 1000.0;
+  config.driver_seconds_per_byte = 0.001;
+  auto cluster = Cluster::Create(config);
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->ChargeCollect(100);
+  EXPECT_EQ((*cluster)->comm().Snapshot().collect_bytes, 100);
+  EXPECT_DOUBLE_EQ((*cluster)->DriverSeconds(), 0.1 + 0.1);
+}
+
+TEST(Cluster, ShuffleSpreadsAcrossMachines) {
+  ClusterConfig config = SmallConfig();
+  config.network_latency_seconds = 0.0;
+  config.network_bandwidth_bytes_per_second = 1000.0;
+  auto cluster = Cluster::Create(config);
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->ChargeShuffle(4000);
+  EXPECT_EQ((*cluster)->comm().Snapshot().shuffle_bytes, 4000);
+  // Each of the 4 machines transfers 1000 bytes in parallel: 1 second each.
+  EXPECT_DOUBLE_EQ((*cluster)->MachineComputeSeconds(0), 1.0);
+  EXPECT_DOUBLE_EQ((*cluster)->VirtualMakespanSeconds(), 1.0);
+}
+
+TEST(Cluster, ResetVirtualTimeKeepsLedger) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->ChargeCompute(0, 2.0);
+  (*cluster)->ChargeCollect(100);
+  (*cluster)->ResetVirtualTime();
+  EXPECT_DOUBLE_EQ((*cluster)->VirtualMakespanSeconds(), 0.0);
+  EXPECT_EQ((*cluster)->comm().Snapshot().collect_bytes, 100)
+      << "the communication ledger is not part of virtual time";
+}
+
+TEST(CommStats, SnapshotAndReset) {
+  CommStats stats;
+  stats.RecordShuffle(10);
+  stats.RecordBroadcast(20);
+  stats.RecordCollect(30);
+  stats.RecordCollect(5);
+  CommSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.shuffle_bytes, 10);
+  EXPECT_EQ(snap.broadcast_bytes, 20);
+  EXPECT_EQ(snap.collect_bytes, 35);
+  EXPECT_EQ(snap.collect_events, 2);
+  EXPECT_EQ(snap.TotalBytes(), 65);
+  EXPECT_FALSE(snap.ToString().empty());
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().TotalBytes(), 0);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,113 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dbtf {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParser, EqualsSyntax) {
+  FlagParser flags = Parse({"--name=value", "--count=42"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  auto count = flags.GetInt64("count", 0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 42);
+}
+
+TEST(FlagParser, SpaceSyntax) {
+  FlagParser flags = Parse({"--name", "value", "--count", "7"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  auto count = flags.GetInt64("count", 0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 7);
+}
+
+TEST(FlagParser, BareBooleanFlag) {
+  FlagParser flags = Parse({"--verbose", "--quiet=false", "--loud=true"});
+  auto verbose = flags.GetBool("verbose", false);
+  auto quiet = flags.GetBool("quiet", true);
+  auto loud = flags.GetBool("loud", false);
+  ASSERT_TRUE(verbose.ok() && quiet.ok() && loud.ok());
+  EXPECT_TRUE(*verbose);
+  EXPECT_FALSE(*quiet);
+  EXPECT_TRUE(*loud);
+}
+
+TEST(FlagParser, BoolRejectsGarbage) {
+  FlagParser flags = Parse({"--flag=banana"});
+  EXPECT_FALSE(flags.GetBool("flag", false).ok());
+}
+
+TEST(FlagParser, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  auto i = flags.GetInt64("missing-int", 9);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, 9);
+  auto d = flags.GetDouble("missing-double", 2.5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 2.5);
+  auto b = flags.GetBool("missing-bool", true);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*b);
+}
+
+TEST(FlagParser, DoubleParsing) {
+  FlagParser flags = Parse({"--rate=0.25", "--bad=xyz"});
+  auto rate = flags.GetDouble("rate", 0.0);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(*rate, 0.25);
+  EXPECT_FALSE(flags.GetDouble("bad", 0.0).ok());
+}
+
+TEST(FlagParser, IntRejectsGarbage) {
+  FlagParser flags = Parse({"--n=12abc"});
+  EXPECT_FALSE(flags.GetInt64("n", 0).ok());
+}
+
+TEST(FlagParser, PositionalArguments) {
+  FlagParser flags = Parse({"command", "--flag=1", "file.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "command");
+  EXPECT_EQ(flags.positional()[1], "file.txt");
+}
+
+TEST(FlagParser, SpaceSyntaxDoesNotEatNextFlag) {
+  FlagParser flags = Parse({"--a", "--b=2"});
+  auto a = flags.GetBool("a", false);
+  auto b = flags.GetInt64("b", 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a);
+  EXPECT_EQ(*b, 2);
+}
+
+TEST(FlagParser, FinishCatchesUnknownFlags) {
+  FlagParser flags = Parse({"--known=1", "--typo=2"});
+  auto known = flags.GetInt64("known", 0);
+  ASSERT_TRUE(known.ok());
+  const Status status = flags.Finish();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("typo"), std::string::npos);
+}
+
+TEST(FlagParser, FinishPassesWhenAllConsumed) {
+  FlagParser flags = Parse({"--a=1", "--b=2"});
+  (void)flags.GetInt64("a", 0);
+  (void)flags.GetInt64("b", 0);
+  EXPECT_TRUE(flags.Finish().ok());
+}
+
+TEST(FlagParser, HasReportsPresence) {
+  FlagParser flags = Parse({"--present=x"});
+  EXPECT_TRUE(flags.Has("present"));
+  EXPECT_FALSE(flags.Has("absent"));
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,178 @@
+#include "generator/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/boolean_ops.h"
+
+namespace dbtf {
+namespace {
+
+TEST(UniformRandomTensor, HitsTargetDensity) {
+  auto t = UniformRandomTensor(32, 32, 32, 0.05, 1);
+  ASSERT_TRUE(t.ok());
+  const auto expected = static_cast<std::int64_t>(32 * 32 * 32 * 0.05 + 0.5);
+  EXPECT_EQ(t->NumNonZeros(), expected) << "exact-count sampling";
+  EXPECT_EQ(t->dim_i(), 32);
+}
+
+TEST(UniformRandomTensor, DeterministicBySeed) {
+  auto a = UniformRandomTensor(16, 16, 16, 0.1, 7);
+  auto b = UniformRandomTensor(16, 16, 16, 0.1, 7);
+  auto c = UniformRandomTensor(16, 16, 16, 0.1, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(UniformRandomTensor, EntriesAreDeduplicated) {
+  auto t = UniformRandomTensor(8, 8, 8, 0.5, 3);
+  ASSERT_TRUE(t.ok());
+  SparseTensor copy = *t;
+  copy.SortAndDedup();
+  EXPECT_EQ(copy.NumNonZeros(), t->NumNonZeros());
+}
+
+TEST(UniformRandomTensor, Validation) {
+  EXPECT_FALSE(UniformRandomTensor(8, 8, 8, -0.1, 1).ok());
+  EXPECT_FALSE(UniformRandomTensor(8, 8, 8, 1.1, 1).ok());
+  EXPECT_FALSE(
+      UniformRandomTensor(std::int64_t{1} << 22, 8, 8, 0.1, 1).ok());
+}
+
+TEST(UniformRandomTensor, ZeroDensityGivesEmpty) {
+  auto t = UniformRandomTensor(8, 8, 8, 0.0, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumNonZeros(), 0);
+}
+
+TEST(GeneratePlanted, NoiseFreeTensorMatchesFactors) {
+  PlantedSpec spec;
+  spec.dim_i = 20;
+  spec.dim_j = 22;
+  spec.dim_k = 24;
+  spec.rank = 5;
+  spec.factor_density = 0.2;
+  spec.seed = 11;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto recon = ReconstructTensor(p->a, p->b, p->c);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_EQ(p->noise_free, *recon);
+  EXPECT_EQ(p->tensor, p->noise_free) << "no noise requested";
+  EXPECT_EQ(p->a.rows(), 20);
+  EXPECT_EQ(p->b.rows(), 22);
+  EXPECT_EQ(p->c.rows(), 24);
+  EXPECT_EQ(p->a.cols(), 5);
+}
+
+TEST(GeneratePlanted, NoEmptyFactorColumns) {
+  PlantedSpec spec;
+  spec.dim_i = 30;
+  spec.dim_j = 30;
+  spec.dim_k = 30;
+  spec.rank = 8;
+  spec.factor_density = 0.01;  // So sparse that empty columns are likely.
+  spec.seed = 2;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  for (const BitMatrix* m : {&p->a, &p->b, &p->c}) {
+    for (std::int64_t r = 0; r < spec.rank; ++r) {
+      std::int64_t count = 0;
+      for (std::int64_t row = 0; row < m->rows(); ++row) {
+        if (m->Get(row, r)) ++count;
+      }
+      EXPECT_GE(count, 1) << "column " << r << " must be non-empty";
+    }
+  }
+}
+
+TEST(GeneratePlanted, AdditiveNoiseAddsOnes) {
+  PlantedSpec spec;
+  spec.dim_i = 24;
+  spec.dim_j = 24;
+  spec.dim_k = 24;
+  spec.rank = 4;
+  spec.factor_density = 0.15;
+  spec.additive_noise = 0.10;
+  spec.seed = 4;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  const std::int64_t base = p->noise_free.NumNonZeros();
+  const auto expected_extra = static_cast<std::int64_t>(base * 0.10 + 0.5);
+  EXPECT_EQ(p->tensor.NumNonZeros(), base + expected_extra);
+}
+
+TEST(GeneratePlanted, DestructiveNoiseRemovesOnes) {
+  PlantedSpec spec;
+  spec.dim_i = 24;
+  spec.dim_j = 24;
+  spec.dim_k = 24;
+  spec.rank = 4;
+  spec.factor_density = 0.15;
+  spec.destructive_noise = 0.20;
+  spec.seed = 4;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  const std::int64_t base = p->noise_free.NumNonZeros();
+  const auto expected_removed = static_cast<std::int64_t>(base * 0.20 + 0.5);
+  EXPECT_EQ(p->tensor.NumNonZeros(), base - expected_removed);
+  // Every remaining 1 must come from the noise-free tensor.
+  for (const Coord& c : p->tensor.entries()) {
+    EXPECT_TRUE(p->noise_free.Contains(c.i, c.j, c.k));
+  }
+}
+
+TEST(GeneratePlanted, CombinedNoise) {
+  PlantedSpec spec;
+  spec.dim_i = 20;
+  spec.dim_j = 20;
+  spec.dim_k = 20;
+  spec.rank = 3;
+  spec.factor_density = 0.2;
+  spec.additive_noise = 0.05;
+  spec.destructive_noise = 0.05;
+  spec.seed = 9;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  const std::int64_t base = p->noise_free.NumNonZeros();
+  const auto added = static_cast<std::int64_t>(base * 0.05 + 0.5);
+  const auto removed = static_cast<std::int64_t>(base * 0.05 + 0.5);
+  EXPECT_EQ(p->tensor.NumNonZeros(), base + added - removed);
+}
+
+TEST(GeneratePlanted, DeterministicBySeed) {
+  PlantedSpec spec;
+  spec.dim_i = 16;
+  spec.dim_j = 16;
+  spec.dim_k = 16;
+  spec.rank = 3;
+  spec.seed = 42;
+  auto a = GeneratePlanted(spec);
+  auto b = GeneratePlanted(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->tensor, b->tensor);
+  EXPECT_EQ(a->a, b->a);
+}
+
+TEST(GeneratePlanted, Validation) {
+  PlantedSpec spec;
+  spec.dim_i = 8;
+  spec.dim_j = 8;
+  spec.dim_k = 8;
+  spec.rank = 0;
+  EXPECT_FALSE(GeneratePlanted(spec).ok());
+  spec.rank = 65;
+  EXPECT_FALSE(GeneratePlanted(spec).ok());
+  spec.rank = 2;
+  spec.dim_i = 0;
+  EXPECT_FALSE(GeneratePlanted(spec).ok());
+  spec.dim_i = 8;
+  spec.destructive_noise = 1.5;
+  EXPECT_FALSE(GeneratePlanted(spec).ok());
+  spec.destructive_noise = 0.0;
+  spec.additive_noise = -0.5;
+  EXPECT_FALSE(GeneratePlanted(spec).ok());
+}
+
+}  // namespace
+}  // namespace dbtf

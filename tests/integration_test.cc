@@ -1,0 +1,185 @@
+// Cross-module integration tests: full pipelines combining generators,
+// factorizers, baselines, metrics, and I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bcpals/bcp_als.h"
+#include "dbtf/dbtf.h"
+#include "eval/metrics.h"
+#include "generator/generator.h"
+#include "generator/workload.h"
+#include "tensor/boolean_ops.h"
+#include "tensor/io.h"
+#include "walknmerge/walk_n_merge.h"
+
+namespace dbtf {
+namespace {
+
+TEST(Integration, DbtfBeatsOrMatchesZeroBaselineOnNoisyData) {
+  PlantedSpec spec;
+  spec.dim_i = 32;
+  spec.dim_j = 32;
+  spec.dim_k = 32;
+  spec.rank = 5;
+  spec.factor_density = 0.15;
+  spec.additive_noise = 0.10;
+  spec.destructive_noise = 0.05;
+  spec.seed = 100;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+
+  DbtfConfig config;
+  config.rank = 5;
+  config.max_iterations = 10;
+  config.num_initial_sets = 4;
+  config.num_partitions = 4;
+  config.cluster.num_machines = 4;
+  config.cluster.num_threads = 2;
+  auto r = Dbtf::Factorize(p->tensor, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->final_error, p->tensor.NumNonZeros())
+      << "must beat the all-zero factorization";
+}
+
+TEST(Integration, DbtfAndBcpAlsReachComparableError) {
+  PlantedSpec spec;
+  spec.dim_i = 24;
+  spec.dim_j = 24;
+  spec.dim_k = 24;
+  spec.rank = 4;
+  spec.factor_density = 0.18;
+  spec.seed = 101;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+
+  DbtfConfig dconfig;
+  dconfig.rank = 4;
+  dconfig.max_iterations = 10;
+  dconfig.num_initial_sets = 4;
+  dconfig.cluster.num_threads = 2;
+  auto dbtf_result = Dbtf::Factorize(p->tensor, dconfig);
+  ASSERT_TRUE(dbtf_result.ok());
+
+  BcpAlsConfig bconfig;
+  bconfig.rank = 4;
+  bconfig.max_iterations = 10;
+  auto bcp_result = BcpAls(p->tensor, bconfig);
+  ASSERT_TRUE(bcp_result.ok());
+
+  // Both should do clearly better than the empty factorization; DBTF with
+  // multiple initial sets should be at least in the same ballpark.
+  const double nnz = static_cast<double>(p->tensor.NumNonZeros());
+  EXPECT_LT(dbtf_result->final_error, nnz * 0.8);
+  EXPECT_LT(bcp_result->final_error, nnz * 0.8);
+}
+
+TEST(Integration, PlantedFactorsRecoverableUpToPermutation) {
+  PlantedSpec spec;
+  spec.dim_i = 40;
+  spec.dim_j = 40;
+  spec.dim_k = 40;
+  spec.rank = 3;
+  spec.factor_density = 0.15;
+  spec.seed = 102;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+
+  DbtfConfig config;
+  config.rank = 3;
+  config.max_iterations = 15;
+  config.num_initial_sets = 8;
+  config.cluster.num_threads = 2;
+  config.seed = 55;
+  auto r = Dbtf::Factorize(p->tensor, config);
+  ASSERT_TRUE(r.ok());
+  auto score_a = FactorMatchScore(p->a, r->a);
+  ASSERT_TRUE(score_a.ok());
+  EXPECT_GT(*score_a, 0.5) << "recovered A should resemble the planted A";
+}
+
+TEST(Integration, RoundTripThroughDiskThenFactorize) {
+  PlantedSpec spec;
+  spec.dim_i = 20;
+  spec.dim_j = 20;
+  spec.dim_k = 20;
+  spec.rank = 3;
+  spec.seed = 103;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  const std::string path = ::testing::TempDir() + "/integration_tensor.txt";
+  ASSERT_TRUE(WriteTensorText(p->tensor, path).ok());
+  auto loaded = ReadTensorText(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(*loaded, p->tensor);
+
+  DbtfConfig config;
+  config.rank = 3;
+  config.max_iterations = 5;
+  config.cluster.num_threads = 1;
+  auto from_disk = Dbtf::Factorize(*loaded, config);
+  auto from_memory = Dbtf::Factorize(p->tensor, config);
+  ASSERT_TRUE(from_disk.ok() && from_memory.ok());
+  EXPECT_EQ(from_disk->final_error, from_memory->final_error);
+  EXPECT_EQ(from_disk->a, from_memory->a);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, WorkloadStandInsFactorize) {
+  DatasetSpec spec;
+  spec.name = "nell-like";
+  spec.dim_i = 48;
+  spec.dim_j = 48;
+  spec.dim_k = 24;
+  spec.nnz = 3000;
+  spec.kind = WorkloadKind::kBlocky;
+  auto t = GenerateWorkload(spec, 200);
+  ASSERT_TRUE(t.ok());
+
+  DbtfConfig config;
+  config.rank = 8;
+  config.max_iterations = 5;
+  config.num_initial_sets = 2;
+  config.cluster.num_threads = 2;
+  auto r = Dbtf::Factorize(*t, config);
+  ASSERT_TRUE(r.ok());
+  // Block-structured data should compress well under Boolean CP.
+  EXPECT_LT(static_cast<double>(r->final_error),
+            static_cast<double>(t->NumNonZeros()) * 0.9);
+}
+
+TEST(Integration, WalkNMergeAndDbtfAgreeOnBlockData) {
+  // Pure block tensor: both methods should reach near-zero error.
+  auto t = SparseTensor::Create(32, 32, 32);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      for (int k = 0; k < 6; ++k) {
+        ASSERT_TRUE(t->Add(i, j, k).ok());
+        ASSERT_TRUE(t->Add(i + 12, j + 12, k + 12).ok());
+      }
+    }
+  }
+  t->SortAndDedup();
+
+  WalkNMergeConfig wconfig;
+  wconfig.seed = 9;
+  wconfig.density_threshold = 0.9;
+  auto wr = WalkNMerge(*t, wconfig);
+  ASSERT_TRUE(wr.ok());
+  EXPECT_EQ(wr->final_error, 0);
+
+  DbtfConfig dconfig;
+  dconfig.rank = 2;
+  dconfig.max_iterations = 10;
+  dconfig.num_initial_sets = 6;
+  dconfig.cluster.num_threads = 2;
+  auto dr = Dbtf::Factorize(*t, dconfig);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_EQ(dr->final_error, 0);
+}
+
+}  // namespace
+}  // namespace dbtf

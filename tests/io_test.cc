@@ -1,0 +1,138 @@
+#include "tensor/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TensorIo, RoundTrip) {
+  const SparseTensor t = dbtf::testing::RandomTensor(10, 12, 14, 0.1, 5);
+  const std::string path = TempPath("tensor_roundtrip.txt");
+  ASSERT_TRUE(WriteTensorText(t, path).ok());
+  auto back = ReadTensorText(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, t);
+  EXPECT_EQ(back->dim_i(), 10);
+  EXPECT_EQ(back->dim_j(), 12);
+  EXPECT_EQ(back->dim_k(), 14);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, EmptyTensorRoundTrip) {
+  auto t = SparseTensor::Create(3, 3, 3);
+  ASSERT_TRUE(t.ok());
+  const std::string path = TempPath("tensor_empty.txt");
+  ASSERT_TRUE(WriteTensorText(*t, path).ok());
+  auto back = ReadTensorText(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumNonZeros(), 0);
+  EXPECT_EQ(back->dim_i(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, HeaderlessInfersDimensions) {
+  const std::string path = TempPath("tensor_headerless.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "0 1 2\n";
+    out << "4 0 0\n";
+  }
+  auto t = ReadTensorText(path);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->dim_i(), 5);
+  EXPECT_EQ(t->dim_j(), 2);
+  EXPECT_EQ(t->dim_k(), 3);
+  EXPECT_EQ(t->NumNonZeros(), 2);
+  EXPECT_TRUE(t->Contains(0, 1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, MissingFileFails) {
+  auto t = ReadTensorText(TempPath("does_not_exist.txt"));
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIoError);
+}
+
+TEST(TensorIo, MalformedLineFails) {
+  const std::string path = TempPath("tensor_malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\n";
+  }
+  EXPECT_FALSE(ReadTensorText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, NegativeCoordinateFails) {
+  const std::string path = TempPath("tensor_negative.txt");
+  {
+    std::ofstream out(path);
+    out << "0 0 0\n";
+    out << "-1 0 0\n";
+  }
+  EXPECT_FALSE(ReadTensorText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, RoundTrip) {
+  auto m = BitMatrix::FromStrings({"0101", "1110", "0000"});
+  ASSERT_TRUE(m.ok());
+  const std::string path = TempPath("matrix_roundtrip.txt");
+  ASSERT_TRUE(WriteMatrixText(*m, path).ok());
+  auto back = ReadMatrixText(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, *m);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, WideMatrixRoundTrip) {
+  Rng rng(7);
+  const BitMatrix m = BitMatrix::Random(5, 130, 0.3, &rng);
+  const std::string path = TempPath("matrix_wide.txt");
+  ASSERT_TRUE(WriteMatrixText(m, path).ok());
+  auto back = ReadMatrixText(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, TruncatedRowFails) {
+  const std::string path = TempPath("matrix_truncated.txt");
+  {
+    std::ofstream out(path);
+    out << "2 4\n";
+    out << "0101\n";
+    out << "01\n";
+  }
+  EXPECT_FALSE(ReadMatrixText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BadCharacterFails) {
+  const std::string path = TempPath("matrix_badchar.txt");
+  {
+    std::ofstream out(path);
+    out << "1 3\n";
+    out << "0x1\n";
+  }
+  EXPECT_FALSE(ReadMatrixText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MissingFileFails) {
+  EXPECT_FALSE(ReadMatrixText(TempPath("nope_matrix.txt")).ok());
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,141 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "generator/generator.h"
+#include "tensor/boolean_ops.h"
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+TEST(RelativeError, ZeroForExactFactors) {
+  Rng rng(1);
+  const BitMatrix a = BitMatrix::Random(10, 3, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(10, 3, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(10, 3, 0.3, &rng);
+  auto x = ReconstructTensor(a, b, c);
+  ASSERT_TRUE(x.ok());
+  if (x->NumNonZeros() == 0) GTEST_SKIP() << "degenerate draw";
+  auto rel = RelativeError(*x, a, b, c);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(*rel, 0.0);
+}
+
+TEST(RelativeError, OneForZeroFactors) {
+  const SparseTensor x = testing::RandomTensor(8, 8, 8, 0.2, 2);
+  auto rel =
+      RelativeError(x, BitMatrix(8, 2), BitMatrix(8, 2), BitMatrix(8, 2));
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(*rel, 1.0);
+}
+
+TEST(RelativeError, RequiresNonEmptyTensor) {
+  auto x = SparseTensor::Create(4, 4, 4);
+  ASSERT_TRUE(x.ok());
+  EXPECT_FALSE(
+      RelativeError(*x, BitMatrix(4, 1), BitMatrix(4, 1), BitMatrix(4, 1))
+          .ok());
+}
+
+TEST(ColumnJaccard, Basics) {
+  auto m = BitMatrix::FromStrings({"110", "100", "011"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(ColumnJaccard(*m, 0, *m, 0), 1.0);
+  // col0 = {0,1}, col1 = {0,2}: intersection {0}, union {0,1,2}.
+  EXPECT_NEAR(ColumnJaccard(*m, 0, *m, 1), 1.0 / 3.0, 1e-12);
+  // col2 = {2}: disjoint from col0.
+  EXPECT_DOUBLE_EQ(ColumnJaccard(*m, 0, *m, 2), 0.0);
+}
+
+TEST(ColumnJaccard, EmptyColumnsAreIdentical) {
+  BitMatrix m(4, 2);
+  EXPECT_DOUBLE_EQ(ColumnJaccard(m, 0, m, 1), 1.0);
+}
+
+TEST(FactorMatchScore, PerfectForPermutedColumns) {
+  Rng rng(3);
+  const BitMatrix truth = BitMatrix::Random(20, 4, 0.3, &rng);
+  BitMatrix permuted(20, 4);
+  const int perm[4] = {2, 0, 3, 1};
+  for (std::int64_t r = 0; r < 20; ++r) {
+    for (std::int64_t col = 0; col < 4; ++col) {
+      permuted.Set(r, perm[col], truth.Get(r, col));
+    }
+  }
+  auto score = FactorMatchScore(truth, permuted);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 1.0);
+}
+
+TEST(FactorMatchScore, LowForUnrelatedFactors) {
+  Rng rng(4);
+  const BitMatrix truth = BitMatrix::Random(50, 4, 0.2, &rng);
+  const BitMatrix noise = BitMatrix::Random(50, 4, 0.2, &rng);
+  auto score = FactorMatchScore(truth, noise);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(*score, 0.6);
+}
+
+TEST(FactorMatchScore, Validation) {
+  EXPECT_FALSE(FactorMatchScore(BitMatrix(4, 2), BitMatrix(5, 2)).ok());
+  EXPECT_FALSE(FactorMatchScore(BitMatrix(4, 0), BitMatrix(4, 2)).ok());
+}
+
+TEST(FactorMatchScore, HandlesFewerEstimatedColumns) {
+  Rng rng(5);
+  const BitMatrix truth = BitMatrix::Random(20, 4, 0.3, &rng);
+  BitMatrix estimate(20, 2);
+  for (std::int64_t r = 0; r < 20; ++r) {
+    estimate.Set(r, 0, truth.Get(r, 0));
+    estimate.Set(r, 1, truth.Get(r, 1));
+  }
+  auto score = FactorMatchScore(truth, estimate);
+  ASSERT_TRUE(score.ok());
+  // Two perfect matches out of four ground-truth columns.
+  EXPECT_NEAR(*score, 0.5, 0.2);
+}
+
+TEST(CoverageOfOnes, FullForExactFactors) {
+  PlantedSpec spec;
+  spec.dim_i = 16;
+  spec.dim_j = 16;
+  spec.dim_k = 16;
+  spec.rank = 3;
+  spec.seed = 6;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto cov = CoverageOfOnes(p->tensor, p->a, p->b, p->c);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_DOUBLE_EQ(*cov, 1.0);
+}
+
+TEST(CoverageOfOnes, ZeroForZeroFactors) {
+  const SparseTensor x = testing::RandomTensor(8, 8, 8, 0.2, 7);
+  auto cov =
+      CoverageOfOnes(x, BitMatrix(8, 2), BitMatrix(8, 2), BitMatrix(8, 2));
+  ASSERT_TRUE(cov.ok());
+  EXPECT_DOUBLE_EQ(*cov, 0.0);
+}
+
+TEST(CoverageOfOnes, ConsistentWithReconstructionError) {
+  // error = |recon| + |X| - 2*overlap  and  coverage = overlap / |X|.
+  Rng rng(8);
+  const SparseTensor x = testing::RandomTensor(10, 10, 10, 0.15, 8);
+  const BitMatrix a = BitMatrix::Random(10, 3, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(10, 3, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(10, 3, 0.3, &rng);
+  auto cov = CoverageOfOnes(x, a, b, c);
+  auto err = ReconstructionError(x, a, b, c);
+  auto recon = ReconstructTensor(a, b, c);
+  ASSERT_TRUE(cov.ok() && err.ok() && recon.ok());
+  const double overlap = *cov * static_cast<double>(x.NumNonZeros());
+  EXPECT_NEAR(static_cast<double>(*err),
+              static_cast<double>(recon->NumNonZeros()) +
+                  static_cast<double>(x.NumNonZeros()) - 2.0 * overlap,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace dbtf

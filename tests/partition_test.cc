@@ -1,0 +1,189 @@
+#include "dbtf/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+TEST(Partition, RejectsBadInputs) {
+  const SparseTensor t = testing::RandomTensor(8, 8, 8, 0.1, 1);
+  EXPECT_FALSE(PartitionedUnfolding::Build(t, Mode::kOne, 0).ok());
+  auto empty = SparseTensor::Create(0, 4, 4);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(PartitionedUnfolding::Build(*empty, Mode::kOne, 2).ok());
+}
+
+TEST(Partition, SinglePartitionCoversEverything) {
+  const SparseTensor t = testing::RandomTensor(6, 7, 8, 0.2, 2);
+  auto pu = PartitionedUnfolding::Build(t, Mode::kOne, 1);
+  ASSERT_TRUE(pu.ok());
+  EXPECT_EQ(pu->num_partitions(), 1);
+  EXPECT_EQ(pu->partitions()[0].col_begin, 0);
+  EXPECT_EQ(pu->partitions()[0].col_end, pu->shape().cols());
+  EXPECT_EQ(pu->TotalNnz(), t.NumNonZeros());
+}
+
+/// Properties that must hold for any (mode, N) partitioning:
+/// contiguous cover, word-aligned boundaries, per-block invariants, and
+/// exact non-zero placement.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<Mode, int>> {};
+
+TEST_P(PartitionProperty, StructuralInvariants) {
+  const auto [mode, n] = GetParam();
+  const SparseTensor t = testing::RandomTensor(20, 33, 17, 0.15, 77);
+  auto pu = PartitionedUnfolding::Build(t, mode, n);
+  ASSERT_TRUE(pu.ok());
+  const UnfoldShape& shape = pu->shape();
+
+  EXPECT_LE(pu->num_partitions(), n);
+  EXPECT_GE(pu->num_partitions(), 1);
+
+  std::int64_t cursor = 0;
+  for (const Partition& part : pu->partitions()) {
+    EXPECT_EQ(part.col_begin, cursor) << "partitions must tile the columns";
+    EXPECT_GT(part.col_end, part.col_begin);
+    cursor = part.col_end;
+    // Boundary alignment: within-offset divisible by 64.
+    EXPECT_EQ((part.col_begin % shape.within) % 64, 0);
+
+    std::int64_t block_cursor = part.col_begin;
+    for (const PartitionBlock& block : part.blocks) {
+      EXPECT_EQ(block.block_index * shape.within + block.within_begin,
+                block_cursor)
+          << "blocks must tile the partition";
+      block_cursor = block.block_index * shape.within + block.within_end;
+      EXPECT_EQ(block.within_begin % 64, 0);
+      EXPECT_EQ(block.word_begin, block.within_begin / 64);
+      EXPECT_LE(block.within_end, shape.within);
+      EXPECT_EQ(block.rows.rows(), shape.rows);
+      EXPECT_EQ(block.rows.cols(), block.width());
+      // row_nnz matches the packed rows.
+      for (std::int64_t r = 0; r < shape.rows; ++r) {
+        EXPECT_EQ(block.row_nnz[static_cast<std::size_t>(r)],
+                  block.rows.RowNnz(r));
+      }
+    }
+    EXPECT_EQ(block_cursor, part.col_end);
+  }
+  EXPECT_EQ(cursor, shape.cols());
+  EXPECT_EQ(pu->TotalNnz(), t.NumNonZeros());
+  EXPECT_GT(pu->MemoryBytes(), 0);
+}
+
+TEST_P(PartitionProperty, LemmaThreeAtMostThreeBlockTypes) {
+  const auto [mode, n] = GetParam();
+  const SparseTensor t = testing::RandomTensor(20, 33, 17, 0.15, 78);
+  auto pu = PartitionedUnfolding::Build(t, mode, n);
+  ASSERT_TRUE(pu.ok());
+  for (const Partition& part : pu->partitions()) {
+    std::set<BlockType> types;
+    for (const PartitionBlock& block : part.blocks) {
+      types.insert(block.type);
+    }
+    EXPECT_LE(types.size(), 3u) << "Lemma 3";
+  }
+}
+
+TEST_P(PartitionProperty, BitsMatchDenseUnfolding) {
+  const auto [mode, n] = GetParam();
+  const SparseTensor t = testing::RandomTensor(20, 33, 17, 0.15, 79);
+  auto pu = PartitionedUnfolding::Build(t, mode, n);
+  ASSERT_TRUE(pu.ok());
+  auto dense = DenseUnfold(t, mode);
+  ASSERT_TRUE(dense.ok());
+  const UnfoldShape& shape = pu->shape();
+  for (const Partition& part : pu->partitions()) {
+    for (const PartitionBlock& block : part.blocks) {
+      for (std::int64_t r = 0; r < shape.rows; ++r) {
+        for (std::int64_t w = 0; w < block.width(); ++w) {
+          const std::int64_t col =
+              block.block_index * shape.within + block.within_begin + w;
+          ASSERT_EQ(block.rows.Get(r, w), dense->Get(r, col))
+              << "row " << r << " col " << col;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndCounts, PartitionProperty,
+    ::testing::Combine(::testing::Values(Mode::kOne, Mode::kTwo, Mode::kThree),
+                       ::testing::Values(1, 2, 3, 5, 8, 16, 64)));
+
+TEST(Partition, BlockTypesClassified) {
+  // within = 33: a partition cutting at column 64 of a 2-block unfolding
+  // produces prefix/suffix/full shapes. Use a tensor with J=128, K=3 so
+  // mode-1 blocks have width 128 (two words).
+  const SparseTensor t = testing::RandomTensor(4, 128, 3, 0.1, 5);
+  auto pu = PartitionedUnfolding::Build(t, Mode::kOne, 6);
+  ASSERT_TRUE(pu.ok());
+  bool saw_prefix = false;
+  bool saw_suffix = false;
+  for (const Partition& part : pu->partitions()) {
+    for (const PartitionBlock& block : part.blocks) {
+      switch (block.type) {
+        case BlockType::kPrefix:
+          saw_prefix = true;
+          EXPECT_EQ(block.within_begin, 0);
+          EXPECT_LT(block.within_end, 128);
+          break;
+        case BlockType::kSuffix:
+          saw_suffix = true;
+          EXPECT_GT(block.within_begin, 0);
+          EXPECT_EQ(block.within_end, 128);
+          break;
+        case BlockType::kFullPvm:
+          EXPECT_EQ(block.within_begin, 0);
+          EXPECT_EQ(block.within_end, 128);
+          break;
+        case BlockType::kInterior:
+          EXPECT_GT(block.within_begin, 0);
+          EXPECT_LT(block.within_end, 128);
+          break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_prefix);
+  EXPECT_TRUE(saw_suffix);
+}
+
+TEST(Partition, LastWordMaskCoversTailBits) {
+  const SparseTensor t = testing::RandomTensor(4, 100, 2, 0.1, 6);
+  auto pu = PartitionedUnfolding::Build(t, Mode::kOne, 3);
+  ASSERT_TRUE(pu.ok());
+  for (const Partition& part : pu->partitions()) {
+    for (const PartitionBlock& block : part.blocks) {
+      const std::int64_t tail = block.width() % 64;
+      if (tail == 0) {
+        EXPECT_EQ(block.last_word_mask, ~BitWord{0});
+      } else {
+        EXPECT_EQ(block.last_word_mask,
+                  LowBitsMask(static_cast<std::size_t>(tail)));
+      }
+    }
+  }
+}
+
+TEST(Partition, TinyUnfoldingBoundariesSnapToBlockStarts) {
+  // 4x4x4 tensor: mode-1 unfolding has 16 columns in 4 PVM blocks of 4.
+  // 64-alignment of within-offsets forces every boundary to a block start,
+  // so at most 4 partitions materialize from the 8 requested.
+  const SparseTensor t = testing::RandomTensor(4, 4, 4, 0.3, 7);
+  auto pu = PartitionedUnfolding::Build(t, Mode::kOne, 8);
+  ASSERT_TRUE(pu.ok());
+  EXPECT_LE(pu->num_partitions(), 4);
+  for (const Partition& part : pu->partitions()) {
+    EXPECT_EQ(part.col_begin % 4, 0) << "boundary must be a PVM block start";
+  }
+  EXPECT_EQ(pu->TotalNnz(), t.NumNonZeros());
+}
+
+}  // namespace
+}  // namespace dbtf

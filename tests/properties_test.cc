@@ -1,0 +1,288 @@
+// Cross-cutting property tests: algebraic identities and invariants that tie
+// several modules together, swept over parameter grids.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "dbtf/dbtf.h"
+#include "eval/metrics.h"
+#include "generator/generator.h"
+#include "tensor/boolean_ops.h"
+#include "tensor/unfold.h"
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+/// Boolean matrix product is associative: (A o B) o C == A o (B o C).
+class BooleanProductAssociativity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BooleanProductAssociativity, Holds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const BitMatrix a = BitMatrix::Random(7, 9, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(9, 5, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(5, 11, 0.3, &rng);
+  auto left = BooleanProduct(BooleanProduct(a, b).value(), c);
+  auto right = BooleanProduct(a, BooleanProduct(b, c).value());
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_EQ(*left, *right);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BooleanProductAssociativity,
+                         ::testing::Range(1, 9));
+
+/// Boolean product is monotone: adding 1s to an operand never removes 1s
+/// from the product.
+TEST(BooleanProductProperties, Monotonicity) {
+  Rng rng(42);
+  const BitMatrix a = BitMatrix::Random(8, 6, 0.25, &rng);
+  const BitMatrix b = BitMatrix::Random(6, 10, 0.25, &rng);
+  BitMatrix a_more = a;
+  a_more.Set(3, 2, true);
+  a_more.Set(7, 5, true);
+  auto base = BooleanProduct(a, b);
+  auto more = BooleanProduct(a_more, b);
+  ASSERT_TRUE(base.ok() && more.ok());
+  for (std::int64_t i = 0; i < base->rows(); ++i) {
+    for (std::int64_t j = 0; j < base->cols(); ++j) {
+      if (base->Get(i, j)) EXPECT_TRUE(more->Get(i, j));
+    }
+  }
+}
+
+/// Reconstruction is invariant to permuting the rank-1 components (Boolean
+/// sums commute).
+TEST(ReconstructionProperties, ComponentPermutationInvariance) {
+  Rng rng(7);
+  const BitMatrix a = BitMatrix::Random(10, 4, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(10, 4, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(10, 4, 0.3, &rng);
+  const int perm[4] = {2, 0, 3, 1};
+  BitMatrix pa(10, 4), pb(10, 4), pc(10, 4);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (int col = 0; col < 4; ++col) {
+      pa.Set(r, perm[col], a.Get(r, col));
+      pb.Set(r, perm[col], b.Get(r, col));
+      pc.Set(r, perm[col], c.Get(r, col));
+    }
+  }
+  auto x1 = ReconstructTensor(a, b, c);
+  auto x2 = ReconstructTensor(pa, pb, pc);
+  ASSERT_TRUE(x1.ok() && x2.ok());
+  EXPECT_EQ(*x1, *x2);
+}
+
+/// Duplicating a component never changes the reconstruction (idempotence of
+/// the Boolean sum).
+TEST(ReconstructionProperties, DuplicateComponentIdempotent) {
+  Rng rng(8);
+  const BitMatrix a = BitMatrix::Random(9, 2, 0.35, &rng);
+  const BitMatrix b = BitMatrix::Random(9, 2, 0.35, &rng);
+  const BitMatrix c = BitMatrix::Random(9, 2, 0.35, &rng);
+  BitMatrix a3(9, 3), b3(9, 3), c3(9, 3);
+  for (std::int64_t r = 0; r < 9; ++r) {
+    for (int col = 0; col < 2; ++col) {
+      a3.Set(r, col, a.Get(r, col));
+      b3.Set(r, col, b.Get(r, col));
+      c3.Set(r, col, c.Get(r, col));
+    }
+    a3.Set(r, 2, a.Get(r, 0));
+    b3.Set(r, 2, b.Get(r, 0));
+    c3.Set(r, 2, c.Get(r, 0));
+  }
+  auto x2 = ReconstructTensor(a, b, c);
+  auto x3 = ReconstructTensor(a3, b3, c3);
+  ASSERT_TRUE(x2.ok() && x3.ok());
+  EXPECT_EQ(*x2, *x3);
+}
+
+/// The reconstruction error is the same no matter which mode's matricized
+/// form evaluates it (the error is a property of the tensor, Eq. 12).
+class ModeErrorConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModeErrorConsistency, AllThreeMatricizationsAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const SparseTensor x = testing::RandomTensor(11, 9, 13, 0.12, seed);
+  const BitMatrix a = BitMatrix::Random(11, 4, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(9, 4, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(13, 4, 0.3, &rng);
+
+  std::int64_t errors[3];
+  int idx = 0;
+  for (const Mode mode : {Mode::kOne, Mode::kTwo, Mode::kThree}) {
+    auto unfolded = DenseUnfold(x, mode);
+    ASSERT_TRUE(unfolded.ok());
+    const BitMatrix* factor = nullptr;
+    const BitMatrix* mf = nullptr;
+    const BitMatrix* ms = nullptr;
+    switch (mode) {
+      case Mode::kOne:
+        factor = &a;
+        mf = &c;
+        ms = &b;
+        break;
+      case Mode::kTwo:
+        factor = &b;
+        mf = &c;
+        ms = &a;
+        break;
+      case Mode::kThree:
+        factor = &c;
+        mf = &b;
+        ms = &a;
+        break;
+    }
+    auto krt = KhatriRao(*mf, *ms);
+    ASSERT_TRUE(krt.ok());
+    auto recon = BooleanProduct(*factor, krt->Transpose());
+    ASSERT_TRUE(recon.ok());
+    errors[idx++] = recon->HammingDistance(*unfolded);
+  }
+  EXPECT_EQ(errors[0], errors[1]);
+  EXPECT_EQ(errors[1], errors[2]);
+  // And both agree with the sparse evaluator.
+  auto sparse_error = ReconstructionError(x, a, b, c);
+  ASSERT_TRUE(sparse_error.ok());
+  EXPECT_EQ(errors[0], *sparse_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeErrorConsistency, ::testing::Range(1, 7));
+
+/// DBTF's result is invariant to the cache split threshold V across a grid
+/// (V only trades space for time, Lemma 2).
+class VInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(VInvariance, SameFactorsForEveryV) {
+  const int v = GetParam();
+  PlantedSpec spec;
+  spec.dim_i = 20;
+  spec.dim_j = 22;
+  spec.dim_k = 18;
+  spec.rank = 9;
+  spec.factor_density = 0.2;
+  spec.seed = 19;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+
+  DbtfConfig reference;
+  reference.rank = 9;
+  reference.max_iterations = 4;
+  reference.cache_group_size = 15;
+  reference.seed = 2;
+  reference.cluster.num_threads = 1;
+  auto want = Dbtf::Factorize(p->tensor, reference);
+  ASSERT_TRUE(want.ok());
+
+  DbtfConfig config = reference;
+  config.cache_group_size = v;
+  auto got = Dbtf::Factorize(p->tensor, config);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->a, want->a);
+  EXPECT_EQ(got->b, want->b);
+  EXPECT_EQ(got->c, want->c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, VInvariance,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 9, 12, 24));
+
+/// Recovery quality degrades gracefully with noise: across a noise grid the
+/// factorization error stays within a constant factor of the noise floor.
+class NoiseGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(NoiseGrid, ErrorTracksNoiseFloor) {
+  const auto [additive, destructive] = GetParam();
+  PlantedSpec spec;
+  spec.dim_i = 28;
+  spec.dim_j = 28;
+  spec.dim_k = 28;
+  spec.rank = 4;
+  spec.factor_density = 0.15;
+  spec.additive_noise = additive;
+  spec.destructive_noise = destructive;
+  spec.seed = 23;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  if (p->tensor.NumNonZeros() == 0) GTEST_SKIP();
+
+  DbtfConfig config;
+  config.rank = 4;
+  config.max_iterations = 10;
+  config.num_initial_sets = 6;
+  config.seed = 5;
+  config.cluster.num_threads = 2;
+  auto r = Dbtf::Factorize(p->tensor, config);
+  ASSERT_TRUE(r.ok());
+
+  // Floor: the planted truth's own error on the noisy observation.
+  auto floor = ReconstructionError(p->tensor, p->a, p->b, p->c);
+  ASSERT_TRUE(floor.ok());
+  EXPECT_LE(r->final_error,
+            std::max<std::int64_t>(3 * *floor, p->tensor.NumNonZeros() / 2))
+      << "additive=" << additive << " destructive=" << destructive;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NoiseGrid,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.2),
+                       ::testing::Values(0.0, 0.05, 0.15)));
+
+/// Factorizing a tensor and its reconstruction's reconstruction agree: the
+/// reconstruction of recovered factors is a fixed point under re-evaluation.
+TEST(PipelineProperties, ErrorOfReconstructionIsZero) {
+  PlantedSpec spec;
+  spec.dim_i = 18;
+  spec.dim_j = 18;
+  spec.dim_k = 18;
+  spec.rank = 3;
+  spec.factor_density = 0.2;
+  spec.seed = 29;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  DbtfConfig config;
+  config.rank = 3;
+  config.max_iterations = 6;
+  config.cluster.num_threads = 1;
+  auto r = Dbtf::Factorize(p->tensor, config);
+  ASSERT_TRUE(r.ok());
+  auto recon = ReconstructTensor(r->a, r->b, r->c);
+  ASSERT_TRUE(recon.ok());
+  auto err = ReconstructionError(*recon, r->a, r->b, r->c);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(*err, 0);
+}
+
+/// Relative error and coverage are consistent for factorizations that only
+/// under-cover (never predict spurious ones): error = (1 - coverage) * nnz.
+TEST(PipelineProperties, SubsetFactorErrorMatchesCoverage) {
+  PlantedSpec spec;
+  spec.dim_i = 16;
+  spec.dim_j = 16;
+  spec.dim_k = 16;
+  spec.rank = 4;
+  spec.factor_density = 0.2;
+  spec.seed = 31;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  // Keep only the first 2 of 4 planted components: a strict under-cover.
+  BitMatrix a2(16, 2), b2(16, 2), c2(16, 2);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (int col = 0; col < 2; ++col) {
+      a2.Set(r, col, p->a.Get(r, col));
+      b2.Set(r, col, p->b.Get(r, col));
+      c2.Set(r, col, p->c.Get(r, col));
+    }
+  }
+  auto err = ReconstructionError(p->tensor, a2, b2, c2);
+  auto cov = CoverageOfOnes(p->tensor, a2, b2, c2);
+  ASSERT_TRUE(err.ok() && cov.ok());
+  const double expected =
+      (1.0 - *cov) * static_cast<double>(p->tensor.NumNonZeros());
+  EXPECT_NEAR(static_cast<double>(*err), expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,128 @@
+#include "modelselect/rank_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/generator.h"
+#include "tensor/boolean_ops.h"
+
+namespace dbtf {
+namespace {
+
+DbtfConfig FastConfig() {
+  DbtfConfig config;
+  config.max_iterations = 6;
+  config.num_initial_sets = 4;
+  config.num_partitions = 4;
+  config.cluster.num_machines = 2;
+  config.cluster.num_threads = 1;
+  config.seed = 3;
+  return config;
+}
+
+TEST(DescriptionLength, ExactModelHasZeroErrorBitsBody) {
+  PlantedSpec spec;
+  spec.dim_i = 20;
+  spec.dim_j = 20;
+  spec.dim_k = 20;
+  spec.rank = 3;
+  spec.factor_density = 0.2;
+  spec.seed = 1;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto dl = ComputeDescriptionLength(p->tensor, p->a, p->b, p->c);
+  ASSERT_TRUE(dl.ok());
+  EXPECT_GT(dl->model_bits, 0.0);
+  // Zero residual cells: only the integer header remains.
+  EXPECT_LT(dl->error_bits, 4.0);
+}
+
+TEST(DescriptionLength, EmptyModelPaysForAllOnes) {
+  PlantedSpec spec;
+  spec.dim_i = 16;
+  spec.dim_j = 16;
+  spec.dim_k = 16;
+  spec.rank = 2;
+  spec.factor_density = 0.25;
+  spec.seed = 2;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto empty = ComputeDescriptionLength(p->tensor, BitMatrix(16, 2),
+                                        BitMatrix(16, 2), BitMatrix(16, 2));
+  auto exact = ComputeDescriptionLength(p->tensor, p->a, p->b, p->c);
+  ASSERT_TRUE(empty.ok() && exact.ok());
+  EXPECT_GT(empty->error_bits, 0.0);
+  EXPECT_LT(exact->total_bits(), empty->total_bits())
+      << "the planted model must compress better than no model";
+}
+
+TEST(DescriptionLength, MonotoneInError) {
+  // Adding a wrong column to a perfect model increases the total length.
+  PlantedSpec spec;
+  spec.dim_i = 18;
+  spec.dim_j = 18;
+  spec.dim_k = 18;
+  spec.rank = 2;
+  spec.factor_density = 0.25;
+  spec.seed = 4;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto base = ComputeDescriptionLength(p->tensor, p->a, p->b, p->c);
+  ASSERT_TRUE(base.ok());
+  BitMatrix a_bad = p->a;
+  for (std::int64_t i = 0; i < 6; ++i) a_bad.Set(i, 0, !a_bad.Get(i, 0));
+  auto worse = ComputeDescriptionLength(p->tensor, a_bad, p->b, p->c);
+  ASSERT_TRUE(worse.ok());
+  EXPECT_GT(worse->total_bits(), base->total_bits());
+}
+
+TEST(EstimateBooleanRank, FindsPlantedRankNeighborhood) {
+  PlantedSpec spec;
+  spec.dim_i = 32;
+  spec.dim_j = 32;
+  spec.dim_k = 32;
+  spec.rank = 4;
+  spec.factor_density = 0.15;
+  spec.seed = 5;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto selection = EstimateBooleanRank(p->tensor, 12, FastConfig());
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_GE(selection->best_rank, 2);
+  EXPECT_LE(selection->best_rank, 8)
+      << "MDL should not prefer wildly over-parameterized models";
+  EXPECT_EQ(selection->ranks.size(), selection->total_bits.size());
+  EXPECT_EQ(selection->ranks.size(), selection->errors.size());
+}
+
+TEST(EstimateBooleanRank, ErrorsDecreaseWithRankOnAverage) {
+  PlantedSpec spec;
+  spec.dim_i = 24;
+  spec.dim_j = 24;
+  spec.dim_k = 24;
+  spec.rank = 5;
+  spec.factor_density = 0.15;
+  spec.seed = 6;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  auto selection = EstimateBooleanRank(p->tensor, 8, FastConfig());
+  ASSERT_TRUE(selection.ok());
+  ASSERT_GE(selection->ranks.size(), 3u);
+  EXPECT_LE(selection->errors.back(), selection->errors.front())
+      << "more components should never fit (much) worse at the extremes";
+}
+
+TEST(EstimateBooleanRank, Validation) {
+  PlantedSpec spec;
+  spec.dim_i = 8;
+  spec.dim_j = 8;
+  spec.dim_k = 8;
+  spec.rank = 2;
+  spec.seed = 7;
+  auto p = GeneratePlanted(spec);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(EstimateBooleanRank(p->tensor, 0, FastConfig()).ok());
+  EXPECT_FALSE(EstimateBooleanRank(p->tensor, 65, FastConfig()).ok());
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,100 @@
+// End-to-end smoke tests: each major subsystem factorizes a small planted
+// tensor and the pieces agree with each other.
+
+#include <gtest/gtest.h>
+
+#include "bcpals/bcp_als.h"
+#include "dbtf/dbtf.h"
+#include "eval/metrics.h"
+#include "generator/generator.h"
+#include "tensor/boolean_ops.h"
+#include "walknmerge/walk_n_merge.h"
+
+namespace dbtf {
+namespace {
+
+TEST(Smoke, DbtfRecoversNoiseFreePlantedTensor) {
+  PlantedSpec spec;
+  spec.dim_i = 40;
+  spec.dim_j = 36;
+  spec.dim_k = 32;
+  spec.rank = 4;
+  spec.factor_density = 0.2;
+  spec.seed = 7;
+  auto planted = GeneratePlanted(spec);
+  ASSERT_TRUE(planted.ok()) << planted.status().ToString();
+
+  DbtfConfig config;
+  config.rank = 4;
+  config.max_iterations = 10;
+  config.num_initial_sets = 4;
+  config.num_partitions = 4;
+  config.seed = 13;
+  config.cluster.num_machines = 4;
+  config.cluster.num_threads = 2;
+  auto result = Dbtf::Factorize(planted->tensor, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The greedy error trace must be non-increasing.
+  for (std::size_t t = 1; t < result->iteration_errors.size(); ++t) {
+    EXPECT_LE(result->iteration_errors[t], result->iteration_errors[t - 1]);
+  }
+
+  // The driver-side error must agree with the sparse evaluator.
+  auto check = ReconstructionError(planted->tensor, result->a, result->b,
+                                   result->c);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(*check, result->final_error);
+
+  // Noise-free planted tensors at tiny rank should factorize near-exactly.
+  auto rel = RelativeError(planted->tensor, result->a, result->b, result->c);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_LT(*rel, 0.2) << "relative error too high";
+}
+
+TEST(Smoke, BcpAlsRunsAndAgreesWithEvaluator) {
+  PlantedSpec spec;
+  spec.dim_i = 24;
+  spec.dim_j = 24;
+  spec.dim_k = 24;
+  spec.rank = 3;
+  spec.factor_density = 0.2;
+  spec.seed = 3;
+  auto planted = GeneratePlanted(spec);
+  ASSERT_TRUE(planted.ok());
+
+  BcpAlsConfig config;
+  config.rank = 3;
+  config.max_iterations = 5;
+  auto result = BcpAls(planted->tensor, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto check = ReconstructionError(planted->tensor, result->a, result->b,
+                                   result->c);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(*check, result->final_error);
+}
+
+TEST(Smoke, WalkNMergeFindsAPlantedDenseBlock) {
+  auto tensor = SparseTensor::Create(32, 32, 32);
+  ASSERT_TRUE(tensor.ok());
+  // One dense 6x6x6 block.
+  for (int i = 4; i < 10; ++i) {
+    for (int j = 8; j < 14; ++j) {
+      for (int k = 2; k < 8; ++k) {
+        ASSERT_TRUE(tensor->Add(i, j, k).ok());
+      }
+    }
+  }
+  tensor->SortAndDedup();
+
+  WalkNMergeConfig config;
+  config.seed = 5;
+  config.density_threshold = 0.9;
+  auto result = WalkNMerge(*tensor, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->num_blocks, 1);
+  EXPECT_EQ(result->final_error, 0) << "the single dense block is exact";
+}
+
+}  // namespace
+}  // namespace dbtf

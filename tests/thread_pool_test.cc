@@ -1,0 +1,71 @@
+#include "dist/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace dbtf {
+namespace {
+
+TEST(ThreadPool, ClampsThreadCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-5);
+  EXPECT_EQ(pool2.num_threads(), 1);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.num_threads(), 4);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&count](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&count](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(50, [&total](std::int64_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(10000, [&sum](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace dbtf

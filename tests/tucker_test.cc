@@ -1,0 +1,256 @@
+#include "tucker/tucker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "generator/generator.h"
+#include "tensor/boolean_ops.h"
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+/// Brute-force Tucker reconstruction error over every cell.
+std::int64_t NaiveTuckerError(const SparseTensor& x, const TuckerCore& core,
+                              const BitMatrix& a, const BitMatrix& b,
+                              const BitMatrix& c) {
+  std::int64_t error = 0;
+  for (std::int64_t i = 0; i < x.dim_i(); ++i) {
+    for (std::int64_t j = 0; j < x.dim_j(); ++j) {
+      for (std::int64_t k = 0; k < x.dim_k(); ++k) {
+        bool on = false;
+        for (std::int64_t p = 0; p < core.dim_p() && !on; ++p) {
+          if (!a.Get(i, p)) continue;
+          for (std::int64_t q = 0; q < core.dim_q() && !on; ++q) {
+            if (!b.Get(j, q)) continue;
+            for (std::int64_t r = 0; r < core.dim_r() && !on; ++r) {
+              on = core.Get(p, q, r) && c.Get(k, r);
+            }
+          }
+        }
+        if (on != x.Contains(i, j, k)) ++error;
+      }
+    }
+  }
+  return error;
+}
+
+TEST(TuckerCore, SetGetAndNnz) {
+  TuckerCore core(2, 3, 4);
+  EXPECT_EQ(core.dim_p(), 2);
+  EXPECT_EQ(core.dim_q(), 3);
+  EXPECT_EQ(core.dim_r(), 4);
+  EXPECT_EQ(core.NumNonZeros(), 0);
+  core.Set(1, 2, 3, true);
+  core.Set(0, 0, 0, true);
+  EXPECT_TRUE(core.Get(1, 2, 3));
+  EXPECT_FALSE(core.Get(1, 2, 2));
+  EXPECT_EQ(core.NumNonZeros(), 2);
+  core.Set(1, 2, 3, false);
+  EXPECT_EQ(core.NumNonZeros(), 1);
+}
+
+TEST(TuckerCore, Superdiagonal) {
+  const TuckerCore core = TuckerCore::Superdiagonal(3);
+  EXPECT_EQ(core.NumNonZeros(), 3);
+  EXPECT_TRUE(core.Get(0, 0, 0));
+  EXPECT_TRUE(core.Get(2, 2, 2));
+  EXPECT_FALSE(core.Get(0, 1, 0));
+}
+
+TEST(TuckerConfig, Validation) {
+  TuckerConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.core_p = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TuckerConfig{};
+  config.core_q = 17;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TuckerConfig{};
+  config.core_p = 16;
+  config.core_q = 16;  // 16*16 > 64: selector masks no longer fit a word.
+  EXPECT_FALSE(config.Validate().ok());
+  config = TuckerConfig{};
+  config.max_iterations = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(TuckerReconstruct, SuperdiagonalCoreEqualsCp) {
+  // With a superdiagonal core, Boolean Tucker reconstruction is exactly the
+  // Boolean CP reconstruction of the same factors.
+  Rng rng(3);
+  const BitMatrix a = BitMatrix::Random(10, 3, 0.3, &rng);
+  const BitMatrix b = BitMatrix::Random(11, 3, 0.3, &rng);
+  const BitMatrix c = BitMatrix::Random(12, 3, 0.3, &rng);
+  auto tucker = TuckerReconstruct(TuckerCore::Superdiagonal(3), a, b, c);
+  auto cp = ReconstructTensor(a, b, c);
+  ASSERT_TRUE(tucker.ok() && cp.ok());
+  EXPECT_EQ(*tucker, *cp);
+}
+
+TEST(TuckerReconstructionError, MatchesBruteForce) {
+  Rng rng(5);
+  const SparseTensor x = testing::RandomTensor(9, 10, 11, 0.15, 5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitMatrix a = BitMatrix::Random(9, 3, 0.35, &rng);
+    const BitMatrix b = BitMatrix::Random(10, 4, 0.35, &rng);
+    const BitMatrix c = BitMatrix::Random(11, 2, 0.35, &rng);
+    TuckerCore core(3, 4, 2);
+    for (std::int64_t p = 0; p < 3; ++p) {
+      for (std::int64_t q = 0; q < 4; ++q) {
+        for (std::int64_t r = 0; r < 2; ++r) {
+          core.Set(p, q, r, rng.NextBool(0.3));
+        }
+      }
+    }
+    auto fast = TuckerReconstructionError(x, core, a, b, c);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, NaiveTuckerError(x, core, a, b, c)) << "trial " << trial;
+  }
+}
+
+TEST(TuckerReconstructionError, Validation) {
+  const SparseTensor x = testing::RandomTensor(4, 4, 4, 0.2, 1);
+  TuckerCore core(2, 2, 2);
+  EXPECT_FALSE(
+      TuckerReconstructionError(x, core, BitMatrix(4, 3), BitMatrix(4, 2),
+                                BitMatrix(4, 2))
+          .ok());
+  EXPECT_FALSE(
+      TuckerReconstructionError(x, core, BitMatrix(5, 2), BitMatrix(4, 2),
+                                BitMatrix(4, 2))
+          .ok());
+}
+
+TEST(BooleanTucker, ExactOnPlantedTuckerTensor) {
+  // Plant a genuine Tucker structure with an off-diagonal core.
+  Rng rng(7);
+  const BitMatrix a = BitMatrix::Random(24, 3, 0.25, &rng);
+  const BitMatrix b = BitMatrix::Random(24, 3, 0.25, &rng);
+  const BitMatrix c = BitMatrix::Random(24, 3, 0.25, &rng);
+  TuckerCore core(3, 3, 3);
+  core.Set(0, 0, 0, true);
+  core.Set(1, 2, 0, true);
+  core.Set(2, 1, 1, true);
+  core.Set(0, 2, 2, true);
+  auto x = TuckerReconstruct(core, a, b, c);
+  ASSERT_TRUE(x.ok());
+  ASSERT_GT(x->NumNonZeros(), 0);
+
+  TuckerConfig config;
+  config.core_p = 3;
+  config.core_q = 3;
+  config.core_r = 3;
+  config.max_iterations = 12;
+  config.num_restarts = 4;
+  config.seed = 9;
+  auto result = BooleanTucker(*x, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The solver must reach a reconstruction much better than the empty one.
+  EXPECT_LT(result->final_error, x->NumNonZeros() / 3);
+  // Reported error is exact.
+  auto check = TuckerReconstructionError(*x, result->core, result->a,
+                                         result->b, result->c);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(*check, result->final_error);
+}
+
+TEST(BooleanTucker, ErrorTraceNonIncreasing) {
+  PlantedSpec spec;
+  spec.dim_i = 20;
+  spec.dim_j = 20;
+  spec.dim_k = 20;
+  spec.rank = 3;
+  spec.factor_density = 0.2;
+  spec.additive_noise = 0.1;
+  spec.seed = 11;
+  auto planted = GeneratePlanted(spec);
+  ASSERT_TRUE(planted.ok());
+
+  TuckerConfig config;
+  config.core_p = 3;
+  config.core_q = 3;
+  config.core_r = 3;
+  config.max_iterations = 8;
+  auto result = BooleanTucker(planted->tensor, config);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t t = 1; t < result->iteration_errors.size(); ++t) {
+    EXPECT_LE(result->iteration_errors[t], result->iteration_errors[t - 1]);
+  }
+}
+
+TEST(BooleanTucker, AsymmetricCoreDimensions) {
+  const SparseTensor x = testing::RandomTensor(16, 12, 20, 0.1, 13);
+  TuckerConfig config;
+  config.core_p = 4;
+  config.core_q = 2;
+  config.core_r = 5;
+  config.max_iterations = 4;
+  auto result = BooleanTucker(x, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->a.cols(), 4);
+  EXPECT_EQ(result->b.cols(), 2);
+  EXPECT_EQ(result->c.cols(), 5);
+  EXPECT_LE(result->final_error, x.NumNonZeros())
+      << "never worse than the empty factorization";
+}
+
+TEST(BooleanTucker, EmptyTensorIsExact) {
+  auto x = SparseTensor::Create(8, 8, 8);
+  ASSERT_TRUE(x.ok());
+  TuckerConfig config;
+  config.core_p = 2;
+  config.core_q = 2;
+  config.core_r = 2;
+  auto result = BooleanTucker(*x, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->final_error, 0);
+}
+
+TEST(BooleanTucker, TuckerAtLeastMatchesCpOnCrossStructure) {
+  // A tensor whose 1s combine factor columns non-diagonally: Tucker with an
+  // adaptive core can use cross terms CP of the same rank cannot.
+  Rng rng(17);
+  const BitMatrix a = BitMatrix::Random(20, 2, 0.4, &rng);
+  const BitMatrix b = BitMatrix::Random(20, 2, 0.4, &rng);
+  const BitMatrix c = BitMatrix::Random(20, 2, 0.4, &rng);
+  TuckerCore cross(2, 2, 2);
+  cross.Set(0, 1, 0, true);
+  cross.Set(1, 0, 1, true);
+  cross.Set(0, 0, 1, true);
+  auto x = TuckerReconstruct(cross, a, b, c);
+  ASSERT_TRUE(x.ok());
+  ASSERT_GT(x->NumNonZeros(), 0);
+
+  TuckerConfig config;
+  config.core_p = 2;
+  config.core_q = 2;
+  config.core_r = 2;
+  config.max_iterations = 10;
+  config.num_restarts = 4;
+  config.seed = 3;
+  auto result = BooleanTucker(*x, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(static_cast<double>(result->final_error),
+            static_cast<double>(x->NumNonZeros()) * 0.6);
+}
+
+TEST(BooleanTucker, DeterministicBySeed) {
+  const SparseTensor x = testing::RandomTensor(14, 14, 14, 0.12, 21);
+  TuckerConfig config;
+  config.core_p = 3;
+  config.core_q = 3;
+  config.core_r = 3;
+  config.max_iterations = 5;
+  config.seed = 4;
+  auto r1 = BooleanTucker(x, config);
+  auto r2 = BooleanTucker(x, config);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->final_error, r2->final_error);
+  EXPECT_EQ(r1->a, r2->a);
+  EXPECT_EQ(r1->b, r2->b);
+  EXPECT_EQ(r1->c, r2->c);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -1,0 +1,132 @@
+#include "tensor/unfold.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace dbtf {
+namespace {
+
+TEST(UnfoldShape, MatchesPaperEquationOne) {
+  // mode 1: rows=I, blocks=K, within=J
+  const UnfoldShape s1 = ShapeForMode(3, 5, 7, Mode::kOne);
+  EXPECT_EQ(s1.rows, 3);
+  EXPECT_EQ(s1.blocks, 7);
+  EXPECT_EQ(s1.within, 5);
+  EXPECT_EQ(s1.cols(), 35);
+  // mode 2: rows=J, blocks=K, within=I
+  const UnfoldShape s2 = ShapeForMode(3, 5, 7, Mode::kTwo);
+  EXPECT_EQ(s2.rows, 5);
+  EXPECT_EQ(s2.blocks, 7);
+  EXPECT_EQ(s2.within, 3);
+  // mode 3: rows=K, blocks=J, within=I
+  const UnfoldShape s3 = ShapeForMode(3, 5, 7, Mode::kThree);
+  EXPECT_EQ(s3.rows, 7);
+  EXPECT_EQ(s3.blocks, 5);
+  EXPECT_EQ(s3.within, 3);
+}
+
+TEST(MapCell, MatchesPaperColumnFormulas) {
+  const Coord c{2, 3, 4};  // (i, j, k), 0-based
+  const UnfoldShape s1 = ShapeForMode(8, 8, 8, Mode::kOne);
+  const UnfoldedCell m1 = MapCell(c, Mode::kOne);
+  EXPECT_EQ(m1.row, 2);
+  EXPECT_EQ(m1.col(s1), 3 + 4 * 8);  // col = j + k*J
+  const UnfoldShape s2 = ShapeForMode(8, 8, 8, Mode::kTwo);
+  const UnfoldedCell m2 = MapCell(c, Mode::kTwo);
+  EXPECT_EQ(m2.row, 3);
+  EXPECT_EQ(m2.col(s2), 2 + 4 * 8);  // col = i + k*I
+  const UnfoldShape s3 = ShapeForMode(8, 8, 8, Mode::kThree);
+  const UnfoldedCell m3 = MapCell(c, Mode::kThree);
+  EXPECT_EQ(m3.row, 4);
+  EXPECT_EQ(m3.col(s3), 2 + 3 * 8);  // col = i + j*I
+}
+
+/// Property: MapCell / UnmapCell are inverse bijections for every mode.
+class MapCellProperty : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(MapCellProperty, RoundTripsRandomCells) {
+  const Mode mode = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mode));
+  for (int trial = 0; trial < 200; ++trial) {
+    const Coord c{static_cast<std::uint32_t>(rng.NextBounded(100)),
+                  static_cast<std::uint32_t>(rng.NextBounded(90)),
+                  static_cast<std::uint32_t>(rng.NextBounded(80))};
+    const UnfoldedCell cell = MapCell(c, mode);
+    const Coord back = UnmapCell(cell, mode);
+    EXPECT_EQ(back, c);
+  }
+}
+
+TEST_P(MapCellProperty, ColumnsAreDistinctPerRow) {
+  // Two distinct cells mapping to the same row must map to distinct columns.
+  const Mode mode = GetParam();
+  const UnfoldShape shape = ShapeForMode(4, 5, 6, mode);
+  auto tensor = SparseTensor::Create(4, 5, 6);
+  ASSERT_TRUE(tensor.ok());
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      for (std::int64_t k = 0; k < 6; ++k) {
+        const UnfoldedCell cell =
+            MapCell(Coord{static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j),
+                          static_cast<std::uint32_t>(k)},
+                    mode);
+        EXPECT_LT(cell.row, shape.rows);
+        EXPECT_LT(cell.col(shape), shape.cols());
+        EXPECT_TRUE(seen.insert({cell.row, cell.col(shape)}).second)
+            << "unfolding must be injective";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MapCellProperty,
+                         ::testing::Values(Mode::kOne, Mode::kTwo,
+                                           Mode::kThree));
+
+/// Property: DenseUnfold then FoldBack recovers the tensor, for all modes
+/// and several shapes.
+class UnfoldRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Mode, int, int, int>> {};
+
+TEST_P(UnfoldRoundTrip, FoldBackRecoversTensor) {
+  const auto [mode, di, dj, dk] = GetParam();
+  const SparseTensor t = testing::RandomTensor(di, dj, dk, 0.1, 99);
+  auto unfolded = DenseUnfold(t, mode);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_EQ(unfolded->NumNonZeros(), t.NumNonZeros());
+  auto back = FoldBack(*unfolded, mode, di, dj, dk);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndShapes, UnfoldRoundTrip,
+    ::testing::Combine(::testing::Values(Mode::kOne, Mode::kTwo, Mode::kThree),
+                       ::testing::Values(5, 17), ::testing::Values(6, 31),
+                       ::testing::Values(7)));
+
+TEST(DenseUnfold, HonorsMemoryBudget) {
+  const SparseTensor t = testing::RandomTensor(16, 16, 16, 0.1, 1);
+  auto result = DenseUnfold(t, Mode::kOne, /*max_bytes=*/16);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FoldBack, RejectsShapeMismatch) {
+  const SparseTensor t = testing::RandomTensor(4, 5, 6, 0.2, 2);
+  auto unfolded = DenseUnfold(t, Mode::kOne);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_FALSE(FoldBack(*unfolded, Mode::kOne, 5, 5, 6).ok());
+  EXPECT_FALSE(FoldBack(*unfolded, Mode::kTwo, 4, 5, 6).ok());
+}
+
+}  // namespace
+}  // namespace dbtf

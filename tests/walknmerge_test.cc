@@ -1,0 +1,185 @@
+#include "walknmerge/walk_n_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/generator.h"
+
+namespace dbtf {
+namespace {
+
+SparseTensor TensorWithBlocks(
+    const std::vector<std::array<int, 6>>& blocks,  // {i0,i1,j0,j1,k0,k1}
+    std::int64_t dim = 40) {
+  SparseTensor t = SparseTensor::Create(dim, dim, dim).value();
+  for (const auto& b : blocks) {
+    for (int i = b[0]; i < b[1]; ++i) {
+      for (int j = b[2]; j < b[3]; ++j) {
+        for (int k = b[4]; k < b[5]; ++k) {
+          t.AddUnchecked(static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(j),
+                         static_cast<std::uint32_t>(k));
+        }
+      }
+    }
+  }
+  t.SortAndDedup();
+  return t;
+}
+
+TEST(WalkNMergeConfig, Validation) {
+  WalkNMergeConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.density_threshold = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WalkNMergeConfig{};
+  config.density_threshold = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WalkNMergeConfig{};
+  config.walk_length = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WalkNMergeConfig{};
+  config.max_blocks = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WalkNMerge, EmptyTensorYieldsNoBlocks) {
+  auto t = SparseTensor::Create(8, 8, 8);
+  ASSERT_TRUE(t.ok());
+  WalkNMergeConfig config;
+  auto r = WalkNMerge(*t, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_blocks, 0);
+  EXPECT_EQ(r->final_error, 0);
+}
+
+TEST(WalkNMerge, FindsSingleDenseBlockExactly) {
+  const SparseTensor t = TensorWithBlocks({{5, 11, 7, 13, 2, 8}});
+  WalkNMergeConfig config;
+  config.seed = 1;
+  config.density_threshold = 0.95;
+  auto r = WalkNMerge(t, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->num_blocks, 1);
+  EXPECT_EQ(r->final_error, 0);
+  // The merged block must be exactly the planted box.
+  const TensorBlock& block = r->blocks[0];
+  EXPECT_EQ(block.is.size(), 6u);
+  EXPECT_EQ(block.js.size(), 6u);
+  EXPECT_EQ(block.ks.size(), 6u);
+  EXPECT_DOUBLE_EQ(block.DensityOf(), 1.0);
+}
+
+TEST(WalkNMerge, FindsTwoDisjointBlocks) {
+  const SparseTensor t =
+      TensorWithBlocks({{0, 6, 0, 6, 0, 6}, {20, 27, 20, 27, 20, 27}});
+  WalkNMergeConfig config;
+  config.seed = 2;
+  config.density_threshold = 0.9;
+  auto r = WalkNMerge(t, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_blocks, 2);
+  EXPECT_EQ(r->final_error, 0);
+}
+
+TEST(WalkNMerge, FactorsMatchBlocks) {
+  const SparseTensor t = TensorWithBlocks({{1, 5, 2, 6, 3, 7}});
+  WalkNMergeConfig config;
+  config.seed = 3;
+  auto r = WalkNMerge(t, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->num_blocks, 1);
+  EXPECT_EQ(r->a.rows(), 40);
+  EXPECT_EQ(r->a.cols(), r->num_blocks);
+  // Column 0 of A is the indicator of block 0's i-set.
+  const TensorBlock& block = r->blocks[0];
+  std::int64_t ones = 0;
+  for (std::int64_t i = 0; i < r->a.rows(); ++i) {
+    if (r->a.Get(i, 0)) ++ones;
+  }
+  EXPECT_EQ(ones, static_cast<std::int64_t>(block.is.size()));
+}
+
+TEST(WalkNMerge, RankTruncationKeepsBestBlocks) {
+  const SparseTensor t = TensorWithBlocks(
+      {{0, 8, 0, 8, 0, 8},      // volume 512
+       {20, 24, 20, 24, 20, 24},  // volume 64
+       {30, 34, 0, 4, 30, 34}});  // volume 64
+  WalkNMergeConfig config;
+  config.seed = 4;
+  config.rank = 1;
+  auto r = WalkNMerge(t, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_blocks, 1);
+  // The kept block must be the biggest one.
+  EXPECT_EQ(r->blocks[0].ones, 512);
+}
+
+TEST(WalkNMerge, MinVolumeFiltersTinyBlocks) {
+  // A 2x2x2 block is below the 4x4x4 minimum volume.
+  const SparseTensor t = TensorWithBlocks({{0, 2, 0, 2, 0, 2}});
+  WalkNMergeConfig config;
+  config.seed = 5;
+  auto r = WalkNMerge(t, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_blocks, 0);
+  EXPECT_EQ(r->final_error, t.NumNonZeros());
+}
+
+TEST(WalkNMerge, DeterministicBySeed) {
+  const SparseTensor t = TensorWithBlocks({{3, 9, 4, 10, 5, 11}});
+  WalkNMergeConfig config;
+  config.seed = 6;
+  auto a = WalkNMerge(t, config);
+  auto b = WalkNMerge(t, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_blocks, b->num_blocks);
+  EXPECT_EQ(a->final_error, b->final_error);
+  EXPECT_EQ(a->a, b->a);
+}
+
+TEST(WalkNMerge, NoisyBlockStillFound) {
+  // Dense block with 10% of cells removed: density 0.9.
+  SparseTensor t = SparseTensor::Create(30, 30, 30).value();
+  int count = 0;
+  for (int i = 2; i < 10; ++i) {
+    for (int j = 2; j < 10; ++j) {
+      for (int k = 2; k < 10; ++k) {
+        if (++count % 10 != 0) {
+          t.AddUnchecked(static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(j),
+                         static_cast<std::uint32_t>(k));
+        }
+      }
+    }
+  }
+  t.SortAndDedup();
+  WalkNMergeConfig config;
+  config.seed = 7;
+  config.density_threshold = 0.8;
+  auto r = WalkNMerge(t, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->num_blocks, 1);
+  // Most of the tensor should be covered by the found block.
+  EXPECT_LT(r->final_error, t.NumNonZeros() / 2);
+}
+
+
+TEST(WalkNMerge, TimeBudgetReturnsDeadlineExceeded) {
+  const SparseTensor t = TensorWithBlocks({{0, 10, 0, 10, 0, 10}});
+  WalkNMergeConfig config;
+  config.seed = 8;
+  config.num_walks = 10000000;  // Enough work to trip a tiny budget.
+  config.time_budget_seconds = 1e-6;
+  auto r = WalkNMerge(t, config);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(WalkNMerge, NegativeTimeBudgetRejected) {
+  WalkNMergeConfig config;
+  config.time_budget_seconds = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dbtf

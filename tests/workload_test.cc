@@ -1,0 +1,173 @@
+#include "generator/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace dbtf {
+namespace {
+
+TEST(PaperDatasets, MatchesTableThree) {
+  const std::vector<DatasetSpec> specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "Facebook");
+  EXPECT_EQ(specs[0].dim_i, 64000);
+  EXPECT_EQ(specs[1].name, "DBLP");
+  EXPECT_EQ(specs[2].name, "CAIDA-DDoS-S");
+  EXPECT_EQ(specs[3].name, "CAIDA-DDoS-L");
+  EXPECT_EQ(specs[4].name, "NELL-S");
+  EXPECT_EQ(specs[5].name, "NELL-L");
+  for (const DatasetSpec& s : specs) {
+    EXPECT_GT(s.dim_i, 0);
+    EXPECT_GT(s.dim_j, 0);
+    EXPECT_GT(s.dim_k, 0);
+    EXPECT_GT(s.nnz, 0);
+  }
+}
+
+TEST(ScaleDataset, ShrinksDimsAndNnz) {
+  DatasetSpec spec;
+  spec.name = "t";
+  spec.dim_i = 1000;
+  spec.dim_j = 2000;
+  spec.dim_k = 1000;
+  spec.nnz = 100000;
+  const DatasetSpec scaled = ScaleDataset(spec, 10.0);
+  EXPECT_EQ(scaled.dim_i, 100);
+  EXPECT_EQ(scaled.dim_j, 200);
+  EXPECT_EQ(scaled.dim_k, 100);
+  // nnz follows sqrt(volume ratio): volume shrinks 1000x -> nnz ~ /31.6.
+  EXPECT_GT(scaled.nnz, 100000 / 40);
+  EXPECT_LT(scaled.nnz, 100000 / 25);
+}
+
+TEST(ScaleDataset, SmallModesAreFloored) {
+  // A skewed dataset (tiny third mode) must not degenerate to one slice.
+  DatasetSpec spec;
+  spec.name = "dblp-like";
+  spec.dim_i = 418000;
+  spec.dim_j = 3500;
+  spec.dim_k = 50;
+  spec.nnz = 1300000;
+  const DatasetSpec scaled = ScaleDataset(spec, 128.0);
+  EXPECT_EQ(scaled.dim_i, 418000 / 128);
+  EXPECT_EQ(scaled.dim_j, 48) << "floored at 48, not 3500/128=27";
+  EXPECT_EQ(scaled.dim_k, 48) << "kept near its original small size";
+  EXPECT_GT(scaled.nnz, 0);
+}
+
+TEST(ScaleDataset, NoOpForShrinkOne) {
+  DatasetSpec spec;
+  spec.dim_i = 10;
+  spec.dim_j = 10;
+  spec.dim_k = 10;
+  spec.nnz = 50;
+  const DatasetSpec scaled = ScaleDataset(spec, 1.0);
+  EXPECT_EQ(scaled.dim_i, 10);
+  EXPECT_EQ(scaled.nnz, 50);
+}
+
+TEST(ScaleDataset, NnzCappedByCells) {
+  DatasetSpec spec;
+  spec.dim_i = 1000;
+  spec.dim_j = 1000;
+  spec.dim_k = 1000;
+  spec.nnz = 500000000;
+  const DatasetSpec scaled = ScaleDataset(spec, 100.0);
+  const std::int64_t cells = scaled.dim_i * scaled.dim_j * scaled.dim_k;
+  EXPECT_LE(scaled.nnz, cells / 2);
+}
+
+DatasetSpec SmallSpec(WorkloadKind kind) {
+  DatasetSpec spec;
+  spec.name = "small";
+  spec.dim_i = 64;
+  spec.dim_j = 64;
+  spec.dim_k = 32;
+  spec.nnz = 2000;
+  spec.kind = kind;
+  return spec;
+}
+
+class WorkloadKinds : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadKinds, GeneratesRequestedShape) {
+  const DatasetSpec spec = SmallSpec(GetParam());
+  auto t = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->dim_i(), spec.dim_i);
+  EXPECT_EQ(t->dim_j(), spec.dim_j);
+  EXPECT_EQ(t->dim_k(), spec.dim_k);
+  // Dedup may lose a few cells; demand at least 90% of the target.
+  EXPECT_GE(t->NumNonZeros(), spec.nnz * 9 / 10);
+  EXPECT_LE(t->NumNonZeros(), spec.nnz);
+  // In-range coordinates.
+  for (const Coord& c : t->entries()) {
+    EXPECT_LT(c.i, spec.dim_i);
+    EXPECT_LT(c.j, spec.dim_j);
+    EXPECT_LT(c.k, spec.dim_k);
+  }
+}
+
+TEST_P(WorkloadKinds, DeterministicBySeed) {
+  const DatasetSpec spec = SmallSpec(GetParam());
+  auto a = GenerateWorkload(spec, 5);
+  auto b = GenerateWorkload(spec, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WorkloadKinds,
+                         ::testing::Values(WorkloadKind::kPowerLaw,
+                                           WorkloadKind::kBursty,
+                                           WorkloadKind::kBlocky,
+                                           WorkloadKind::kUniform));
+
+TEST(GenerateWorkload, PowerLawIsSkewed) {
+  DatasetSpec spec = SmallSpec(WorkloadKind::kPowerLaw);
+  spec.nnz = 4000;
+  auto t = GenerateWorkload(spec, 7);
+  ASSERT_TRUE(t.ok());
+  // Mode-1 degree of the busiest decile vs the quietest decile.
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(spec.dim_i), 0);
+  for (const Coord& c : t->entries()) ++degree[c.i];
+  std::sort(degree.begin(), degree.end());
+  std::int64_t bottom = 0;
+  std::int64_t top = 0;
+  const std::size_t decile = degree.size() / 10;
+  for (std::size_t i = 0; i < decile; ++i) bottom += degree[i];
+  for (std::size_t i = degree.size() - decile; i < degree.size(); ++i) {
+    top += degree[i];
+  }
+  EXPECT_GT(top, 4 * std::max<std::int64_t>(bottom, 1))
+      << "power-law stand-in must concentrate mass on few indices";
+}
+
+TEST(GenerateWorkload, BurstyConcentratesInTime) {
+  DatasetSpec spec = SmallSpec(WorkloadKind::kBursty);
+  spec.dim_k = 128;
+  spec.nnz = 4000;
+  auto t = GenerateWorkload(spec, 11);
+  ASSERT_TRUE(t.ok());
+  std::vector<std::int64_t> per_k(static_cast<std::size_t>(spec.dim_k), 0);
+  for (const Coord& c : t->entries()) ++per_k[c.k];
+  std::sort(per_k.begin(), per_k.end());
+  // The busiest quarter of the timeline holds the majority of traffic.
+  std::int64_t top_quarter = 0;
+  for (std::size_t i = per_k.size() * 3 / 4; i < per_k.size(); ++i) {
+    top_quarter += per_k[i];
+  }
+  EXPECT_GT(top_quarter, t->NumNonZeros() / 2);
+}
+
+TEST(GenerateWorkload, Validation) {
+  DatasetSpec spec = SmallSpec(WorkloadKind::kUniform);
+  spec.dim_i = 0;
+  EXPECT_FALSE(GenerateWorkload(spec, 1).ok());
+  spec.dim_i = std::int64_t{1} << 22;
+  EXPECT_FALSE(GenerateWorkload(spec, 1).ok());
+}
+
+}  // namespace
+}  // namespace dbtf

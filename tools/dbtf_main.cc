@@ -1,0 +1,7 @@
+// The `dbtf` command-line tool: generate tensors, factorize them with any of
+// the three algorithms, evaluate factor files, and inspect tensors.
+// Run `dbtf help` for usage.
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return dbtf::cli::RunCli(argc, argv); }
