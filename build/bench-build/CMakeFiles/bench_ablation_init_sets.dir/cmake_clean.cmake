@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_init_sets"
+  "../bench/bench_ablation_init_sets.pdb"
+  "CMakeFiles/bench_ablation_init_sets.dir/bench_ablation_init_sets.cc.o"
+  "CMakeFiles/bench_ablation_init_sets.dir/bench_ablation_init_sets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_init_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_partitions"
+  "../bench/bench_ablation_partitions.pdb"
+  "CMakeFiles/bench_ablation_partitions.dir/bench_ablation_partitions.cc.o"
+  "CMakeFiles/bench_ablation_partitions.dir/bench_ablation_partitions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vthreshold"
+  "../bench/bench_ablation_vthreshold.pdb"
+  "CMakeFiles/bench_ablation_vthreshold.dir/bench_ablation_vthreshold.cc.o"
+  "CMakeFiles/bench_ablation_vthreshold.dir/bench_ablation_vthreshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vthreshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_tucker"
+  "../bench/bench_ext_tucker.pdb"
+  "CMakeFiles/bench_ext_tucker.dir/bench_ext_tucker.cc.o"
+  "CMakeFiles/bench_ext_tucker.dir/bench_ext_tucker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tucker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

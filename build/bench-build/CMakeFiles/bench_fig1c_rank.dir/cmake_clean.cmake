@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1c_rank"
+  "../bench/bench_fig1c_rank.pdb"
+  "CMakeFiles/bench_fig1c_rank.dir/bench_fig1c_rank.cc.o"
+  "CMakeFiles/bench_fig1c_rank.dir/bench_fig1c_rank.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_machines"
+  "../bench/bench_fig7_machines.pdb"
+  "CMakeFiles/bench_fig7_machines.dir/bench_fig7_machines.cc.o"
+  "CMakeFiles/bench_fig7_machines.dir/bench_fig7_machines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_error"
+  "../bench/bench_fig8_error.pdb"
+  "CMakeFiles/bench_fig8_error.dir/bench_fig8_error.cc.o"
+  "CMakeFiles/bench_fig8_error.dir/bench_fig8_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

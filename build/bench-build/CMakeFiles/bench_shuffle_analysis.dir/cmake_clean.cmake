@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_shuffle_analysis"
+  "../bench/bench_shuffle_analysis.pdb"
+  "CMakeFiles/bench_shuffle_analysis.dir/bench_shuffle_analysis.cc.o"
+  "CMakeFiles/bench_shuffle_analysis.dir/bench_shuffle_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shuffle_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

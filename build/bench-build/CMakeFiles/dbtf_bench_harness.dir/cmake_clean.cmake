@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_bench_harness.dir/harness/harness.cc.o"
+  "CMakeFiles/dbtf_bench_harness.dir/harness/harness.cc.o.d"
+  "libdbtf_bench_harness.a"
+  "libdbtf_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

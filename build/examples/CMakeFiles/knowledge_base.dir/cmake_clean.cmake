@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_base.dir/knowledge_base.cpp.o"
+  "CMakeFiles/knowledge_base.dir/knowledge_base.cpp.o.d"
+  "knowledge_base"
+  "knowledge_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

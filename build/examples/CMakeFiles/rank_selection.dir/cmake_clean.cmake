@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_selection.dir/rank_selection.cpp.o"
+  "CMakeFiles/rank_selection.dir/rank_selection.cpp.o.d"
+  "rank_selection"
+  "rank_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

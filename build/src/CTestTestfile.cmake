@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("generator")
+subdirs("dist")
+subdirs("dbtf")
+subdirs("asso")
+subdirs("bcpals")
+subdirs("walknmerge")
+subdirs("eval")
+subdirs("tucker")
+subdirs("modelselect")
+subdirs("cli")

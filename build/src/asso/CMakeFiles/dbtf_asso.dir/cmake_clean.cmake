@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_asso.dir/asso.cc.o"
+  "CMakeFiles/dbtf_asso.dir/asso.cc.o.d"
+  "libdbtf_asso.a"
+  "libdbtf_asso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_asso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbtf_asso.
+# This may be replaced when dependencies are built.

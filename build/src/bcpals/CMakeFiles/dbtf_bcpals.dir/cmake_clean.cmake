@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_bcpals.dir/bcp_als.cc.o"
+  "CMakeFiles/dbtf_bcpals.dir/bcp_als.cc.o.d"
+  "libdbtf_bcpals.a"
+  "libdbtf_bcpals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_bcpals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli.cc" "src/cli/CMakeFiles/dbtf_cli.dir/cli.cc.o" "gcc" "src/cli/CMakeFiles/dbtf_cli.dir/cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbtf/CMakeFiles/dbtf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tucker/CMakeFiles/dbtf_tucker.dir/DependInfo.cmake"
+  "/root/repo/build/src/modelselect/CMakeFiles/dbtf_modelselect.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcpals/CMakeFiles/dbtf_bcpals.dir/DependInfo.cmake"
+  "/root/repo/build/src/walknmerge/CMakeFiles/dbtf_walknmerge.dir/DependInfo.cmake"
+  "/root/repo/build/src/asso/CMakeFiles/dbtf_asso.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dbtf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/dbtf_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dbtf_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dbtf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_cli.dir/cli.cc.o"
+  "CMakeFiles/dbtf_cli.dir/cli.cc.o.d"
+  "libdbtf_cli.a"
+  "libdbtf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_common.dir/env.cc.o"
+  "CMakeFiles/dbtf_common.dir/env.cc.o.d"
+  "CMakeFiles/dbtf_common.dir/flags.cc.o"
+  "CMakeFiles/dbtf_common.dir/flags.cc.o.d"
+  "CMakeFiles/dbtf_common.dir/logging.cc.o"
+  "CMakeFiles/dbtf_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbtf_common.dir/status.cc.o"
+  "CMakeFiles/dbtf_common.dir/status.cc.o.d"
+  "CMakeFiles/dbtf_common.dir/timer.cc.o"
+  "CMakeFiles/dbtf_common.dir/timer.cc.o.d"
+  "libdbtf_common.a"
+  "libdbtf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbtf/cache_table.cc" "src/dbtf/CMakeFiles/dbtf_core.dir/cache_table.cc.o" "gcc" "src/dbtf/CMakeFiles/dbtf_core.dir/cache_table.cc.o.d"
+  "/root/repo/src/dbtf/dbtf.cc" "src/dbtf/CMakeFiles/dbtf_core.dir/dbtf.cc.o" "gcc" "src/dbtf/CMakeFiles/dbtf_core.dir/dbtf.cc.o.d"
+  "/root/repo/src/dbtf/factor_update.cc" "src/dbtf/CMakeFiles/dbtf_core.dir/factor_update.cc.o" "gcc" "src/dbtf/CMakeFiles/dbtf_core.dir/factor_update.cc.o.d"
+  "/root/repo/src/dbtf/partition.cc" "src/dbtf/CMakeFiles/dbtf_core.dir/partition.cc.o" "gcc" "src/dbtf/CMakeFiles/dbtf_core.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dbtf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dbtf_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_core.dir/cache_table.cc.o"
+  "CMakeFiles/dbtf_core.dir/cache_table.cc.o.d"
+  "CMakeFiles/dbtf_core.dir/dbtf.cc.o"
+  "CMakeFiles/dbtf_core.dir/dbtf.cc.o.d"
+  "CMakeFiles/dbtf_core.dir/factor_update.cc.o"
+  "CMakeFiles/dbtf_core.dir/factor_update.cc.o.d"
+  "CMakeFiles/dbtf_core.dir/partition.cc.o"
+  "CMakeFiles/dbtf_core.dir/partition.cc.o.d"
+  "libdbtf_core.a"
+  "libdbtf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

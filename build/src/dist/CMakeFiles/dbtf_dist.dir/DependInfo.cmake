@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster.cc" "src/dist/CMakeFiles/dbtf_dist.dir/cluster.cc.o" "gcc" "src/dist/CMakeFiles/dbtf_dist.dir/cluster.cc.o.d"
+  "/root/repo/src/dist/comm_stats.cc" "src/dist/CMakeFiles/dbtf_dist.dir/comm_stats.cc.o" "gcc" "src/dist/CMakeFiles/dbtf_dist.dir/comm_stats.cc.o.d"
+  "/root/repo/src/dist/thread_pool.cc" "src/dist/CMakeFiles/dbtf_dist.dir/thread_pool.cc.o" "gcc" "src/dist/CMakeFiles/dbtf_dist.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_dist.dir/cluster.cc.o"
+  "CMakeFiles/dbtf_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/dbtf_dist.dir/comm_stats.cc.o"
+  "CMakeFiles/dbtf_dist.dir/comm_stats.cc.o.d"
+  "CMakeFiles/dbtf_dist.dir/thread_pool.cc.o"
+  "CMakeFiles/dbtf_dist.dir/thread_pool.cc.o.d"
+  "libdbtf_dist.a"
+  "libdbtf_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

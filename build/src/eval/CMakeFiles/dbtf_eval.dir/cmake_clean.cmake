@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_eval.dir/metrics.cc.o"
+  "CMakeFiles/dbtf_eval.dir/metrics.cc.o.d"
+  "libdbtf_eval.a"
+  "libdbtf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

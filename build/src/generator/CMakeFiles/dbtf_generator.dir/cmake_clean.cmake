@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_generator.dir/generator.cc.o"
+  "CMakeFiles/dbtf_generator.dir/generator.cc.o.d"
+  "CMakeFiles/dbtf_generator.dir/workload.cc.o"
+  "CMakeFiles/dbtf_generator.dir/workload.cc.o.d"
+  "libdbtf_generator.a"
+  "libdbtf_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

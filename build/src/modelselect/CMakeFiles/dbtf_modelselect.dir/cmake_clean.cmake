@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_modelselect.dir/rank_selection.cc.o"
+  "CMakeFiles/dbtf_modelselect.dir/rank_selection.cc.o.d"
+  "libdbtf_modelselect.a"
+  "libdbtf_modelselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_modelselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

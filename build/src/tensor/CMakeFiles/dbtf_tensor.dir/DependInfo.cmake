@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/bit_matrix.cc" "src/tensor/CMakeFiles/dbtf_tensor.dir/bit_matrix.cc.o" "gcc" "src/tensor/CMakeFiles/dbtf_tensor.dir/bit_matrix.cc.o.d"
+  "/root/repo/src/tensor/boolean_ops.cc" "src/tensor/CMakeFiles/dbtf_tensor.dir/boolean_ops.cc.o" "gcc" "src/tensor/CMakeFiles/dbtf_tensor.dir/boolean_ops.cc.o.d"
+  "/root/repo/src/tensor/io.cc" "src/tensor/CMakeFiles/dbtf_tensor.dir/io.cc.o" "gcc" "src/tensor/CMakeFiles/dbtf_tensor.dir/io.cc.o.d"
+  "/root/repo/src/tensor/sparse_tensor.cc" "src/tensor/CMakeFiles/dbtf_tensor.dir/sparse_tensor.cc.o" "gcc" "src/tensor/CMakeFiles/dbtf_tensor.dir/sparse_tensor.cc.o.d"
+  "/root/repo/src/tensor/unfold.cc" "src/tensor/CMakeFiles/dbtf_tensor.dir/unfold.cc.o" "gcc" "src/tensor/CMakeFiles/dbtf_tensor.dir/unfold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_tensor.dir/bit_matrix.cc.o"
+  "CMakeFiles/dbtf_tensor.dir/bit_matrix.cc.o.d"
+  "CMakeFiles/dbtf_tensor.dir/boolean_ops.cc.o"
+  "CMakeFiles/dbtf_tensor.dir/boolean_ops.cc.o.d"
+  "CMakeFiles/dbtf_tensor.dir/io.cc.o"
+  "CMakeFiles/dbtf_tensor.dir/io.cc.o.d"
+  "CMakeFiles/dbtf_tensor.dir/sparse_tensor.cc.o"
+  "CMakeFiles/dbtf_tensor.dir/sparse_tensor.cc.o.d"
+  "CMakeFiles/dbtf_tensor.dir/unfold.cc.o"
+  "CMakeFiles/dbtf_tensor.dir/unfold.cc.o.d"
+  "libdbtf_tensor.a"
+  "libdbtf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_tucker.dir/tucker.cc.o"
+  "CMakeFiles/dbtf_tucker.dir/tucker.cc.o.d"
+  "libdbtf_tucker.a"
+  "libdbtf_tucker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_tucker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

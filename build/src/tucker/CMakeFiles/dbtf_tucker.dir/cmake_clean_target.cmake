@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbtf_tucker.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_walknmerge.dir/walk_n_merge.cc.o"
+  "CMakeFiles/dbtf_walknmerge.dir/walk_n_merge.cc.o.d"
+  "libdbtf_walknmerge.a"
+  "libdbtf_walknmerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_walknmerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asso_test.dir/asso_test.cc.o"
+  "CMakeFiles/asso_test.dir/asso_test.cc.o.d"
+  "asso_test"
+  "asso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcpals_test.dir/bcpals_test.cc.o"
+  "CMakeFiles/bcpals_test.dir/bcpals_test.cc.o.d"
+  "bcpals_test"
+  "bcpals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcpals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitops_test.dir/bitops_test.cc.o"
+  "CMakeFiles/bitops_test.dir/bitops_test.cc.o.d"
+  "bitops_test"
+  "bitops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

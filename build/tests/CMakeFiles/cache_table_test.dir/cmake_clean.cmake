@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_table_test.dir/cache_table_test.cc.o"
+  "CMakeFiles/cache_table_test.dir/cache_table_test.cc.o.d"
+  "cache_table_test"
+  "cache_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_test.dir/dbtf_test.cc.o"
+  "CMakeFiles/dbtf_test.dir/dbtf_test.cc.o.d"
+  "dbtf_test"
+  "dbtf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_update_test.dir/factor_update_test.cc.o"
+  "CMakeFiles/factor_update_test.dir/factor_update_test.cc.o.d"
+  "factor_update_test"
+  "factor_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_selection_test.dir/rank_selection_test.cc.o"
+  "CMakeFiles/rank_selection_test.dir/rank_selection_test.cc.o.d"
+  "rank_selection_test"
+  "rank_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

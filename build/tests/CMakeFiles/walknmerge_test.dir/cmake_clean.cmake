@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walknmerge_test.dir/walknmerge_test.cc.o"
+  "CMakeFiles/walknmerge_test.dir/walknmerge_test.cc.o.d"
+  "walknmerge_test"
+  "walknmerge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walknmerge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

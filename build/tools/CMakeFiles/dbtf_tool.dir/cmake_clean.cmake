@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtf_tool.dir/dbtf_main.cc.o"
+  "CMakeFiles/dbtf_tool.dir/dbtf_main.cc.o.d"
+  "dbtf"
+  "dbtf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtf_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
