@@ -171,6 +171,11 @@ Status RunFactorize(FlagParser* flags) {
     std::printf("virtual time   : %.3fs on %d machines\n",
                 result.virtual_seconds, config.cluster.num_machines);
     std::printf("network        : %s\n", result.comm.ToString().c_str());
+    std::printf("cache tables   : %lld entries, %lld bytes (peak)\n",
+                static_cast<long long>(result.cache_entries),
+                static_cast<long long>(result.cache_bytes));
+    std::printf("cells changed  : %lld\n",
+                static_cast<long long>(result.cells_changed));
     if (!output_prefix.empty()) {
       DBTF_RETURN_IF_ERROR(
           WriteFactors(output_prefix, result.a, result.b, result.c));

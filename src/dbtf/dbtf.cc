@@ -1,14 +1,8 @@
 #include "dbtf/dbtf.h"
 
-#include <unordered_map>
-#include <utility>
-#include <vector>
+#include <memory>
 
-#include "common/random.h"
-#include "common/timer.h"
-#include "dbtf/factor_update.h"
-#include "dbtf/partition.h"
-#include "tensor/unfold.h"
+#include "dbtf/session.h"
 
 namespace dbtf {
 
@@ -40,181 +34,11 @@ Status DbtfConfig::Validate() const {
   return cluster.Validate();
 }
 
-namespace {
-
-/// One set of factor matrices being optimized.
-struct FactorSet {
-  BitMatrix a;
-  BitMatrix b;
-  BitMatrix c;
-};
-
-/// Fiber indexes of the tensor, used by the kFiberSample initialization.
-struct FiberIndex {
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> mode1;  // (j,k)
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> mode2;  // (i,k)
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> mode3;  // (i,j)
-
-  static std::uint64_t Pack(std::uint64_t a, std::uint64_t b) {
-    return (a << 32) | b;
-  }
-
-  explicit FiberIndex(const SparseTensor& x) {
-    for (const Coord& c : x.entries()) {
-      mode1[Pack(c.j, c.k)].push_back(c.i);
-      mode2[Pack(c.i, c.k)].push_back(c.j);
-      mode3[Pack(c.i, c.j)].push_back(c.k);
-    }
-  }
-};
-
-/// Seeds one factor set: component r gets the three fibers through a random
-/// non-zero cell as its initial columns.
-FactorSet FiberSampleInit(const SparseTensor& x, const FiberIndex& fibers,
-                          std::int64_t rank, Rng* rng) {
-  FactorSet set;
-  set.a = BitMatrix(x.dim_i(), rank);
-  set.b = BitMatrix(x.dim_j(), rank);
-  set.c = BitMatrix(x.dim_k(), rank);
-  const std::vector<Coord>& entries = x.entries();
-  if (entries.empty()) return set;
-  for (std::int64_t r = 0; r < rank; ++r) {
-    const Coord& seed = entries[static_cast<std::size_t>(
-        rng->NextBounded(entries.size()))];
-    for (const std::uint32_t i :
-         fibers.mode1.at(FiberIndex::Pack(seed.j, seed.k))) {
-      set.a.Set(i, r, true);
-    }
-    for (const std::uint32_t j :
-         fibers.mode2.at(FiberIndex::Pack(seed.i, seed.k))) {
-      set.b.Set(j, r, true);
-    }
-    for (const std::uint32_t k :
-         fibers.mode3.at(FiberIndex::Pack(seed.i, seed.j))) {
-      set.c.Set(k, r, true);
-    }
-  }
-  return set;
-}
-
-/// Runs one full alternating iteration (update A, then B, then C) and
-/// returns the reconstruction error after the C update.
-Result<std::int64_t> UpdateFactors(const PartitionedUnfolding& px1,
-                                   const PartitionedUnfolding& px2,
-                                   const PartitionedUnfolding& px3,
-                                   FactorSet* factors,
-                                   const DbtfConfig& config,
-                                   Cluster* cluster) {
-  // X(1) ~ A o (C kr B)^T
-  DBTF_ASSIGN_OR_RETURN(
-      UpdateFactorStats stats_a,
-      UpdateFactor(px1, &factors->a, factors->c, factors->b, config, cluster));
-  (void)stats_a;
-  // X(2) ~ B o (C kr A)^T
-  DBTF_ASSIGN_OR_RETURN(
-      UpdateFactorStats stats_b,
-      UpdateFactor(px2, &factors->b, factors->c, factors->a, config, cluster));
-  (void)stats_b;
-  // X(3) ~ C o (B kr A)^T
-  DBTF_ASSIGN_OR_RETURN(
-      UpdateFactorStats stats_c,
-      UpdateFactor(px3, &factors->c, factors->b, factors->a, config, cluster));
-  return stats_c.final_error;
-}
-
-}  // namespace
-
 Result<DbtfResult> Dbtf::Factorize(const SparseTensor& x,
                                    const DbtfConfig& config) {
-  DBTF_RETURN_IF_ERROR(config.Validate());
-  if (x.dim_i() < 1 || x.dim_j() < 1 || x.dim_k() < 1) {
-    return Status::InvalidArgument("tensor dimensions must be positive");
-  }
-
-  Timer wall;
-  DBTF_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
-                        Cluster::Create(config.cluster));
-
-  // One-off partitioning of the three unfoldings (Algorithm 3). A real
-  // cluster shuffles every non-zero of each unfolding once (Lemma 6).
-  DBTF_ASSIGN_OR_RETURN(
-      PartitionedUnfolding px1,
-      PartitionedUnfolding::Build(x, Mode::kOne, config.num_partitions));
-  DBTF_ASSIGN_OR_RETURN(
-      PartitionedUnfolding px2,
-      PartitionedUnfolding::Build(x, Mode::kTwo, config.num_partitions));
-  DBTF_ASSIGN_OR_RETURN(
-      PartitionedUnfolding px3,
-      PartitionedUnfolding::Build(x, Mode::kThree, config.num_partitions));
-  cluster->ChargeShuffle(3 * x.NumNonZeros() *
-                         static_cast<std::int64_t>(3 * sizeof(std::uint32_t)));
-
-  DbtfResult result;
-  Rng rng(config.seed);
-
-  // Iteration 1: update all L initial sets, keep the best (Alg. 2).
-  std::unique_ptr<FiberIndex> fibers;
-  if (config.init_scheme == InitScheme::kFiberSample && x.NumNonZeros() > 0) {
-    fibers = std::make_unique<FiberIndex>(x);
-  }
-  FactorSet best;
-  std::int64_t best_error = -1;
-  const auto expired = [&]() {
-    return config.time_budget_seconds > 0.0 &&
-           wall.ElapsedSeconds() > config.time_budget_seconds;
-  };
-  for (int l = 0; l < config.num_initial_sets; ++l) {
-    if (l > 0 && expired()) {
-      return Status::DeadlineExceeded("DBTF: initial factor sets");
-    }
-    FactorSet candidate;
-    if (fibers != nullptr) {
-      candidate = FiberSampleInit(x, *fibers, config.rank, &rng);
-    } else {
-      candidate.a =
-          BitMatrix::Random(x.dim_i(), config.rank, config.init_density, &rng);
-      candidate.b =
-          BitMatrix::Random(x.dim_j(), config.rank, config.init_density, &rng);
-      candidate.c =
-          BitMatrix::Random(x.dim_k(), config.rank, config.init_density, &rng);
-    }
-    DBTF_ASSIGN_OR_RETURN(
-        const std::int64_t error,
-        UpdateFactors(px1, px2, px3, &candidate, config, cluster.get()));
-    if (best_error < 0 || error < best_error) {
-      best_error = error;
-      best = std::move(candidate);
-    }
-  }
-  result.iteration_errors.push_back(best_error);
-  result.iterations_run = 1;
-
-  // Iterations 2..T on the winning set, until convergence.
-  for (int t = 2; t <= config.max_iterations; ++t) {
-    if (expired()) {
-      return Status::DeadlineExceeded("DBTF: iterations");
-    }
-    DBTF_ASSIGN_OR_RETURN(
-        const std::int64_t error,
-        UpdateFactors(px1, px2, px3, &best, config, cluster.get()));
-    const std::int64_t previous = result.iteration_errors.back();
-    result.iteration_errors.push_back(error);
-    result.iterations_run = t;
-    if (previous - error <= config.convergence_epsilon) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.a = std::move(best.a);
-  result.b = std::move(best.b);
-  result.c = std::move(best.c);
-  result.final_error = result.iteration_errors.back();
-  result.comm = cluster->comm().Snapshot();
-  result.wall_seconds = wall.ElapsedSeconds();
-  result.virtual_seconds = cluster->VirtualMakespanSeconds();
-  result.partitions_used = px1.num_partitions();
-  return result;
+  DBTF_ASSIGN_OR_RETURN(const std::unique_ptr<Session> session,
+                        Session::Create(x, config));
+  return session->Factorize(config);
 }
 
 }  // namespace dbtf

@@ -40,6 +40,18 @@ struct DbtfResult {
   /// Actual partitions used per unfolding (may be below the requested N for
   /// very small tensors).
   std::int64_t partitions_used = 0;
+
+  /// Peak resident cache-table entries across iterations, summed over the
+  /// three modes' per-partition tables (Lemma 2 instrumented).
+  std::int64_t cache_entries = 0;
+
+  /// Peak resident cache-table bytes across iterations (the cache term of
+  /// Lemma 5).
+  std::int64_t cache_bytes = 0;
+
+  /// Factor entries flipped across every update executed, including the L
+  /// initial sets. Zero in a late iteration means a fixed point.
+  std::int64_t cells_changed = 0;
 };
 
 /// Distributed Boolean CP factorization (Algorithm 2 of the paper).
@@ -48,6 +60,12 @@ class Dbtf {
   /// Factorizes `x` with the given configuration. Deterministic given
   /// config.seed. The tensor's entries must be deduplicated
   /// (SparseTensor::SortAndDedup); generators in this repo always are.
+  ///
+  /// This is a convenience wrapper over the driver/worker runtime: it
+  /// creates a single-use Session (partition + place + shuffle) and runs one
+  /// factorization on it. Callers doing several runs over the same tensor —
+  /// rank selection, parameter sweeps — should create a Session directly and
+  /// reuse it.
   static Result<DbtfResult> Factorize(const SparseTensor& x,
                                       const DbtfConfig& config);
 };

@@ -1,0 +1,99 @@
+#include "dbtf/engine.h"
+
+#include <vector>
+
+namespace dbtf {
+
+Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
+                                          const UnfoldShape& shape,
+                                          BitMatrix* factor,
+                                          const BitMatrix& mf,
+                                          const BitMatrix& ms,
+                                          const DbtfConfig& config) {
+  const std::int64_t rank = config.rank;
+  if (factor->cols() != rank || mf.cols() != rank || ms.cols() != rank) {
+    return Status::InvalidArgument("factor ranks do not match config.rank");
+  }
+  if (factor->rows() != shape.rows || mf.rows() != shape.blocks ||
+      ms.rows() != shape.within) {
+    return Status::InvalidArgument("factor shapes do not match the unfolding");
+  }
+  if (cluster->num_attached_workers() == 0) {
+    return Status::FailedPrecondition(
+        "RunFactorUpdate requires workers attached to the cluster");
+  }
+  const std::int64_t rows = shape.rows;
+
+  // Broadcast of the three factor matrices to every machine (Lemma 7); each
+  // worker rebuilds its per-partition caches from its copy (Algorithm 5).
+  FactorMatrices broadcast;
+  broadcast.mode = mode;
+  broadcast.factor = factor;
+  broadcast.mf = &mf;
+  broadcast.ms = &ms;
+  broadcast.cache_group_size = config.cache_group_size;
+  broadcast.enable_caching = config.enable_caching;
+  DBTF_RETURN_IF_ERROR(cluster->BroadcastToWorkers(
+      broadcast.WireBytes(),
+      [&broadcast](Worker& w) { return w.Handle(broadcast); }));
+
+  UpdateFactorStats stats;
+  CollectErrors::CacheMetrics cache_metrics;
+
+  // Snapshot of the factor's row masks; the workers see it through each
+  // column's task closure, updated with the driver's previous decisions.
+  std::vector<std::uint64_t> row_masks(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    row_masks[static_cast<std::size_t>(r)] = factor->RowMask64(r);
+  }
+
+  std::vector<std::int64_t> totals0(static_cast<std::size_t>(rows));
+  std::vector<std::int64_t> totals1(static_cast<std::size_t>(rows));
+  for (std::int64_t c = 0; c < rank; ++c) {
+    RunUpdateColumn run;
+    run.mode = mode;
+    run.column = c;
+    run.row_masks = row_masks.data();
+    run.rows = rows;
+    DBTF_RETURN_IF_ERROR(cluster->DispatchToWorkers(
+        [&run](Worker& w) { return w.Handle(run); }));
+
+    std::fill(totals0.begin(), totals0.end(), 0);
+    std::fill(totals1.begin(), totals1.end(), 0);
+    CollectErrors collect;
+    collect.mode = mode;
+    collect.totals0 = totals0.data();
+    collect.totals1 = totals1.data();
+    collect.rows = rows;
+    // Cache metrics piggyback on the first collect's responses.
+    collect.stats = (c == 0) ? &cache_metrics : nullptr;
+    DBTF_RETURN_IF_ERROR(cluster->CollectFromWorkers(
+        [&collect](Worker& w) { return w.Handle(collect); }));
+
+    // Decide each entry of column c; ties prefer 0 (the sparser factor).
+    const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(c);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int64_t total0 = totals0[static_cast<std::size_t>(r)];
+      const std::int64_t total1 = totals1[static_cast<std::size_t>(r)];
+      const bool old_value =
+          (row_masks[static_cast<std::size_t>(r)] & bit) != 0;
+      const bool new_value = total1 < total0;
+      if (new_value != old_value) ++stats.cells_changed;
+      std::uint64_t& mask = row_masks[static_cast<std::size_t>(r)];
+      mask = new_value ? (mask | bit) : (mask & ~bit);
+      if (c == rank - 1) {
+        stats.final_error += new_value ? total1 : total0;
+      }
+    }
+  }
+  stats.cache_entries = cache_metrics.cache_entries;
+  stats.cache_bytes = cache_metrics.cache_bytes;
+
+  // Write the updated masks back into the driver-owned factor matrix.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    factor->SetRowMask64(r, row_masks[static_cast<std::size_t>(r)]);
+  }
+  return stats;
+}
+
+}  // namespace dbtf

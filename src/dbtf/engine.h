@@ -1,0 +1,52 @@
+#ifndef DBTF_DBTF_ENGINE_H_
+#define DBTF_DBTF_ENGINE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dbtf/config.h"
+#include "dist/cluster.h"
+#include "dist/worker.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+/// Statistics of one distributed factor update.
+struct UpdateFactorStats {
+  std::int64_t cache_entries = 0;      ///< entries built across partitions
+  std::int64_t cache_bytes = 0;        ///< table bytes across partitions
+  std::int64_t cells_changed = 0;      ///< factor entries flipped
+  std::int64_t final_error = 0;        ///< |X(n) - A o (Mf kr Ms)^T| after
+};
+
+/// Runs one distributed factor update (Algorithms 4/5) for the mode-`mode`
+/// unfolding over the workers attached to `cluster`.
+///
+/// This is the driver side of the update: it owns `factor` and the decision
+/// loop, while all partition and cache-table state lives inside the workers.
+/// The exchange per update is exactly the paper's (Lemma 7):
+///
+///   1. Broadcast<FactorMatrices>: the three factor matrices go out once,
+///      charged per machine; each worker derives M_f masks and rebuilds its
+///      per-partition cache tables from its copy.
+///   2. Per column c: RunUpdateColumn (task dispatch; the current row masks
+///      ride the closure) followed by CollectErrors (one charged collect of
+///      2 errors x rows x partitions). The driver reduces the errors,
+///      decides each entry of the column (ties prefer 0, the sparser
+///      factor), and carries the decisions into the next column's closure.
+///
+/// The workers attached to `cluster` must jointly hold every partition of
+/// the unfolding (shape `shape`). Because the current value of every entry
+/// is always among the candidates, the factor's error is non-increasing
+/// across column sweeps.
+Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
+                                          const UnfoldShape& shape,
+                                          BitMatrix* factor,
+                                          const BitMatrix& mf,
+                                          const BitMatrix& ms,
+                                          const DbtfConfig& config);
+
+}  // namespace dbtf
+
+#endif  // DBTF_DBTF_ENGINE_H_

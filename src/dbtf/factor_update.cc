@@ -1,177 +1,49 @@
 #include "dbtf/factor_update.h"
 
 #include <memory>
+#include <vector>
+
+#include "dist/worker.h"
 
 namespace dbtf {
-namespace {
-
-/// Error contribution of one block for one row under one cache key: the
-/// number of positions where the cached Boolean row summation differs from
-/// the block's slice of X(n).
-std::int64_t BlockError(const PartitionBlock& block, std::int64_t row,
-                        std::uint64_t key, const CacheTable& cache,
-                        BitWord* scratch) {
-  if (key == 0) {
-    // Empty summation: the error is exactly the slice's non-zero count.
-    return block.row_nnz[static_cast<std::size_t>(row)];
-  }
-  const std::int64_t wc = block.rows.words_per_row();
-  const BitWord* sum = cache.Lookup(key, block.word_begin, wc, scratch);
-  const BitWord* x = block.rows.RowData(row);
-  std::int64_t err = 0;
-  for (std::int64_t w = 0; w + 1 < wc; ++w) {
-    err += PopCount(sum[w] ^ x[w]);
-  }
-  err += PopCount((sum[wc - 1] & block.last_word_mask) ^ x[wc - 1]);
-  return err;
-}
-
-}  // namespace
 
 Result<UpdateFactorStats> UpdateFactor(const PartitionedUnfolding& unfolding,
                                        BitMatrix* factor, const BitMatrix& mf,
                                        const BitMatrix& ms,
                                        const DbtfConfig& config,
                                        Cluster* cluster) {
-  const std::int64_t rank = config.rank;
-  if (factor->cols() != rank || mf.cols() != rank || ms.cols() != rank) {
-    return Status::InvalidArgument("factor ranks do not match config.rank");
-  }
-  const UnfoldShape& shape = unfolding.shape();
-  if (factor->rows() != shape.rows || mf.rows() != shape.blocks ||
-      ms.rows() != shape.within) {
-    return Status::InvalidArgument("factor shapes do not match the unfolding");
-  }
-  const std::int64_t rows = shape.rows;
-  const std::int64_t nparts = unfolding.num_partitions();
-
-  // Broadcast of the three factor matrices to every machine (Lemma 7).
-  const auto matrix_bytes = [](const BitMatrix& m) {
-    return m.rows() * m.words_per_row() *
-           static_cast<std::int64_t>(sizeof(BitWord));
-  };
-  cluster->ChargeBroadcast(matrix_bytes(*factor) + matrix_bytes(mf) +
-                           matrix_bytes(ms));
-
-  // Each partition builds its own cache of Boolean row summations of M_s^T
-  // (Algorithm 5); the build runs as a distributed task so its cost lands on
-  // the owning machine's virtual clock.
-  const BitMatrix ms_t = ms.Transpose();
-  std::vector<std::unique_ptr<CacheTable>> caches(
-      static_cast<std::size_t>(nparts));
-  Status build_status = Status::OK();
-  std::mutex build_mu;
-  cluster->RunTasks(nparts, [&](std::int64_t p) {
-    Result<CacheTable> cache =
-        CacheTable::Build(ms_t, config.cache_group_size, config.enable_caching);
-    std::lock_guard<std::mutex> lock(build_mu);
-    if (!cache.ok()) {
-      build_status = cache.status();
-      return;
-    }
-    caches[static_cast<std::size_t>(p)] =
-        std::make_unique<CacheTable>(std::move(cache).value());
-  });
-  DBTF_RETURN_IF_ERROR(build_status);
-
-  UpdateFactorStats stats;
-  for (const auto& cache : caches) {
-    stats.cache_entries += cache->total_entries();
-    stats.cache_bytes += cache->memory_bytes();
+  if (cluster->num_attached_workers() != 0) {
+    return Status::FailedPrecondition(
+        "UpdateFactor needs an idle cluster; workers are already attached");
   }
 
-  // Row masks of M_f, used to derive cache keys per block.
-  std::vector<std::uint64_t> mf_masks(static_cast<std::size_t>(mf.rows()));
-  for (std::int64_t q = 0; q < mf.rows(); ++q) {
-    mf_masks[static_cast<std::size_t>(q)] = mf.RowMask64(q);
+  // Ephemeral workers borrowing the caller's partitions, placed exactly as a
+  // session would place owned ones.
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<std::size_t>(cluster->num_machines()));
+  for (int m = 0; m < cluster->num_machines(); ++m) {
+    workers.push_back(std::make_unique<Worker>(m));
   }
-
-  // Per-partition error accumulators for the column being updated.
-  std::vector<std::vector<std::int64_t>> err0(
-      static_cast<std::size_t>(nparts));
-  std::vector<std::vector<std::int64_t>> err1(
-      static_cast<std::size_t>(nparts));
-  for (std::int64_t p = 0; p < nparts; ++p) {
-    err0[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(rows),
-                                             0);
-    err1[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(rows),
-                                             0);
+  const std::vector<Partition>& partitions = unfolding.partitions();
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const int owner = cluster->OwnerOf(static_cast<std::int64_t>(p));
+    workers[static_cast<std::size_t>(owner)]->BorrowPartition(
+        unfolding.mode(), static_cast<std::int64_t>(p), &partitions[p],
+        unfolding.shape());
   }
-  // Per-partition scratch for multi-group cache lookups.
-  std::vector<std::vector<BitWord>> scratch(static_cast<std::size_t>(nparts));
-  for (std::int64_t p = 0; p < nparts; ++p) {
-    scratch[static_cast<std::size_t>(p)].assign(
-        static_cast<std::size_t>(ms_t.words_per_row()), 0);
-  }
-
-  // Snapshot of the factor's row masks, refreshed after each column sweep
-  // (workers operate on the broadcast copy, not the driver's live matrix).
-  std::vector<std::uint64_t> row_masks(static_cast<std::size_t>(rows));
-  for (std::int64_t r = 0; r < rows; ++r) {
-    row_masks[static_cast<std::size_t>(r)] = factor->RowMask64(r);
-  }
-
-  for (std::int64_t c = 0; c < rank; ++c) {
-    const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(c);
-
-    cluster->RunTasks(nparts, [&](std::int64_t p) {
-      const Partition& part =
-          unfolding.partitions()[static_cast<std::size_t>(p)];
-      const CacheTable& cache = *caches[static_cast<std::size_t>(p)];
-      BitWord* scr = scratch[static_cast<std::size_t>(p)].data();
-      std::int64_t* e0 = err0[static_cast<std::size_t>(p)].data();
-      std::int64_t* e1 = err1[static_cast<std::size_t>(p)].data();
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const std::uint64_t m0 = row_masks[static_cast<std::size_t>(r)] & ~bit;
-        std::int64_t sum0 = 0;
-        std::int64_t sum1 = 0;
-        for (const PartitionBlock& block : part.blocks) {
-          const std::uint64_t fmask =
-              mf_masks[static_cast<std::size_t>(block.block_index)];
-          const std::uint64_t k0 = m0 & fmask;
-          const std::int64_t b0 = BlockError(block, r, k0, cache, scr);
-          sum0 += b0;
-          if ((fmask & bit) != 0) {
-            // Setting the entry adds M_f's PVM row to the summation.
-            sum1 += BlockError(block, r, k0 | bit, cache, scr);
-          } else {
-            // The candidate bit is masked out by M_f: identical error.
-            sum1 += b0;
-          }
-        }
-        e0[r] = sum0;
-        e1[r] = sum1;
-      }
-    });
-
-    // Drivers collects 2 errors per row from every partition (Lemma 7).
-    cluster->ChargeCollect(nparts * rows * 2 *
-                           static_cast<std::int64_t>(sizeof(std::int64_t)));
-
-    // Decide each entry of column c; ties prefer 0 (the sparser factor).
-    for (std::int64_t r = 0; r < rows; ++r) {
-      std::int64_t total0 = 0;
-      std::int64_t total1 = 0;
-      for (std::int64_t p = 0; p < nparts; ++p) {
-        total0 += err0[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
-        total1 += err1[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
-      }
-      const bool old_value = (row_masks[static_cast<std::size_t>(r)] & bit) != 0;
-      const bool new_value = total1 < total0;
-      if (new_value != old_value) ++stats.cells_changed;
-      std::uint64_t& mask = row_masks[static_cast<std::size_t>(r)];
-      mask = new_value ? (mask | bit) : (mask & ~bit);
-      if (c == rank - 1) {
-        stats.final_error += new_value ? total1 : total0;
-      }
+  for (const std::unique_ptr<Worker>& worker : workers) {
+    const Status attached =
+        cluster->AttachWorker(worker->machine(), worker.get());
+    if (!attached.ok()) {
+      cluster->DetachWorkers();
+      return attached;
     }
   }
 
-  // Write the updated masks back into the factor matrix.
-  for (std::int64_t r = 0; r < rows; ++r) {
-    factor->SetRowMask64(r, row_masks[static_cast<std::size_t>(r)]);
-  }
-  return stats;
+  Result<UpdateFactorStats> result = RunFactorUpdate(
+      cluster, unfolding.mode(), unfolding.shape(), factor, mf, ms, config);
+  cluster->DetachWorkers();
+  return result;
 }
 
 }  // namespace dbtf

@@ -1,39 +1,28 @@
 #ifndef DBTF_DBTF_FACTOR_UPDATE_H_
 #define DBTF_DBTF_FACTOR_UPDATE_H_
 
-#include <cstdint>
-#include <vector>
-
 #include "common/status.h"
-#include "dbtf/cache_table.h"
 #include "dbtf/config.h"
+#include "dbtf/engine.h"
 #include "dbtf/partition.h"
 #include "dist/cluster.h"
 #include "tensor/bit_matrix.h"
 
 namespace dbtf {
 
-/// Statistics of one UpdateFactor call.
-struct UpdateFactorStats {
-  std::int64_t cache_entries = 0;      ///< entries built across partitions
-  std::int64_t cache_bytes = 0;        ///< table bytes across partitions
-  std::int64_t cells_changed = 0;      ///< factor entries flipped
-  std::int64_t final_error = 0;        ///< |X(n) - A o (Mf kr Ms)^T| after
-};
-
 /// Updates `factor` (P x R) in place to greedily minimize
 /// |X(n) - factor o (M_f kr M_s)^T|, given the partitioned unfolding of
 /// X(n) (Algorithm 4 of the paper).
 ///
-/// The update sweeps columns in the outer loop and rows in the inner loop;
-/// for each entry both candidate values are scored by probing the per-
-/// partition cache tables (Algorithm 5) with key `a_r: AND [M_f]_q:` and
-/// comparing against the block's packed tensor rows. Errors are collected
-/// from all partitions at the driver (charged to `cluster`), and the entry
-/// takes the smaller-error value (ties prefer 0, the sparser choice).
+/// Legacy standalone entry point over a caller-owned PartitionedUnfolding:
+/// it attaches one ephemeral worker per machine to `cluster`, each borrowing
+/// the partitions the placement policy assigns to it, runs RunFactorUpdate
+/// (dbtf/engine.h) over them, and detaches. Semantics — decisions, ledger
+/// charges, determinism — are identical to an update inside a Session, which
+/// is the preferred path (partitions stay resident across updates there).
 ///
-/// Because the current value of every entry is always among the candidates,
-/// the factor's error is non-increasing across column sweeps.
+/// `cluster` must have no workers attached; a Session's cluster cannot be
+/// used here while the session is alive.
 Result<UpdateFactorStats> UpdateFactor(const PartitionedUnfolding& unfolding,
                                        BitMatrix* factor, const BitMatrix& mf,
                                        const BitMatrix& ms,

@@ -2,6 +2,7 @@
 #define DBTF_DBTF_PARTITION_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitops.h"
@@ -67,6 +68,12 @@ class PartitionedUnfolding {
   const std::vector<Partition>& partitions() const { return partitions_; }
   std::int64_t num_partitions() const {
     return static_cast<std::int64_t>(partitions_.size());
+  }
+
+  /// Moves the partitions out (e.g. into the workers that will own them),
+  /// leaving this unfolding empty. Shape metadata stays valid.
+  std::vector<Partition> ReleasePartitions() && {
+    return std::move(partitions_);
   }
 
   /// Total non-zeros across all partitions (equals the tensor's nnz).

@@ -1,0 +1,265 @@
+#include "dbtf/session.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "dbtf/engine.h"
+#include "dbtf/partition.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+/// Fiber indexes of the tensor, used by the kFiberSample initialization.
+struct Session::FiberIndex {
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> mode1;  // (j,k)
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> mode2;  // (i,k)
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> mode3;  // (i,j)
+
+  static std::uint64_t Pack(std::uint64_t a, std::uint64_t b) {
+    return (a << 32) | b;
+  }
+
+  explicit FiberIndex(const SparseTensor& x) {
+    for (const Coord& c : x.entries()) {
+      mode1[Pack(c.j, c.k)].push_back(c.i);
+      mode2[Pack(c.i, c.k)].push_back(c.j);
+      mode3[Pack(c.i, c.j)].push_back(c.k);
+    }
+  }
+
+  /// Seeds one factor set: component r gets the three fibers through a
+  /// random non-zero cell as its initial columns.
+  FactorSet Sample(const SparseTensor& x, std::int64_t rank, Rng* rng) const;
+};
+
+/// One set of factor matrices being optimized.
+struct Session::FactorSet {
+  BitMatrix a;
+  BitMatrix b;
+  BitMatrix c;
+};
+
+/// Merged statistics of one full alternating iteration.
+struct Session::TripleStats {
+  std::int64_t error = 0;          ///< reconstruction error after the C update
+  std::int64_t cells_changed = 0;  ///< entries flipped across the 3 updates
+  std::int64_t cache_entries = 0;  ///< resident cache entries (all 3 modes)
+  std::int64_t cache_bytes = 0;    ///< resident cache bytes (all 3 modes)
+};
+
+Session::FactorSet Session::FiberIndex::Sample(const SparseTensor& x,
+                                               std::int64_t rank,
+                                               Rng* rng) const {
+  FactorSet set;
+  set.a = BitMatrix(x.dim_i(), rank);
+  set.b = BitMatrix(x.dim_j(), rank);
+  set.c = BitMatrix(x.dim_k(), rank);
+  const std::vector<Coord>& entries = x.entries();
+  if (entries.empty()) return set;
+  for (std::int64_t r = 0; r < rank; ++r) {
+    const Coord& seed = entries[static_cast<std::size_t>(
+        rng->NextBounded(entries.size()))];
+    for (const std::uint32_t i : mode1.at(Pack(seed.j, seed.k))) {
+      set.a.Set(i, r, true);
+    }
+    for (const std::uint32_t j : mode2.at(Pack(seed.i, seed.k))) {
+      set.b.Set(j, r, true);
+    }
+    for (const std::uint32_t k : mode3.at(Pack(seed.i, seed.j))) {
+      set.c.Set(k, r, true);
+    }
+  }
+  return set;
+}
+
+Result<std::unique_ptr<Session>> Session::Create(const SparseTensor& x,
+                                                 const DbtfConfig& config) {
+  DBTF_RETURN_IF_ERROR(config.Validate());
+  if (x.dim_i() < 1 || x.dim_j() < 1 || x.dim_k() < 1) {
+    return Status::InvalidArgument("tensor dimensions must be positive");
+  }
+
+  Timer build;
+  std::unique_ptr<Session> session(new Session());
+  session->tensor_ = &x;
+  session->num_partitions_requested_ = config.num_partitions;
+  session->num_machines_ = config.cluster.num_machines;
+  DBTF_ASSIGN_OR_RETURN(session->cluster_, Cluster::Create(config.cluster));
+  Cluster* cluster = session->cluster_.get();
+
+  // One worker per machine; each ends up owning the partitions the
+  // placement policy assigns to it.
+  for (int m = 0; m < config.cluster.num_machines; ++m) {
+    session->workers_.push_back(std::make_unique<Worker>(m));
+  }
+
+  // One-off partitioning of the three unfoldings (Algorithm 3). A real
+  // cluster shuffles every non-zero of each unfolding once (Lemma 6). The
+  // driver builds the partitions, moves them into the owning workers, and
+  // keeps no partition data itself.
+  for (const Mode mode : {Mode::kOne, Mode::kTwo, Mode::kThree}) {
+    DBTF_ASSIGN_OR_RETURN(
+        PartitionedUnfolding unfolding,
+        PartitionedUnfolding::Build(x, mode, config.num_partitions));
+    const std::size_t slot = static_cast<std::size_t>(mode) - 1;
+    session->shapes_[slot] = unfolding.shape();
+    session->nparts_[slot] = unfolding.num_partitions();
+    std::vector<Partition> partitions =
+        std::move(unfolding).ReleasePartitions();
+    for (std::size_t p = 0; p < partitions.size(); ++p) {
+      const int owner = cluster->OwnerOf(static_cast<std::int64_t>(p));
+      session->workers_[static_cast<std::size_t>(owner)]->AdoptPartition(
+          mode, static_cast<std::int64_t>(p), std::move(partitions[p]),
+          session->shapes_[slot]);
+    }
+  }
+  cluster->ChargeShuffle(3 * x.NumNonZeros() *
+                         static_cast<std::int64_t>(3 * sizeof(std::uint32_t)));
+
+  for (const std::unique_ptr<Worker>& worker : session->workers_) {
+    DBTF_RETURN_IF_ERROR(
+        cluster->AttachWorker(worker->machine(), worker.get()));
+  }
+
+  // Remember the shuffle so every run can report it (and its virtual time)
+  // even though the cluster ledger records it only once.
+  session->shuffle_snapshot_ = cluster->comm().Snapshot();
+  session->shuffle_virtual_seconds_ = cluster->VirtualMakespanSeconds();
+  session->build_seconds_ = build.ElapsedSeconds();
+  return session;
+}
+
+Session::~Session() {
+  if (cluster_ != nullptr) cluster_->DetachWorkers();
+}
+
+Result<Session::TripleStats> Session::UpdateFactors(FactorSet* factors,
+                                                    const DbtfConfig& config) {
+  // X(1) ~ A o (C kr B)^T
+  DBTF_ASSIGN_OR_RETURN(
+      const UpdateFactorStats stats_a,
+      RunFactorUpdate(cluster_.get(), Mode::kOne, shapes_[0], &factors->a,
+                      factors->c, factors->b, config));
+  // X(2) ~ B o (C kr A)^T
+  DBTF_ASSIGN_OR_RETURN(
+      const UpdateFactorStats stats_b,
+      RunFactorUpdate(cluster_.get(), Mode::kTwo, shapes_[1], &factors->b,
+                      factors->c, factors->a, config));
+  // X(3) ~ C o (B kr A)^T
+  DBTF_ASSIGN_OR_RETURN(
+      const UpdateFactorStats stats_c,
+      RunFactorUpdate(cluster_.get(), Mode::kThree, shapes_[2], &factors->c,
+                      factors->b, factors->a, config));
+  TripleStats merged;
+  merged.error = stats_c.final_error;
+  merged.cells_changed =
+      stats_a.cells_changed + stats_b.cells_changed + stats_c.cells_changed;
+  merged.cache_entries =
+      stats_a.cache_entries + stats_b.cache_entries + stats_c.cache_entries;
+  merged.cache_bytes =
+      stats_a.cache_bytes + stats_b.cache_bytes + stats_c.cache_bytes;
+  return merged;
+}
+
+Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
+  DBTF_RETURN_IF_ERROR(config.Validate());
+  if (config.num_partitions != num_partitions_requested_) {
+    return Status::InvalidArgument(
+        "session was partitioned for a different num_partitions");
+  }
+  if (config.cluster.num_machines != num_machines_) {
+    return Status::InvalidArgument(
+        "session cluster has a different machine count");
+  }
+
+  Timer run;
+  // A run's budget and clocks cover the whole factorization it reports,
+  // including its share of the session build.
+  const auto expired = [&]() {
+    return config.time_budget_seconds > 0.0 &&
+           build_seconds_ + run.ElapsedSeconds() > config.time_budget_seconds;
+  };
+  cluster_->ResetVirtualTime();
+  for (int m = 0; m < num_machines_; ++m) {
+    cluster_->ChargeCompute(m, shuffle_virtual_seconds_);
+  }
+  const CommSnapshot ledger_start = cluster_->comm().Snapshot();
+
+  DbtfResult result;
+  Rng rng(config.seed);
+
+  // Iteration 1: update all L initial sets, keep the best (Alg. 2).
+  if (config.init_scheme == InitScheme::kFiberSample &&
+      tensor_->NumNonZeros() > 0 && fibers_ == nullptr) {
+    fibers_ = std::make_unique<FiberIndex>(*tensor_);
+  }
+  const bool fiber_init =
+      config.init_scheme == InitScheme::kFiberSample && fibers_ != nullptr;
+  FactorSet best;
+  std::int64_t best_error = -1;
+  for (int l = 0; l < config.num_initial_sets; ++l) {
+    if (l > 0 && expired()) {
+      return Status::DeadlineExceeded("DBTF: initial factor sets");
+    }
+    FactorSet candidate;
+    if (fiber_init) {
+      candidate = fibers_->Sample(*tensor_, config.rank, &rng);
+    } else {
+      candidate.a = BitMatrix::Random(tensor_->dim_i(), config.rank,
+                                      config.init_density, &rng);
+      candidate.b = BitMatrix::Random(tensor_->dim_j(), config.rank,
+                                      config.init_density, &rng);
+      candidate.c = BitMatrix::Random(tensor_->dim_k(), config.rank,
+                                      config.init_density, &rng);
+    }
+    DBTF_ASSIGN_OR_RETURN(const TripleStats stats,
+                          UpdateFactors(&candidate, config));
+    result.cells_changed += stats.cells_changed;
+    result.cache_entries = std::max(result.cache_entries, stats.cache_entries);
+    result.cache_bytes = std::max(result.cache_bytes, stats.cache_bytes);
+    if (best_error < 0 || stats.error < best_error) {
+      best_error = stats.error;
+      best = std::move(candidate);
+    }
+  }
+  result.iteration_errors.push_back(best_error);
+  result.iterations_run = 1;
+
+  // Iterations 2..T on the winning set, until convergence.
+  for (int t = 2; t <= config.max_iterations; ++t) {
+    if (expired()) {
+      return Status::DeadlineExceeded("DBTF: iterations");
+    }
+    DBTF_ASSIGN_OR_RETURN(const TripleStats stats,
+                          UpdateFactors(&best, config));
+    result.cells_changed += stats.cells_changed;
+    result.cache_entries = std::max(result.cache_entries, stats.cache_entries);
+    result.cache_bytes = std::max(result.cache_bytes, stats.cache_bytes);
+    const std::int64_t previous = result.iteration_errors.back();
+    result.iteration_errors.push_back(stats.error);
+    result.iterations_run = t;
+    if (previous - stats.error <= config.convergence_epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.a = std::move(best.a);
+  result.b = std::move(best.b);
+  result.c = std::move(best.c);
+  result.final_error = result.iteration_errors.back();
+  // This run's traffic plus the session's one-off shuffle: a session used
+  // for a single run reports exactly what the monolithic driver did.
+  result.comm =
+      cluster_->comm().Snapshot().Since(ledger_start).Plus(shuffle_snapshot_);
+  result.wall_seconds = build_seconds_ + run.ElapsedSeconds();
+  result.virtual_seconds = cluster_->VirtualMakespanSeconds();
+  result.partitions_used = nparts_[0];
+  return result;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,102 @@
+#ifndef DBTF_DBTF_SESSION_H_
+#define DBTF_DBTF_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dbtf/config.h"
+#include "dbtf/dbtf.h"
+#include "dist/cluster.h"
+#include "dist/worker.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+/// A tensor resident on the distributed runtime, reusable across
+/// factorization runs.
+///
+/// Create() performs the expensive, rank-independent setup exactly once: it
+/// partitions the three unfoldings (Algorithm 3), moves every partition into
+/// the per-machine Worker that the cluster's placement policy names (the
+/// driver keeps no partition data), attaches the workers to the cluster as
+/// message endpoints, and charges the one-off shuffle (Lemma 6). Factorize()
+/// then runs Algorithm 2 at any rank over the resident partitions — rank
+/// selection calls it once per candidate rank without ever re-partitioning
+/// the tensor.
+///
+/// Ledger attribution: each Factorize() reports the bytes it moved plus the
+/// session's one-off shuffle, so a session used for a single run reports
+/// exactly what the pre-session monolithic driver did. The underlying
+/// cluster ledger records the shuffle only once, which is what
+/// cluster().comm() shows across a multi-run session.
+///
+/// The tensor must outlive the session (the initializer samples fibers from
+/// it). A session is single-threaded from the caller's perspective: do not
+/// run two Factorize() calls concurrently.
+class Session {
+ public:
+  /// Partitions `x`'s unfoldings into `config.num_partitions` slices, places
+  /// them on `config.cluster.num_machines` workers, and charges the shuffle.
+  /// Only the partitioning-relevant fields of `config` (num_partitions and
+  /// cluster) bind the session; rank and iteration fields are free to differ
+  /// between later Factorize() calls.
+  static Result<std::unique_ptr<Session>> Create(const SparseTensor& x,
+                                                 const DbtfConfig& config);
+
+  ~Session();
+
+  /// Runs the DBTF factorization (Algorithm 2) at `config.rank` over the
+  /// resident partitions. `config.num_partitions` and
+  /// `config.cluster.num_machines` must match the session's.
+  Result<DbtfResult> Factorize(const DbtfConfig& config);
+
+  /// The simulated cluster this session runs on (virtual clocks, ledger).
+  Cluster& cluster() { return *cluster_; }
+  const Cluster& cluster() const { return *cluster_; }
+
+  /// Actual partitions of the mode-`mode` unfolding (may be below the
+  /// requested N for very small tensors).
+  std::int64_t partitions_used(Mode mode) const {
+    return nparts_[static_cast<std::size_t>(mode) - 1];
+  }
+
+  /// Workers holding the partitions (one per machine).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct FiberIndex;   // fiber-sampled initialization index (session.cc)
+  struct FactorSet;    // one set of factor matrices being optimized
+  struct TripleStats;  // merged stats of one full A/B/C update iteration
+
+  Session() = default;
+
+  /// One full alternating iteration (update A, then B, then C).
+  Result<TripleStats> UpdateFactors(FactorSet* factors,
+                                    const DbtfConfig& config);
+
+  const SparseTensor* tensor_ = nullptr;
+  std::int64_t num_partitions_requested_ = 0;
+  int num_machines_ = 0;
+
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  UnfoldShape shapes_[3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  std::int64_t nparts_[3] = {0, 0, 0};
+
+  /// Lazily built fiber index for InitScheme::kFiberSample (rank-independent,
+  /// so it is shared across every run of the session).
+  std::unique_ptr<FiberIndex> fibers_;
+
+  /// The one-off shuffle, re-attributed to every run's report.
+  CommSnapshot shuffle_snapshot_;
+  double shuffle_virtual_seconds_ = 0.0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DBTF_SESSION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/timer.h"
 
@@ -30,6 +31,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterConfig& config) {
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
+      placement_(config.placement ? config.placement : DefaultPlacement()),
       machine_seconds_(static_cast<std::size_t>(config.num_machines), 0.0) {
   int threads = config_.num_threads;
   if (threads == 0) {
@@ -46,6 +48,80 @@ void Cluster::RunTasks(std::int64_t n,
     fn(t);
     ChargeCompute(OwnerOf(t), timer.ElapsedSeconds());
   });
+}
+
+Status Cluster::AttachWorker(int machine, Worker* worker) {
+  if (machine < 0 || machine >= config_.num_machines) {
+    return Status::InvalidArgument("machine index out of range");
+  }
+  if (worker == nullptr) {
+    return Status::InvalidArgument("cannot attach a null worker");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const AttachedWorker& w : workers_) {
+    if (w.machine == machine) {
+      return Status::FailedPrecondition(
+          "a worker is already attached to this machine");
+    }
+  }
+  workers_.push_back(AttachedWorker{machine, worker});
+  return Status::OK();
+}
+
+void Cluster::DetachWorkers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.clear();
+}
+
+int Cluster::num_attached_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+std::vector<Cluster::AttachedWorker> Cluster::WorkerSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_;
+}
+
+Status Cluster::BroadcastToWorkers(std::int64_t wire_bytes,
+                                   const WorkerFn& deliver) {
+  ChargeBroadcast(wire_bytes);
+  return DispatchToWorkers(deliver);
+}
+
+Status Cluster::DispatchToWorkers(const WorkerFn& fn) {
+  const std::vector<AttachedWorker> workers = WorkerSnapshot();
+  if (workers.empty()) {
+    return Status::FailedPrecondition("no workers attached to the cluster");
+  }
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+  pool_->ParallelFor(
+      static_cast<std::int64_t>(workers.size()), [&](std::int64_t i) {
+        const AttachedWorker& w = workers[static_cast<std::size_t>(i)];
+        ThreadCpuTimer timer;
+        const Status status = fn(*w.worker);
+        ChargeCompute(w.machine, timer.ElapsedSeconds());
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = status;
+        }
+      });
+  return first_error;
+}
+
+Status Cluster::CollectFromWorkers(const WorkerGatherFn& gather) {
+  const std::vector<AttachedWorker> workers = WorkerSnapshot();
+  if (workers.empty()) {
+    return Status::FailedPrecondition("no workers attached to the cluster");
+  }
+  std::int64_t total_bytes = 0;
+  for (const AttachedWorker& w : workers) {
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t bytes, gather(*w.worker));
+    total_bytes += bytes;
+  }
+  ChargeCollect(total_bytes);
+  return Status::OK();
 }
 
 void Cluster::ChargeCompute(int machine, double seconds) {

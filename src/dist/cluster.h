@@ -9,9 +9,12 @@
 
 #include "common/status.h"
 #include "dist/comm_stats.h"
+#include "dist/placement.h"
 #include "dist/thread_pool.h"
 
 namespace dbtf {
+
+class Worker;  // dist/worker.h — owns per-machine partitions and caches
 
 /// Configuration of the simulated cluster.
 struct ClusterConfig {
@@ -25,6 +28,9 @@ struct ClusterConfig {
   /// Driver-side per-byte processing cost (deserialize + reduce), applied to
   /// collected bytes. This is what curbs linear scaling as N and M grow.
   double driver_seconds_per_byte = 2e-9;
+  /// Partition/task placement; null selects round-robin (the default and the
+  /// paper's implicit scheme).
+  std::shared_ptr<const PlacementPolicy> placement;
 
   Status Validate() const;
 };
@@ -39,22 +45,72 @@ struct ClusterConfig {
 /// scalability experiment (paper Fig. 7) reports. On a single-core host the
 /// wall clock cannot show multi-machine speedups; the virtual clock can,
 /// because per-task CPU time is independent of interleaving.
+///
+/// Beyond the clocks and the ledger, the cluster is the *message router* of
+/// the driver/worker runtime: one `Worker` endpoint may be attached per
+/// machine, and the driver reaches worker state exclusively through
+/// `BroadcastToWorkers` / `DispatchToWorkers` / `CollectFromWorkers`. The
+/// routing methods do the Lemma 6–7 ledger charging themselves, so any byte
+/// that crosses the driver/worker boundary is priced by construction: a
+/// broadcast charges its wire size once per machine before delivery, and a
+/// collect charges the workers' summed payload as one driver-side event.
 class Cluster {
  public:
+  /// Invoked on (or gathered from) one worker during message routing.
+  using WorkerFn = std::function<Status(Worker&)>;
+  /// Gather callback: consumes one worker's payload at the driver and
+  /// returns the wire bytes that payload occupied.
+  using WorkerGatherFn = std::function<Result<std::int64_t>(Worker&)>;
+
   /// Creates a cluster after validating the configuration.
   static Result<std::unique_ptr<Cluster>> Create(const ClusterConfig& config);
 
   int num_machines() const { return config_.num_machines; }
   const ClusterConfig& config() const { return config_; }
 
-  /// Machine that owns task (or partition) index t: round-robin placement.
+  /// Machine that owns task (or partition) index t, per the configured
+  /// placement policy (round-robin unless overridden).
   int OwnerOf(std::int64_t task) const {
-    return static_cast<int>(task % config_.num_machines);
+    return placement_->Place(task, config_.num_machines);
   }
 
   /// Runs fn(t) for t in [0, n) on the pool. Each task's thread-CPU time is
   /// added to the virtual clock of machine OwnerOf(t).
   void RunTasks(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+  // --- Worker registry -----------------------------------------------------
+
+  /// Attaches `worker` as machine `machine`'s message endpoint. The worker
+  /// is owned by the caller (the engine session) and must outlive routing.
+  /// At most one worker may be attached per machine.
+  Status AttachWorker(int machine, Worker* worker);
+
+  /// Detaches every worker (e.g. when a session is torn down).
+  void DetachWorkers();
+
+  /// Number of currently attached workers.
+  int num_attached_workers() const;
+
+  // --- Message routing (the only driver <-> worker data path) --------------
+
+  /// Routes one driver->worker broadcast: charges `wire_bytes` to every
+  /// machine on the ledger (Lemma 7), then invokes `deliver` on each
+  /// attached worker in parallel, charging each delivery's CPU time to the
+  /// receiving machine's virtual clock.
+  Status BroadcastToWorkers(std::int64_t wire_bytes, const WorkerFn& deliver);
+
+  /// Routes a control-plane command to every attached worker in parallel
+  /// (CPU charged to each machine's virtual clock). Dispatch closures ride
+  /// the task scheduler, which the paper's shuffle analysis prices at zero;
+  /// data-plane payloads must use BroadcastToWorkers / CollectFromWorkers.
+  Status DispatchToWorkers(const WorkerFn& fn);
+
+  /// Routes a worker->driver collect: invokes `gather` on every attached
+  /// worker sequentially (the driver-side reduce), sums the returned wire
+  /// bytes, and charges the total as one collect event (Lemma 7).
+  Status CollectFromWorkers(const WorkerGatherFn& gather);
+
+  // --- Ledger and virtual clocks -------------------------------------------
 
   /// Adds `seconds` of compute to machine m's virtual clock directly.
   void ChargeCompute(int machine, double seconds);
@@ -96,11 +152,21 @@ class Cluster {
                config_.network_bandwidth_bytes_per_second;
   }
 
+  struct AttachedWorker {
+    int machine;
+    Worker* worker;
+  };
+
+  /// Snapshot of the attached workers, for lock-free iteration on the pool.
+  std::vector<AttachedWorker> WorkerSnapshot() const;
+
   ClusterConfig config_;
+  std::shared_ptr<const PlacementPolicy> placement_;
   std::unique_ptr<ThreadPool> pool_;
   CommStats comm_;
 
   mutable std::mutex mu_;
+  std::vector<AttachedWorker> workers_;
   std::vector<double> machine_seconds_;
   double driver_seconds_ = 0.0;
 };

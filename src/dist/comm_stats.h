@@ -19,6 +19,32 @@ struct CommSnapshot {
   std::int64_t TotalBytes() const {
     return shuffle_bytes + broadcast_bytes + collect_bytes;
   }
+
+  /// Field-wise difference this - begin, where `begin` is an earlier
+  /// snapshot of the same ledger: the traffic between the two snapshots.
+  CommSnapshot Since(const CommSnapshot& begin) const {
+    CommSnapshot d;
+    d.shuffle_bytes = shuffle_bytes - begin.shuffle_bytes;
+    d.broadcast_bytes = broadcast_bytes - begin.broadcast_bytes;
+    d.collect_bytes = collect_bytes - begin.collect_bytes;
+    d.shuffle_events = shuffle_events - begin.shuffle_events;
+    d.broadcast_events = broadcast_events - begin.broadcast_events;
+    d.collect_events = collect_events - begin.collect_events;
+    return d;
+  }
+
+  /// Field-wise sum (e.g. attributing a session's one-off shuffle to a run).
+  CommSnapshot Plus(const CommSnapshot& other) const {
+    CommSnapshot s;
+    s.shuffle_bytes = shuffle_bytes + other.shuffle_bytes;
+    s.broadcast_bytes = broadcast_bytes + other.broadcast_bytes;
+    s.collect_bytes = collect_bytes + other.collect_bytes;
+    s.shuffle_events = shuffle_events + other.shuffle_events;
+    s.broadcast_events = broadcast_events + other.broadcast_events;
+    s.collect_events = collect_events + other.collect_events;
+    return s;
+  }
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,28 @@
+#include "dist/placement.h"
+
+#include <algorithm>
+
+namespace dbtf {
+
+int RoundRobinPlacement::Place(std::int64_t index, int num_machines) const {
+  return static_cast<int>(index % num_machines);
+}
+
+BlockPlacement::BlockPlacement(std::int64_t num_partitions)
+    : num_partitions_(std::max<std::int64_t>(1, num_partitions)) {}
+
+int BlockPlacement::Place(std::int64_t index, int num_machines) const {
+  const std::int64_t block =
+      (num_partitions_ + num_machines - 1) / num_machines;
+  const std::int64_t machine = index / block;
+  return static_cast<int>(
+      std::min<std::int64_t>(machine, num_machines - 1));
+}
+
+std::shared_ptr<const PlacementPolicy> DefaultPlacement() {
+  static const std::shared_ptr<const PlacementPolicy> kRoundRobin =
+      std::make_shared<RoundRobinPlacement>();
+  return kRoundRobin;
+}
+
+}  // namespace dbtf

@@ -1,0 +1,60 @@
+#ifndef DBTF_DIST_PLACEMENT_H_
+#define DBTF_DIST_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace dbtf {
+
+/// Decides which machine owns each partition (or task) index. The runtime
+/// consults the policy once when partitions are moved into workers at
+/// session build, and again whenever task CPU time is charged to a virtual
+/// clock, so placement and accounting can never disagree.
+///
+/// Policies must be pure functions of (index, num_machines): the same index
+/// must always map to the same machine for a fixed cluster size, because
+/// partitions physically live on the worker the policy named at build time.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Machine in [0, num_machines) that owns partition/task `index`.
+  virtual int Place(std::int64_t index, int num_machines) const = 0;
+
+  /// Short policy name for logs and traces.
+  virtual std::string name() const = 0;
+};
+
+/// Round-robin placement: partition p lives on machine p mod M. This is the
+/// paper's implicit scheme (partitions are equal-width column slices, so
+/// striping them balances both bytes and work) and the default everywhere.
+class RoundRobinPlacement : public PlacementPolicy {
+ public:
+  int Place(std::int64_t index, int num_machines) const override;
+  std::string name() const override { return "round-robin"; }
+};
+
+/// Contiguous-block placement: the first ceil(N/M) partitions on machine 0,
+/// the next block on machine 1, and so on. Groups neighbouring column
+/// ranges on one machine — the shape a locality-aware policy would want —
+/// at the cost of a lumpier tail when M does not divide N.
+class BlockPlacement : public PlacementPolicy {
+ public:
+  /// `num_partitions` fixes the block width; indices beyond it wrap onto the
+  /// last machine.
+  explicit BlockPlacement(std::int64_t num_partitions);
+
+  int Place(std::int64_t index, int num_machines) const override;
+  std::string name() const override { return "block"; }
+
+ private:
+  std::int64_t num_partitions_;
+};
+
+/// The default policy used when a cluster is configured without one.
+std::shared_ptr<const PlacementPolicy> DefaultPlacement();
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_PLACEMENT_H_

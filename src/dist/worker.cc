@@ -1,0 +1,172 @@
+#include "dist/worker.h"
+
+#include <utility>
+
+namespace dbtf {
+namespace {
+
+/// Error contribution of one block for one row under one cache key: the
+/// number of positions where the cached Boolean row summation differs from
+/// the block's slice of X(n).
+std::int64_t BlockError(const PartitionBlock& block, std::int64_t row,
+                        std::uint64_t key, const CacheTable& cache,
+                        BitWord* scratch) {
+  if (key == 0) {
+    // Empty summation: the error is exactly the slice's non-zero count.
+    return block.row_nnz[static_cast<std::size_t>(row)];
+  }
+  const std::int64_t wc = block.rows.words_per_row();
+  const BitWord* sum = cache.Lookup(key, block.word_begin, wc, scratch);
+  const BitWord* x = block.rows.RowData(row);
+  std::int64_t err = 0;
+  for (std::int64_t w = 0; w + 1 < wc; ++w) {
+    err += PopCount(sum[w] ^ x[w]);
+  }
+  err += PopCount((sum[wc - 1] & block.last_word_mask) ^ x[wc - 1]);
+  return err;
+}
+
+}  // namespace
+
+std::int64_t FactorMatrices::WireBytes() const {
+  const auto matrix_bytes = [](const BitMatrix& m) {
+    return m.rows() * m.words_per_row() *
+           static_cast<std::int64_t>(sizeof(BitWord));
+  };
+  return matrix_bytes(*factor) + matrix_bytes(*mf) + matrix_bytes(*ms);
+}
+
+void Worker::AdoptPartition(Mode mode, std::int64_t index, Partition partition,
+                            const UnfoldShape& shape) {
+  ModeState& st = state(mode);
+  st.shape = shape;
+  LocalPartition lp;
+  lp.index = index;
+  lp.owned = std::make_unique<Partition>(std::move(partition));
+  lp.data = lp.owned.get();
+  st.partitions.push_back(std::move(lp));
+}
+
+void Worker::BorrowPartition(Mode mode, std::int64_t index,
+                             const Partition* partition,
+                             const UnfoldShape& shape) {
+  ModeState& st = state(mode);
+  st.shape = shape;
+  LocalPartition lp;
+  lp.index = index;
+  lp.data = partition;
+  st.partitions.push_back(std::move(lp));
+}
+
+std::int64_t Worker::NumLocalPartitions(Mode mode) const {
+  return static_cast<std::int64_t>(state(mode).partitions.size());
+}
+
+std::int64_t Worker::LocalPartitionBytes() const {
+  std::int64_t bytes = 0;
+  for (const ModeState& st : modes_) {
+    for (const LocalPartition& lp : st.partitions) {
+      if (lp.data == nullptr) continue;
+      for (const PartitionBlock& block : lp.data->blocks) {
+        bytes += block.rows.rows() * block.rows.words_per_row() *
+                 static_cast<std::int64_t>(sizeof(BitWord));
+      }
+    }
+  }
+  return bytes;
+}
+
+Status Worker::Handle(const FactorMatrices& msg) {
+  ModeState& st = state(msg.mode);
+  st.rows = msg.factor->rows();
+
+  // Row masks of M_f, used to derive cache keys per block. Each machine
+  // derives them from its broadcast copy.
+  st.mf_masks.resize(static_cast<std::size_t>(msg.mf->rows()));
+  for (std::int64_t q = 0; q < msg.mf->rows(); ++q) {
+    st.mf_masks[static_cast<std::size_t>(q)] = msg.mf->RowMask64(q);
+  }
+
+  // Each partition builds its own cache of Boolean row summations of M_s^T
+  // (Algorithm 5) from the broadcast copy.
+  const BitMatrix ms_t = msg.ms->Transpose();
+  for (LocalPartition& lp : st.partitions) {
+    DBTF_ASSIGN_OR_RETURN(
+        CacheTable cache,
+        CacheTable::Build(ms_t, msg.cache_group_size, msg.enable_caching));
+    lp.cache = std::make_unique<CacheTable>(std::move(cache));
+    lp.err0.assign(static_cast<std::size_t>(st.rows), 0);
+    lp.err1.assign(static_cast<std::size_t>(st.rows), 0);
+    lp.scratch.assign(static_cast<std::size_t>(ms_t.words_per_row()), 0);
+  }
+  return Status::OK();
+}
+
+Status Worker::Handle(const RunUpdateColumn& msg) {
+  ModeState& st = state(msg.mode);
+  if (msg.rows != st.rows) {
+    return Status::FailedPrecondition(
+        "RunUpdateColumn does not match the broadcast factor shape");
+  }
+  const std::uint64_t bit = std::uint64_t{1}
+                            << static_cast<unsigned>(msg.column);
+  for (LocalPartition& lp : st.partitions) {
+    if (lp.cache == nullptr) {
+      return Status::FailedPrecondition(
+          "RunUpdateColumn before FactorMatrices broadcast");
+    }
+    const Partition& part = *lp.data;
+    const CacheTable& cache = *lp.cache;
+    BitWord* scr = lp.scratch.data();
+    std::int64_t* e0 = lp.err0.data();
+    std::int64_t* e1 = lp.err1.data();
+    for (std::int64_t r = 0; r < st.rows; ++r) {
+      const std::uint64_t m0 =
+          msg.row_masks[static_cast<std::size_t>(r)] & ~bit;
+      std::int64_t sum0 = 0;
+      std::int64_t sum1 = 0;
+      for (const PartitionBlock& block : part.blocks) {
+        const std::uint64_t fmask =
+            st.mf_masks[static_cast<std::size_t>(block.block_index)];
+        const std::uint64_t k0 = m0 & fmask;
+        const std::int64_t b0 = BlockError(block, r, k0, cache, scr);
+        sum0 += b0;
+        if ((fmask & bit) != 0) {
+          // Setting the entry adds M_f's PVM row to the summation.
+          sum1 += BlockError(block, r, k0 | bit, cache, scr);
+        } else {
+          // The candidate bit is masked out by M_f: identical error.
+          sum1 += b0;
+        }
+      }
+      e0[r] = sum0;
+      e1[r] = sum1;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::int64_t> Worker::Handle(const CollectErrors& msg) {
+  ModeState& st = state(msg.mode);
+  if (msg.rows != st.rows) {
+    return Status::FailedPrecondition(
+        "CollectErrors does not match the broadcast factor shape");
+  }
+  for (const LocalPartition& lp : st.partitions) {
+    for (std::int64_t r = 0; r < st.rows; ++r) {
+      msg.totals0[static_cast<std::size_t>(r)] +=
+          lp.err0[static_cast<std::size_t>(r)];
+      msg.totals1[static_cast<std::size_t>(r)] +=
+          lp.err1[static_cast<std::size_t>(r)];
+    }
+    if (msg.stats != nullptr && lp.cache != nullptr) {
+      msg.stats->cache_entries += lp.cache->total_entries();
+      msg.stats->cache_bytes += lp.cache->memory_bytes();
+    }
+  }
+  // The driver collects 2 errors per row from every partition (Lemma 7).
+  return NumLocalPartitions(msg.mode) * st.rows * 2 *
+         static_cast<std::int64_t>(sizeof(std::int64_t));
+}
+
+}  // namespace dbtf

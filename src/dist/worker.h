@@ -1,0 +1,169 @@
+#ifndef DBTF_DIST_WORKER_H_
+#define DBTF_DIST_WORKER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/status.h"
+#include "dbtf/cache_table.h"
+#include "dbtf/partition.h"
+#include "tensor/bit_matrix.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+// Typed messages of the driver/worker runtime. Every payload that crosses
+// the driver/worker boundary is one of these structs, and each one is routed
+// through exactly one Cluster primitive, so the Lemma 6–7 ledger charging
+// happens at the routing layer instead of at call sites:
+//
+//   FactorMatrices  -> Cluster::BroadcastToWorkers (charged per machine)
+//   RunUpdateColumn -> Cluster::DispatchToWorkers  (task closure; priced at
+//                      zero, as the paper's shuffle analysis prices task
+//                      dispatch)
+//   CollectErrors   -> Cluster::CollectFromWorkers (charged once, total)
+
+/// Broadcast payload of one factor update (Lemma 7): the driver's copies of
+/// the factor being updated plus the two Khatri-Rao operands, along with the
+/// cache parameters the workers need to rebuild their tables. Pointers refer
+/// to driver-owned matrices and are only valid for the duration of the
+/// delivering Cluster::BroadcastToWorkers call; workers derive and keep what
+/// they need (M_f row masks, M_s^T, cache tables) rather than the pointers.
+struct FactorMatrices {
+  Mode mode;                ///< which unfolding's factor is being updated
+  const BitMatrix* factor;  ///< matrix being updated (shape.rows x R)
+  const BitMatrix* mf;      ///< first KR operand (shape.blocks x R)
+  const BitMatrix* ms;      ///< second KR operand / caching unit (within x R)
+  int cache_group_size;     ///< V of Lemma 2
+  bool enable_caching;      ///< ablation: false recomputes every summation
+
+  /// Packed bytes of the three matrices: what one machine receives.
+  std::int64_t WireBytes() const;
+};
+
+/// Driver -> workers: score both candidate values of one factor column.
+/// `row_masks` is the driver's current view of the factor rows — the
+/// broadcast copy plus the decisions of previous columns, which ride the
+/// task closure exactly as Spark ships updated driver state with each task.
+struct RunUpdateColumn {
+  Mode mode;
+  std::int64_t column;             ///< c in [0, R)
+  const std::uint64_t* row_masks;  ///< `rows` current factor row masks
+  std::int64_t rows;
+};
+
+/// Workers -> driver: per-row error sums for both candidate values of the
+/// column last scored via RunUpdateColumn. Each worker adds the errors of
+/// its local partitions into the driver's accumulators; the wire cost is two
+/// 64-bit counters per row per partition (Lemma 7's collect term). When
+/// `stats` is non-null the worker also piggybacks its cache-table metrics on
+/// the response, the way Spark ships task metrics with task results (the
+/// few bytes of metrics are not part of the paper's ledger).
+struct CollectErrors {
+  Mode mode;
+  std::int64_t* totals0;  ///< driver accumulator, `rows` entries
+  std::int64_t* totals1;  ///< driver accumulator, `rows` entries
+  std::int64_t rows;
+  struct CacheMetrics {
+    std::int64_t cache_entries = 0;
+    std::int64_t cache_bytes = 0;
+  };
+  CacheMetrics* stats = nullptr;  ///< optional piggybacked task metrics
+};
+
+/// One simulated machine of the distributed runtime.
+///
+/// A worker *owns* its slice of the three partitioned unfoldings and the
+/// per-partition cache tables as private state: partitions are moved in once
+/// at session build (AdoptPartition) and are reachable afterwards only
+/// through the typed messages above, routed via Cluster. The driver never
+/// touches partition or cache state directly — that is what enforces the
+/// paper's claim that only factor matrices cross the wire (Lemmas 6–7).
+///
+/// Message handlers are invoked by Cluster routing: Handle(FactorMatrices)
+/// and Handle(RunUpdateColumn) run on the pool (one task per worker, CPU
+/// charged to this worker's machine), Handle(CollectErrors) runs on the
+/// driver thread during the sequential collect reduce. A worker's handlers
+/// are never invoked concurrently with each other.
+class Worker {
+ public:
+  explicit Worker(int machine) : machine_(machine) {}
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+  Worker(Worker&&) = default;
+  Worker& operator=(Worker&&) = default;
+
+  int machine() const { return machine_; }
+
+  /// Takes ownership of partition `index` of the mode-`mode` unfolding. The
+  /// driver relinquishes the data; it lives on this machine from now on.
+  void AdoptPartition(Mode mode, std::int64_t index, Partition partition,
+                      const UnfoldShape& shape);
+
+  /// Borrows partition `index` without taking ownership (the legacy
+  /// UpdateFactor entry point runs over an externally owned
+  /// PartitionedUnfolding). `partition` must outlive the worker's use.
+  void BorrowPartition(Mode mode, std::int64_t index,
+                       const Partition* partition, const UnfoldShape& shape);
+
+  /// Partitions of `mode` resident on this machine.
+  std::int64_t NumLocalPartitions(Mode mode) const;
+
+  /// Packed bytes of all resident partition slices (Lemma 5's partition
+  /// term, restricted to this machine).
+  std::int64_t LocalPartitionBytes() const;
+
+  // --- Message handlers (call via Cluster routing only) --------------------
+
+  /// Receives the broadcast factor matrices: derives the M_f row masks,
+  /// transposes M_s, and rebuilds one cache table per local partition
+  /// (Algorithm 5). Also (re)sizes the per-partition error accumulators.
+  Status Handle(const FactorMatrices& msg);
+
+  /// Scores both candidate values of the given column for every row against
+  /// each local partition (Algorithm 4's inner sweep).
+  Status Handle(const RunUpdateColumn& msg);
+
+  /// Adds this worker's per-partition errors into the driver's accumulators
+  /// and returns the wire bytes of the response.
+  Result<std::int64_t> Handle(const CollectErrors& msg);
+
+ private:
+  struct LocalPartition {
+    std::int64_t index;                ///< global partition index
+    std::unique_ptr<Partition> owned;  ///< set when this worker owns the data
+    const Partition* data;             ///< owned.get() or the borrowed slice
+    std::unique_ptr<CacheTable> cache; ///< rebuilt on every FactorMatrices
+    std::vector<std::int64_t> err0;    ///< per-row error, candidate bit = 0
+    std::vector<std::int64_t> err1;    ///< per-row error, candidate bit = 1
+    std::vector<BitWord> scratch;      ///< multi-group cache-lookup scratch
+  };
+
+  /// Per-mode slice of the runtime state. Updates for different modes never
+  /// interleave inside one factor update, but the caches of all three modes
+  /// stay resident between updates (they are rebuilt on the next broadcast).
+  struct ModeState {
+    UnfoldShape shape{0, 0, 0};
+    std::vector<LocalPartition> partitions;
+    std::vector<std::uint64_t> mf_masks;  ///< row masks of the broadcast M_f
+    std::int64_t rows = 0;                ///< rows of the factor under update
+  };
+
+  ModeState& state(Mode mode) {
+    return modes_[static_cast<std::size_t>(mode) - 1];
+  }
+  const ModeState& state(Mode mode) const {
+    return modes_[static_cast<std::size_t>(mode) - 1];
+  }
+
+  int machine_;
+  std::array<ModeState, 3> modes_;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_WORKER_H_

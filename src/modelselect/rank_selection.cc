@@ -1,7 +1,9 @@
 #include "modelselect/rank_selection.h"
 
 #include <cmath>
+#include <memory>
 
+#include "dbtf/session.h"
 #include "tensor/boolean_ops.h"
 
 namespace dbtf {
@@ -64,13 +66,19 @@ Result<RankSelection> EstimateBooleanRank(const SparseTensor& x,
     candidates.push_back(r);
   }
 
+  // Partition and place the tensor once; every candidate rank runs on the
+  // same resident session (re-partitioning is rank-independent work).
+  DBTF_ASSIGN_OR_RETURN(const std::unique_ptr<Session> session,
+                        Session::Create(x, base_config));
+
   RankSelection selection;
   double best_bits = 0.0;
   int worse_streak = 0;
   for (const std::int64_t rank : candidates) {
     DbtfConfig config = base_config;
     config.rank = rank;
-    DBTF_ASSIGN_OR_RETURN(const DbtfResult result, Dbtf::Factorize(x, config));
+    DBTF_ASSIGN_OR_RETURN(const DbtfResult result,
+                          session->Factorize(config));
     DBTF_ASSIGN_OR_RETURN(
         const DescriptionLength dl,
         ComputeDescriptionLength(x, result.a, result.b, result.c));

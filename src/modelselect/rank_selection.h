@@ -44,6 +44,10 @@ struct RankSelection {
 /// (its `rank` field is overridden), and returns the MDL-minimizing rank.
 /// The scan stops early once the score has worsened for two consecutive
 /// evaluated ranks past the current minimum.
+///
+/// The tensor is partitioned and placed on the workers once (one Session);
+/// every candidate rank reuses the resident partitions, so the scan pays the
+/// one-off shuffle a single time.
 Result<RankSelection> EstimateBooleanRank(const SparseTensor& x,
                                           std::int64_t max_rank,
                                           const DbtfConfig& base_config);

@@ -4,6 +4,9 @@
 
 #include <atomic>
 
+#include "dist/placement.h"
+#include "dist/worker.h"
+
 namespace dbtf {
 namespace {
 
@@ -126,6 +129,114 @@ TEST(Cluster, ResetVirtualTimeKeepsLedger) {
   EXPECT_DOUBLE_EQ((*cluster)->VirtualMakespanSeconds(), 0.0);
   EXPECT_EQ((*cluster)->comm().Snapshot().collect_bytes, 100)
       << "the communication ledger is not part of virtual time";
+}
+
+TEST(Cluster, WorkerRegistryValidatesAttachment) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  Worker w0(0);
+  Worker w0_dup(0);
+  EXPECT_EQ((*cluster)->num_attached_workers(), 0);
+  EXPECT_TRUE((*cluster)->AttachWorker(0, &w0).ok());
+  EXPECT_EQ((*cluster)->num_attached_workers(), 1);
+  EXPECT_EQ((*cluster)->AttachWorker(0, &w0_dup).code(),
+            StatusCode::kFailedPrecondition)
+      << "one endpoint per machine";
+  EXPECT_EQ((*cluster)->AttachWorker(4, &w0).code(),
+            StatusCode::kInvalidArgument)
+      << "machine index out of range";
+  EXPECT_EQ((*cluster)->AttachWorker(1, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  (*cluster)->DetachWorkers();
+  EXPECT_EQ((*cluster)->num_attached_workers(), 0);
+}
+
+TEST(Cluster, RoutingRequiresWorkers) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  const auto noop = [](Worker&) { return Status::OK(); };
+  EXPECT_EQ((*cluster)->DispatchToWorkers(noop).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*cluster)->BroadcastToWorkers(64, noop).code(),
+            StatusCode::kFailedPrecondition);
+  const auto gather = [](Worker&) -> Result<std::int64_t> { return 0; };
+  EXPECT_EQ((*cluster)->CollectFromWorkers(gather).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Cluster, BroadcastChargesPerMachineAndDeliversToAll) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  Worker w0(0);
+  Worker w2(2);
+  ASSERT_TRUE((*cluster)->AttachWorker(0, &w0).ok());
+  ASSERT_TRUE((*cluster)->AttachWorker(2, &w2).ok());
+  std::atomic<int> delivered{0};
+  ASSERT_TRUE((*cluster)
+                  ->BroadcastToWorkers(100,
+                                       [&delivered](Worker&) {
+                                         delivered.fetch_add(1);
+                                         return Status::OK();
+                                       })
+                  .ok());
+  EXPECT_EQ(delivered.load(), 2);
+  const CommSnapshot snap = (*cluster)->comm().Snapshot();
+  EXPECT_EQ(snap.broadcast_bytes, 100 * 4)
+      << "a broadcast is priced for every machine of the cluster";
+  EXPECT_EQ(snap.broadcast_events, 1);
+}
+
+TEST(Cluster, CollectSumsWorkerBytesIntoOneEvent) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  Worker w0(0);
+  Worker w1(1);
+  ASSERT_TRUE((*cluster)->AttachWorker(0, &w0).ok());
+  ASSERT_TRUE((*cluster)->AttachWorker(1, &w1).ok());
+  ASSERT_TRUE((*cluster)
+                  ->CollectFromWorkers([](Worker& w) -> Result<std::int64_t> {
+                    return w.machine() == 0 ? 30 : 12;
+                  })
+                  .ok());
+  const CommSnapshot snap = (*cluster)->comm().Snapshot();
+  EXPECT_EQ(snap.collect_bytes, 42);
+  EXPECT_EQ(snap.collect_events, 1);
+}
+
+TEST(Cluster, DispatchSurfacesWorkerErrors) {
+  auto cluster = Cluster::Create(SmallConfig());
+  ASSERT_TRUE(cluster.ok());
+  Worker w0(0);
+  Worker w1(1);
+  ASSERT_TRUE((*cluster)->AttachWorker(0, &w0).ok());
+  ASSERT_TRUE((*cluster)->AttachWorker(1, &w1).ok());
+  const Status status = (*cluster)->DispatchToWorkers([](Worker& w) {
+    return w.machine() == 1 ? Status::Internal("boom") : Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(Placement, RoundRobinAndBlockPolicies) {
+  const RoundRobinPlacement rr;
+  EXPECT_EQ(rr.Place(5, 4), 1);
+  EXPECT_EQ(rr.name(), "round-robin");
+  const BlockPlacement block(8);
+  // ceil(8 / 4) = 2 partitions per machine, in contiguous runs.
+  EXPECT_EQ(block.Place(0, 4), 0);
+  EXPECT_EQ(block.Place(1, 4), 0);
+  EXPECT_EQ(block.Place(2, 4), 1);
+  EXPECT_EQ(block.Place(7, 4), 3);
+  EXPECT_EQ(block.Place(100, 4), 3) << "indices past N wrap to the last";
+}
+
+TEST(Cluster, PlacementPolicyIsPluggable) {
+  ClusterConfig config = SmallConfig();
+  config.placement = std::make_shared<BlockPlacement>(8);
+  auto cluster = Cluster::Create(config);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->OwnerOf(0), 0);
+  EXPECT_EQ((*cluster)->OwnerOf(1), 0);
+  EXPECT_EQ((*cluster)->OwnerOf(7), 3);
 }
 
 TEST(CommStats, SnapshotAndReset) {

@@ -231,6 +231,62 @@ TEST(Dbtf, RankAboveCacheGroupSizeWorks) {
   EXPECT_EQ(split->final_error, merged->final_error);
 }
 
+TEST(Dbtf, DeadlineExpiresDuringInitialSets) {
+  const PlantedTensor p = MakePlanted(24, 4, 32);
+  DbtfConfig config = SmallConfig();
+  config.num_initial_sets = 4;
+  // Too small to finish even the session build: the first check (before
+  // initial set l = 1) must fire.
+  config.time_budget_seconds = 1e-9;
+  auto r = Dbtf::Factorize(p.tensor, config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status().message().find("initial factor sets"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Dbtf, DeadlineExpiresDuringIterations) {
+  const PlantedTensor p = MakePlanted(24, 4, 33);
+  DbtfConfig config = SmallConfig();
+  // One initial set is exempt from the deadline (the budget must produce at
+  // least one full iteration), so a tiny budget reaches iteration 2.
+  config.num_initial_sets = 1;
+  // The deadline is checked at the top of each iteration t >= 2, before the
+  // convergence test can break the loop.
+  config.max_iterations = 50;
+  config.time_budget_seconds = 1e-9;
+  auto r = Dbtf::Factorize(p.tensor, config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status().message().find("iterations"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Dbtf, GenerousDeadlineDoesNotTrigger) {
+  const PlantedTensor p = MakePlanted(20, 3, 34);
+  DbtfConfig config = SmallConfig(3);
+  config.time_budget_seconds = 3600.0;
+  auto r = Dbtf::Factorize(p.tensor, config);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(Dbtf, SurfacesCacheAndChangeStats) {
+  const PlantedTensor p = MakePlanted(24, 4, 35);
+  auto r = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->cache_entries, 0);
+  EXPECT_GT(r->cache_bytes, 0);
+  // Factors start empty, so fitting a non-empty tensor must flip cells.
+  EXPECT_GT(r->cells_changed, 0);
+
+  DbtfConfig uncached = SmallConfig();
+  uncached.enable_caching = false;
+  auto r2 = Dbtf::Factorize(p.tensor, uncached);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->cache_entries, 0) << "ablation: no tables are materialized";
+}
+
 TEST(Dbtf, HandlesEmptyTensor) {
   auto t = SparseTensor::Create(8, 8, 8);
   ASSERT_TRUE(t.ok());

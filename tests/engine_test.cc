@@ -1,0 +1,184 @@
+#include "dbtf/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dbtf/dbtf.h"
+#include "dbtf/session.h"
+#include "generator/generator.h"
+#include "modelselect/rank_selection.h"
+
+namespace dbtf {
+namespace {
+
+DbtfConfig SmallConfig(std::int64_t rank = 4) {
+  DbtfConfig config;
+  config.rank = rank;
+  config.max_iterations = 8;
+  config.num_initial_sets = 2;
+  config.num_partitions = 4;
+  config.seed = 17;
+  config.cluster.num_machines = 2;
+  config.cluster.num_threads = 2;
+  return config;
+}
+
+PlantedTensor MakePlanted(std::int64_t dim, std::int64_t rank,
+                          std::uint64_t seed) {
+  PlantedSpec spec;
+  spec.dim_i = dim;
+  spec.dim_j = dim + 4;
+  spec.dim_k = dim - 4;
+  spec.rank = rank;
+  spec.factor_density = 0.18;
+  spec.seed = seed;
+  return GeneratePlanted(spec).value();
+}
+
+void ExpectSameComm(const CommSnapshot& got, const CommSnapshot& want) {
+  EXPECT_EQ(got.shuffle_bytes, want.shuffle_bytes);
+  EXPECT_EQ(got.broadcast_bytes, want.broadcast_bytes);
+  EXPECT_EQ(got.collect_bytes, want.collect_bytes);
+  EXPECT_EQ(got.shuffle_events, want.shuffle_events);
+  EXPECT_EQ(got.broadcast_events, want.broadcast_events);
+  EXPECT_EQ(got.collect_events, want.collect_events);
+}
+
+/// The tentpole acceptance criterion: on a fixed seed, a session run and the
+/// Dbtf::Factorize wrapper produce bitwise-identical factors and an
+/// identical communication snapshot.
+TEST(Session, MatchesWrapperBitwiseAndOnTheLedger) {
+  const PlantedTensor p = MakePlanted(24, 4, 41);
+  const DbtfConfig config = SmallConfig();
+
+  auto wrapper = Dbtf::Factorize(p.tensor, config);
+  ASSERT_TRUE(wrapper.ok()) << wrapper.status().ToString();
+
+  auto session = Session::Create(p.tensor, config);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto direct = (*session)->Factorize(config);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  EXPECT_EQ(direct->a, wrapper->a);
+  EXPECT_EQ(direct->b, wrapper->b);
+  EXPECT_EQ(direct->c, wrapper->c);
+  EXPECT_EQ(direct->iteration_errors, wrapper->iteration_errors);
+  EXPECT_EQ(direct->final_error, wrapper->final_error);
+  EXPECT_EQ(direct->cells_changed, wrapper->cells_changed);
+  EXPECT_EQ(direct->cache_entries, wrapper->cache_entries);
+  EXPECT_EQ(direct->cache_bytes, wrapper->cache_bytes);
+  ExpectSameComm(direct->comm, wrapper->comm);
+}
+
+/// The ledger is charged by construction at the routing layer; its totals
+/// must match the paper's closed forms (Lemmas 6-7) computed from the run's
+/// own counts.
+TEST(Session, LedgerMatchesAnalyticFormulas) {
+  const PlantedTensor p = MakePlanted(24, 4, 42);
+  const DbtfConfig config = SmallConfig();
+  auto session = Session::Create(p.tensor, config);
+  ASSERT_TRUE(session.ok());
+  auto r = (*session)->Factorize(config);
+  ASSERT_TRUE(r.ok());
+
+  // Shuffle: every non-zero of the three unfoldings crosses the wire once
+  // as a 3-coordinate record.
+  EXPECT_EQ(r->comm.shuffle_events, 1);
+  EXPECT_EQ(r->comm.shuffle_bytes,
+            3 * p.tensor.NumNonZeros() *
+                static_cast<std::int64_t>(3 * sizeof(std::uint32_t)));
+
+  // One factor update = 1 broadcast event + R collect events. Iteration 1
+  // runs L sets x 3 modes; iterations 2..T run 3 modes each.
+  const std::int64_t updates =
+      3 * (config.num_initial_sets + (r->iterations_run - 1));
+  EXPECT_EQ(r->comm.broadcast_events, updates);
+  EXPECT_EQ(r->comm.collect_events, updates * config.rank);
+
+  // Collect volume: 2 errors x rows x partitions per column (Lemma 7).
+  const std::int64_t rows[3] = {p.tensor.dim_i(), p.tensor.dim_j(),
+                                p.tensor.dim_k()};
+  std::int64_t per_iteration = 0;
+  for (int mode = 0; mode < 3; ++mode) {
+    per_iteration += (*session)->partitions_used(static_cast<Mode>(mode + 1)) *
+                     rows[mode] * config.rank * 2 *
+                     static_cast<std::int64_t>(sizeof(std::int64_t));
+  }
+  EXPECT_EQ(r->comm.collect_bytes, (updates / 3) * per_iteration);
+}
+
+/// A session partitions and shuffles once; later runs reuse the resident
+/// partitions. Each run still *reports* the shuffle (so results stay
+/// comparable), while the raw cluster ledger records it exactly once.
+TEST(Session, ReuseAcrossRanksShufflesOnce) {
+  const PlantedTensor p = MakePlanted(24, 4, 43);
+  DbtfConfig config = SmallConfig();
+  auto session = Session::Create(p.tensor, config);
+  ASSERT_TRUE(session.ok());
+
+  for (const std::int64_t rank : {3, 5}) {
+    config.rank = rank;
+    auto from_session = (*session)->Factorize(config);
+    auto from_wrapper = Dbtf::Factorize(p.tensor, config);
+    ASSERT_TRUE(from_session.ok() && from_wrapper.ok());
+    // Reuse is invisible to the result: factors and reported traffic are
+    // identical to a from-scratch factorization.
+    EXPECT_EQ(from_session->a, from_wrapper->a);
+    EXPECT_EQ(from_session->b, from_wrapper->b);
+    EXPECT_EQ(from_session->c, from_wrapper->c);
+    ExpectSameComm(from_session->comm, from_wrapper->comm);
+  }
+  EXPECT_EQ((*session)->cluster().comm().Snapshot().shuffle_events, 1)
+      << "the resident partitions must not be reshuffled between runs";
+}
+
+TEST(Session, OwnsAllPartitionStateInWorkers) {
+  const PlantedTensor p = MakePlanted(24, 4, 44);
+  const DbtfConfig config = SmallConfig();
+  auto session = Session::Create(p.tensor, config);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->num_workers(), config.cluster.num_machines);
+  EXPECT_EQ((*session)->cluster().num_attached_workers(),
+            config.cluster.num_machines);
+}
+
+TEST(Session, RejectsMismatchedPartitioning) {
+  const PlantedTensor p = MakePlanted(20, 3, 45);
+  DbtfConfig config = SmallConfig(3);
+  auto session = Session::Create(p.tensor, config);
+  ASSERT_TRUE(session.ok());
+  DbtfConfig other = config;
+  other.num_partitions = 8;
+  EXPECT_EQ((*session)->Factorize(other).status().code(),
+            StatusCode::kInvalidArgument);
+  other = config;
+  other.cluster.num_machines = 3;
+  EXPECT_EQ((*session)->Factorize(other).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RunFactorUpdate, RequiresAttachedWorkers) {
+  const DbtfConfig config = SmallConfig(2);
+  auto cluster = Cluster::Create(config.cluster);
+  ASSERT_TRUE(cluster.ok());
+  BitMatrix factor(8, 2);
+  BitMatrix mf(8, 2);
+  BitMatrix ms(8, 2);
+  const UnfoldShape shape{8, 8, 8};
+  auto r = RunFactorUpdate(cluster->get(), Mode::kOne, shape, &factor, mf, ms,
+                           config);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+/// The rank scan runs every candidate on one resident session.
+TEST(RankSelection, SharesOnePartitionedSession) {
+  const PlantedTensor p = MakePlanted(24, 3, 46);
+  auto selection = EstimateBooleanRank(p.tensor, 6, SmallConfig(1));
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_GE(selection->best_rank, 1);
+  EXPECT_GE(selection->ranks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dbtf
