@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace dbtf {
+namespace internal_check {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* fmt, ...) {
+  if (fmt == nullptr) {
+    internal_logging::LogMessage(LogLevel::kError, file, line,
+                                 "CHECK failed: %s", expr);
+  } else {
+    char msg[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    va_end(args);
+    internal_logging::LogMessage(LogLevel::kError, file, line,
+                                 "CHECK failed: %s: %s", expr, msg);
+  }
+  std::abort();
+}
+
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const std::string& lhs,
+                                const std::string& rhs) {
+  internal_logging::LogMessage(LogLevel::kError, file, line,
+                               "CHECK failed: %s (%s vs. %s)", expr,
+                               lhs.c_str(), rhs.c_str());
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace dbtf

@@ -1,0 +1,95 @@
+#ifndef DBTF_COMMON_CHECK_H_
+#define DBTF_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+/// Runtime invariant checks for programmer errors (out-of-contract calls on
+/// non-Status paths). A failed check logs the expression — with both values
+/// for the comparison forms — and aborts the process.
+///
+///   DBTF_CHECK(cond)                  always on, optional printf-style msg:
+///   DBTF_CHECK(cond, "V=%d", v)
+///   DBTF_CHECK_EQ/LT/LE(a, b)         always on, prints "(a vs. b)" values
+///   DBTF_DCHECK / DBTF_DCHECK_*       same, but compiled out under NDEBUG
+///                                     (Release); use on hot paths
+///
+/// Checks guard DBTF-specific invariants at the runtime's seams: partition
+/// blocks aligned with PVM boundaries (Lemma 3), cache keys within the rank
+/// width (Lemmas 1-2), and ledger charges happening exactly once per routed
+/// message (Lemmas 6-7). Fallible *user* input keeps returning Status; a
+/// tripped check is always a bug in this repo, never a bad input.
+
+namespace dbtf {
+namespace internal_check {
+
+/// Logs "CHECK failed: <expr>[: <formatted msg>]" at kError and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/// Logs "CHECK failed: <expr> (<lhs> vs. <rhs>)" at kError and aborts.
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const std::string& lhs,
+                                const std::string& rhs);
+
+template <typename T>
+std::string ValueToString(const T& v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace internal_check
+}  // namespace dbtf
+
+#define DBTF_CHECK(cond, ...)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::dbtf::internal_check::CheckFailed(__FILE__, __LINE__,            \
+                                          #cond __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                                    \
+  } while (false)
+
+#define DBTF_CHECK_OP_(op, a, b)                                        \
+  do {                                                                  \
+    const auto& dbtf_check_lhs = (a);                                   \
+    const auto& dbtf_check_rhs = (b);                                   \
+    if (!(dbtf_check_lhs op dbtf_check_rhs)) {                          \
+      ::dbtf::internal_check::CheckOpFailed(                            \
+          __FILE__, __LINE__, #a " " #op " " #b,                        \
+          ::dbtf::internal_check::ValueToString(dbtf_check_lhs),        \
+          ::dbtf::internal_check::ValueToString(dbtf_check_rhs));       \
+    }                                                                   \
+  } while (false)
+
+#define DBTF_CHECK_EQ(a, b) DBTF_CHECK_OP_(==, a, b)
+#define DBTF_CHECK_LT(a, b) DBTF_CHECK_OP_(<, a, b)
+#define DBTF_CHECK_LE(a, b) DBTF_CHECK_OP_(<=, a, b)
+
+#ifdef NDEBUG
+/// Release: no code is generated and no argument is evaluated, but the
+/// expressions stay compiled so they cannot rot.
+#define DBTF_DCHECK(cond, ...) \
+  do {                         \
+    if (false) {               \
+      DBTF_CHECK(cond __VA_OPT__(, ) __VA_ARGS__); \
+    }                          \
+  } while (false)
+#define DBTF_DCHECK_OP_(op, a, b) \
+  do {                            \
+    if (false) {                  \
+      (void)((a)op(b));           \
+    }                             \
+  } while (false)
+#define DBTF_DCHECK_EQ(a, b) DBTF_DCHECK_OP_(==, a, b)
+#define DBTF_DCHECK_LT(a, b) DBTF_DCHECK_OP_(<, a, b)
+#define DBTF_DCHECK_LE(a, b) DBTF_DCHECK_OP_(<=, a, b)
+#else
+#define DBTF_DCHECK(cond, ...) DBTF_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define DBTF_DCHECK_EQ(a, b) DBTF_CHECK_EQ(a, b)
+#define DBTF_DCHECK_LT(a, b) DBTF_CHECK_LT(a, b)
+#define DBTF_DCHECK_LE(a, b) DBTF_CHECK_LE(a, b)
+#endif  // NDEBUG
+
+#endif  // DBTF_COMMON_CHECK_H_

@@ -27,17 +27,6 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
   ::dbtf::internal_logging::LogMessage(::dbtf::LogLevel::level, __FILE__, \
                                        __LINE__, __VA_ARGS__)
 
-/// Internal invariant check; aborts with a message when violated. Used for
-/// programmer errors (out-of-contract calls detected in non-Status paths).
-#define DBTF_CHECK(cond, msg)                                             \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      ::dbtf::internal_logging::LogMessage(::dbtf::LogLevel::kError,      \
-                                           __FILE__, __LINE__,            \
-                                           "CHECK failed: %s (%s)", #cond, \
-                                           msg);                          \
-      std::abort();                                                       \
-    }                                                                     \
-  } while (false)
+// Invariant checks (DBTF_CHECK and friends) live in common/check.h.
 
 #endif  // DBTF_COMMON_LOGGING_H_

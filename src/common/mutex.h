@@ -1,0 +1,63 @@
+#ifndef DBTF_COMMON_MUTEX_H_
+#define DBTF_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace dbtf {
+
+/// A std::mutex annotated as a Clang thread-safety capability, so members
+/// declared DBTF_GUARDED_BY(mu_) are machine-checked against the locking
+/// discipline. Same cost as std::mutex; lock it through MutexLock.
+class DBTF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DBTF_ACQUIRE() { mu_.lock(); }
+  void Unlock() DBTF_RELEASE() { mu_.unlock(); }
+
+  /// Declares (to the analysis only — no runtime effect) that this mutex is
+  /// held. Needed inside condition-variable predicate lambdas, which the
+  /// analysis checks as standalone functions that hold no capabilities.
+  void AssertHeld() const DBTF_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex (std::unique_lock underneath, so it supports
+/// condition-variable waits). The analysis treats the capability as held
+/// for the lock's whole scope, including across Wait — the standard
+/// treatment of the condvar release/reacquire window.
+class DBTF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DBTF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() DBTF_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks on `cv` until notified, releasing the mutex while blocked.
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Blocks on `cv` until `pred()` holds. The predicate runs with the mutex
+  /// held; it must open with `mu.AssertHeld()` before touching guarded data
+  /// (see Mutex::AssertHeld).
+  template <typename Predicate>
+  void Wait(std::condition_variable& cv, Predicate pred) {
+    cv.wait(lock_, std::move(pred));
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_MUTEX_H_

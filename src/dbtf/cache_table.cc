@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace dbtf {
 namespace {
 
@@ -88,6 +90,12 @@ const BitWord* CacheTable::Materialize(const Group& g,
 const BitWord* CacheTable::Lookup(std::uint64_t key, std::int64_t word_begin,
                                   std::int64_t word_count,
                                   BitWord* scratch) const {
+  // Lemmas 1-2: a key is an R-bit row-subset mask; bits at or above the rank
+  // select rows that do not exist. Debug-only — Lookup is the hot path.
+  DBTF_DCHECK(rank_ >= 64 || (key >> rank_) == 0,
+              "cache key has bits above rank %d", rank_);
+  DBTF_DCHECK_LE(0, word_begin);
+  DBTF_DCHECK_LE(word_begin + word_count, words_per_row_);
   if (!enabled_) {
     return ComputeUncached(key, word_begin, word_count, scratch);
   }

@@ -2,6 +2,11 @@
 
 #include <vector>
 
+#include "common/check.h"
+// The engine is the routing call-site layer: the one driver translation unit
+// allowed to see the Worker message handlers (tools/dbtf_lint.py).
+#include "dist/worker.h"
+
 namespace dbtf {
 
 Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
@@ -23,6 +28,11 @@ Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
         "RunFactorUpdate requires workers attached to the cluster");
   }
   const std::int64_t rows = shape.rows;
+
+  // Ledger seam (Lemma 7): one factor update must charge exactly one
+  // broadcast event, one collect event per column, and no shuffle — checked
+  // against a snapshot at the end of this function.
+  const CommSnapshot ledger_begin = cluster->comm().Snapshot();
 
   // Broadcast of the three factor matrices to every machine (Lemma 7); each
   // worker rebuilds its per-partition caches from its copy (Algorithm 5).
@@ -93,6 +103,12 @@ Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
   for (std::int64_t r = 0; r < rows; ++r) {
     factor->SetRowMask64(r, row_masks[static_cast<std::size_t>(r)]);
   }
+
+  // Every routed message was charged exactly once by the Cluster layer.
+  const CommSnapshot d = cluster->comm().Snapshot().Since(ledger_begin);
+  DBTF_DCHECK_EQ(d.broadcast_events, 1);
+  DBTF_DCHECK_EQ(d.collect_events, rank);
+  DBTF_DCHECK_EQ(d.shuffle_events, 0);
   return stats;
 }
 

@@ -6,7 +6,6 @@
 #include "common/status.h"
 #include "dbtf/config.h"
 #include "dist/cluster.h"
-#include "dist/worker.h"
 #include "tensor/bit_matrix.h"
 #include "tensor/unfold.h"
 

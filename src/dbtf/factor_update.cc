@@ -1,9 +1,8 @@
 #include "dbtf/factor_update.h"
 
-#include <memory>
 #include <vector>
 
-#include "dist/worker.h"
+#include "dist/provision.h"
 
 namespace dbtf {
 
@@ -17,26 +16,17 @@ Result<UpdateFactorStats> UpdateFactor(const PartitionedUnfolding& unfolding,
         "UpdateFactor needs an idle cluster; workers are already attached");
   }
 
-  // Ephemeral workers borrowing the caller's partitions, placed exactly as a
-  // session would place owned ones.
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(static_cast<std::size_t>(cluster->num_machines()));
-  for (int m = 0; m < cluster->num_machines(); ++m) {
-    workers.push_back(std::make_unique<Worker>(m));
-  }
+  // Ephemeral cluster-owned workers borrowing the caller's partitions,
+  // placed exactly as a session would place owned ones.
+  DBTF_RETURN_IF_ERROR(ProvisionWorkers(*cluster));
   const std::vector<Partition>& partitions = unfolding.partitions();
   for (std::size_t p = 0; p < partitions.size(); ++p) {
-    const int owner = cluster->OwnerOf(static_cast<std::int64_t>(p));
-    workers[static_cast<std::size_t>(owner)]->BorrowPartition(
-        unfolding.mode(), static_cast<std::int64_t>(p), &partitions[p],
-        unfolding.shape());
-  }
-  for (const std::unique_ptr<Worker>& worker : workers) {
-    const Status attached =
-        cluster->AttachWorker(worker->machine(), worker.get());
-    if (!attached.ok()) {
+    const Status lent =
+        LendPartition(*cluster, unfolding.mode(), static_cast<std::int64_t>(p),
+                      &partitions[p], unfolding.shape());
+    if (!lent.ok()) {
       cluster->DetachWorkers();
-      return attached;
+      return lent;
     }
   }
 

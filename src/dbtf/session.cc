@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "dbtf/engine.h"
 #include "dbtf/partition.h"
+#include "dist/provision.h"
 #include "tensor/unfold.h"
 
 namespace dbtf {
@@ -91,15 +92,13 @@ Result<std::unique_ptr<Session>> Session::Create(const SparseTensor& x,
   DBTF_ASSIGN_OR_RETURN(session->cluster_, Cluster::Create(config.cluster));
   Cluster* cluster = session->cluster_.get();
 
-  // One worker per machine; each ends up owning the partitions the
-  // placement policy assigns to it.
-  for (int m = 0; m < config.cluster.num_machines; ++m) {
-    session->workers_.push_back(std::make_unique<Worker>(m));
-  }
+  // One cluster-owned worker endpoint per machine; each ends up owning the
+  // partitions the placement policy assigns to it.
+  DBTF_RETURN_IF_ERROR(ProvisionWorkers(*cluster));
 
   // One-off partitioning of the three unfoldings (Algorithm 3). A real
   // cluster shuffles every non-zero of each unfolding once (Lemma 6). The
-  // driver builds the partitions, moves them into the owning workers, and
+  // driver builds the partitions, moves them onto the owning machines, and
   // keeps no partition data itself.
   for (const Mode mode : {Mode::kOne, Mode::kTwo, Mode::kThree}) {
     DBTF_ASSIGN_OR_RETURN(
@@ -111,19 +110,13 @@ Result<std::unique_ptr<Session>> Session::Create(const SparseTensor& x,
     std::vector<Partition> partitions =
         std::move(unfolding).ReleasePartitions();
     for (std::size_t p = 0; p < partitions.size(); ++p) {
-      const int owner = cluster->OwnerOf(static_cast<std::int64_t>(p));
-      session->workers_[static_cast<std::size_t>(owner)]->AdoptPartition(
-          mode, static_cast<std::int64_t>(p), std::move(partitions[p]),
-          session->shapes_[slot]);
+      DBTF_RETURN_IF_ERROR(StorePartition(
+          *cluster, mode, static_cast<std::int64_t>(p),
+          std::move(partitions[p]), session->shapes_[slot]));
     }
   }
   cluster->ChargeShuffle(3 * x.NumNonZeros() *
                          static_cast<std::int64_t>(3 * sizeof(std::uint32_t)));
-
-  for (const std::unique_ptr<Worker>& worker : session->workers_) {
-    DBTF_RETURN_IF_ERROR(
-        cluster->AttachWorker(worker->machine(), worker.get()));
-  }
 
   // Remember the shuffle so every run can report it (and its virtual time)
   // even though the cluster ledger records it only once.

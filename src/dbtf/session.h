@@ -9,7 +9,6 @@
 #include "dbtf/config.h"
 #include "dbtf/dbtf.h"
 #include "dist/cluster.h"
-#include "dist/worker.h"
 #include "tensor/sparse_tensor.h"
 #include "tensor/unfold.h"
 
@@ -63,8 +62,10 @@ class Session {
     return nparts_[static_cast<std::size_t>(mode) - 1];
   }
 
-  /// Workers holding the partitions (one per machine).
-  int num_workers() const { return static_cast<int>(workers_.size()); }
+  /// Workers holding the partitions (one per machine). The workers are
+  /// cluster-owned endpoints (dist/provision.h); the session never holds a
+  /// Worker pointer itself.
+  int num_workers() const { return cluster_->num_attached_workers(); }
 
  private:
   struct FiberIndex;   // fiber-sampled initialization index (session.cc)
@@ -82,7 +83,6 @@ class Session {
   int num_machines_ = 0;
 
   std::unique_ptr<Cluster> cluster_;
-  std::vector<std::unique_ptr<Worker>> workers_;
 
   UnfoldShape shapes_[3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
   std::int64_t nparts_[3] = {0, 0, 0};

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/check.h"
 #include "common/timer.h"
 
 namespace dbtf {
@@ -51,35 +52,53 @@ void Cluster::RunTasks(std::int64_t n,
 }
 
 Status Cluster::AttachWorker(int machine, Worker* worker) {
+  return AttachWorkerImpl(machine, worker, nullptr);
+}
+
+Status Cluster::AttachWorker(int machine, std::shared_ptr<Worker> worker) {
+  Worker* raw = worker.get();
+  return AttachWorkerImpl(machine, raw, std::move(worker));
+}
+
+Status Cluster::AttachWorkerImpl(int machine, Worker* worker,
+                                 std::shared_ptr<Worker> owned) {
   if (machine < 0 || machine >= config_.num_machines) {
     return Status::InvalidArgument("machine index out of range");
   }
   if (worker == nullptr) {
     return Status::InvalidArgument("cannot attach a null worker");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const AttachedWorker& w : workers_) {
     if (w.machine == machine) {
       return Status::FailedPrecondition(
           "a worker is already attached to this machine");
     }
   }
-  workers_.push_back(AttachedWorker{machine, worker});
+  workers_.push_back(AttachedWorker{machine, worker, std::move(owned)});
   return Status::OK();
 }
 
 void Cluster::DetachWorkers() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   workers_.clear();
 }
 
 int Cluster::num_attached_workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(workers_.size());
 }
 
+Worker* Cluster::AttachedWorkerOn(int machine) const {
+  MutexLock lock(mu_);
+  for (const AttachedWorker& w : workers_) {
+    if (w.machine == machine) return w.worker;
+  }
+  return nullptr;
+}
+
 std::vector<Cluster::AttachedWorker> Cluster::WorkerSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_;
 }
 
@@ -95,7 +114,7 @@ Status Cluster::DispatchToWorkers(const WorkerFn& fn) {
     return Status::FailedPrecondition("no workers attached to the cluster");
   }
   Status first_error = Status::OK();
-  std::mutex error_mu;
+  Mutex error_mu;
   pool_->ParallelFor(
       static_cast<std::int64_t>(workers.size()), [&](std::int64_t i) {
         const AttachedWorker& w = workers[static_cast<std::size_t>(i)];
@@ -103,7 +122,7 @@ Status Cluster::DispatchToWorkers(const WorkerFn& fn) {
         const Status status = fn(*w.worker);
         ChargeCompute(w.machine, timer.ElapsedSeconds());
         if (!status.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(error_mu);
           if (first_error.ok()) first_error = status;
         }
       });
@@ -125,14 +144,16 @@ Status Cluster::CollectFromWorkers(const WorkerGatherFn& gather) {
 }
 
 void Cluster::ChargeCompute(int machine, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  DBTF_DCHECK_LE(0, machine);
+  DBTF_DCHECK_LT(machine, config_.num_machines);
+  MutexLock lock(mu_);
   machine_seconds_[static_cast<std::size_t>(machine)] += seconds;
 }
 
 void Cluster::ChargeBroadcast(std::int64_t bytes_per_machine) {
   comm_.RecordBroadcast(bytes_per_machine * config_.num_machines);
   const double seconds = TransferSeconds(bytes_per_machine);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Broadcasts to different machines proceed in parallel; the driver pays
   // one transfer worth of serialized time.
   driver_seconds_ += seconds;
@@ -140,7 +161,7 @@ void Cluster::ChargeBroadcast(std::int64_t bytes_per_machine) {
 
 void Cluster::ChargeCollect(std::int64_t total_bytes) {
   comm_.RecordCollect(total_bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   driver_seconds_ += TransferSeconds(total_bytes) +
                      static_cast<double>(total_bytes) *
                          config_.driver_seconds_per_byte;
@@ -148,7 +169,7 @@ void Cluster::ChargeCollect(std::int64_t total_bytes) {
 
 void Cluster::ChargeShuffle(std::int64_t total_bytes) {
   comm_.RecordShuffle(total_bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The shuffle is spread over all machine pairs; machines pay in parallel.
   const double seconds =
       TransferSeconds(total_bytes / std::max(1, config_.num_machines));
@@ -156,24 +177,26 @@ void Cluster::ChargeShuffle(std::int64_t total_bytes) {
 }
 
 double Cluster::VirtualMakespanSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double max_machine = 0.0;
   for (const double m : machine_seconds_) max_machine = std::max(max_machine, m);
   return max_machine + driver_seconds_;
 }
 
 double Cluster::MachineComputeSeconds(int machine) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  DBTF_DCHECK_LE(0, machine);
+  DBTF_DCHECK_LT(machine, config_.num_machines);
+  MutexLock lock(mu_);
   return machine_seconds_[static_cast<std::size_t>(machine)];
 }
 
 double Cluster::DriverSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return driver_seconds_;
 }
 
 void Cluster::ResetVirtualTime() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fill(machine_seconds_.begin(), machine_seconds_.end(), 0.0);
   driver_seconds_ = 0.0;
 }

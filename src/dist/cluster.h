@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dist/comm_stats.h"
 #include "dist/placement.h"
 #include "dist/thread_pool.h"
@@ -54,6 +55,12 @@ struct ClusterConfig {
 /// that crosses the driver/worker boundary is priced by construction: a
 /// broadcast charges its wire size once per machine before delivery, and a
 /// collect charges the workers' summed payload as one driver-side event.
+///
+/// Locking discipline (machine-checked under Clang `-Wthread-safety`): the
+/// worker registry and both virtual clocks are guarded by `mu_`; the
+/// `CommStats` ledger is internally atomic and needs no lock. Routing never
+/// holds `mu_` while running handlers — it iterates over a snapshot of the
+/// registry that also pins cluster-owned workers alive (see WorkerSnapshot).
 class Cluster {
  public:
   /// Invoked on (or gathered from) one worker during message routing.
@@ -76,20 +83,35 @@ class Cluster {
 
   /// Runs fn(t) for t in [0, n) on the pool. Each task's thread-CPU time is
   /// added to the virtual clock of machine OwnerOf(t).
-  void RunTasks(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+  void RunTasks(std::int64_t n, const std::function<void(std::int64_t)>& fn)
+      DBTF_EXCLUDES(mu_);
 
   // --- Worker registry -----------------------------------------------------
 
   /// Attaches `worker` as machine `machine`'s message endpoint. The worker
-  /// is owned by the caller (the engine session) and must outlive routing.
-  /// At most one worker may be attached per machine.
-  Status AttachWorker(int machine, Worker* worker);
+  /// is owned by the caller and must outlive routing. At most one worker may
+  /// be attached per machine.
+  Status AttachWorker(int machine, Worker* worker) DBTF_EXCLUDES(mu_);
 
-  /// Detaches every worker (e.g. when a session is torn down).
-  void DetachWorkers();
+  /// Attaches `worker`, transferring ownership to the cluster: the worker
+  /// lives until DetachWorkers (routing in flight keeps it alive via its
+  /// snapshot, so a concurrent detach cannot free a worker under a handler).
+  /// This is how the provisioning seam (dist/provision.h) creates endpoints.
+  Status AttachWorker(int machine, std::shared_ptr<Worker> worker)
+      DBTF_EXCLUDES(mu_);
+
+  /// Detaches every worker (e.g. when a session is torn down), dropping the
+  /// cluster's ownership of workers attached via the owning overload.
+  void DetachWorkers() DBTF_EXCLUDES(mu_);
 
   /// Number of currently attached workers.
-  int num_attached_workers() const;
+  int num_attached_workers() const DBTF_EXCLUDES(mu_);
+
+  /// Endpoint attached to `machine`, or null. For the dist-layer
+  /// provisioning helpers (dist/provision.h); driver code must go through
+  /// the routing methods instead — tools/dbtf_lint.py enforces that no
+  /// driver translation unit can even name a Worker member.
+  Worker* AttachedWorkerOn(int machine) const DBTF_EXCLUDES(mu_);
 
   // --- Message routing (the only driver <-> worker data path) --------------
 
@@ -97,46 +119,47 @@ class Cluster {
   /// machine on the ledger (Lemma 7), then invokes `deliver` on each
   /// attached worker in parallel, charging each delivery's CPU time to the
   /// receiving machine's virtual clock.
-  Status BroadcastToWorkers(std::int64_t wire_bytes, const WorkerFn& deliver);
+  Status BroadcastToWorkers(std::int64_t wire_bytes, const WorkerFn& deliver)
+      DBTF_EXCLUDES(mu_);
 
   /// Routes a control-plane command to every attached worker in parallel
   /// (CPU charged to each machine's virtual clock). Dispatch closures ride
   /// the task scheduler, which the paper's shuffle analysis prices at zero;
   /// data-plane payloads must use BroadcastToWorkers / CollectFromWorkers.
-  Status DispatchToWorkers(const WorkerFn& fn);
+  Status DispatchToWorkers(const WorkerFn& fn) DBTF_EXCLUDES(mu_);
 
   /// Routes a worker->driver collect: invokes `gather` on every attached
   /// worker sequentially (the driver-side reduce), sums the returned wire
   /// bytes, and charges the total as one collect event (Lemma 7).
-  Status CollectFromWorkers(const WorkerGatherFn& gather);
+  Status CollectFromWorkers(const WorkerGatherFn& gather) DBTF_EXCLUDES(mu_);
 
   // --- Ledger and virtual clocks -------------------------------------------
 
   /// Adds `seconds` of compute to machine m's virtual clock directly.
-  void ChargeCompute(int machine, double seconds);
+  void ChargeCompute(int machine, double seconds) DBTF_EXCLUDES(mu_);
 
   /// Records a broadcast of `bytes_per_machine` to every machine: ledger
   /// bytes M * bytes_per_machine, plus network time on the virtual clock.
-  void ChargeBroadcast(std::int64_t bytes_per_machine);
+  void ChargeBroadcast(std::int64_t bytes_per_machine) DBTF_EXCLUDES(mu_);
 
   /// Records `total_bytes` of results collected at the driver: ledger bytes
   /// plus driver network + processing time.
-  void ChargeCollect(std::int64_t total_bytes);
+  void ChargeCollect(std::int64_t total_bytes) DBTF_EXCLUDES(mu_);
 
   /// Records the one-off shuffle of `total_bytes` of partitioned input.
-  void ChargeShuffle(std::int64_t total_bytes);
+  void ChargeShuffle(std::int64_t total_bytes) DBTF_EXCLUDES(mu_);
 
   /// Busiest machine's compute seconds plus accumulated driver seconds.
-  double VirtualMakespanSeconds() const;
+  double VirtualMakespanSeconds() const DBTF_EXCLUDES(mu_);
 
   /// Compute seconds on machine m's virtual clock.
-  double MachineComputeSeconds(int machine) const;
+  double MachineComputeSeconds(int machine) const DBTF_EXCLUDES(mu_);
 
   /// Driver-side (network + reduce) virtual seconds.
-  double DriverSeconds() const;
+  double DriverSeconds() const DBTF_EXCLUDES(mu_);
 
   /// Zeroes all virtual clocks (the communication ledger is separate).
-  void ResetVirtualTime();
+  void ResetVirtualTime() DBTF_EXCLUDES(mu_);
 
   CommStats& comm() { return comm_; }
   const CommStats& comm() const { return comm_; }
@@ -155,20 +178,30 @@ class Cluster {
   struct AttachedWorker {
     int machine;
     Worker* worker;
+    /// Set when the cluster owns the endpoint. Copies of this struct (in
+    /// routing snapshots) share ownership, which is what keeps an owned
+    /// worker alive while a handler still runs on it.
+    std::shared_ptr<Worker> owned;
   };
 
+  /// Shared attach path of both AttachWorker overloads.
+  Status AttachWorkerImpl(int machine, Worker* worker,
+                          std::shared_ptr<Worker> owned) DBTF_EXCLUDES(mu_);
+
   /// Snapshot of the attached workers, for lock-free iteration on the pool.
-  std::vector<AttachedWorker> WorkerSnapshot() const;
+  /// The snapshot shares ownership of cluster-owned workers, so they outlive
+  /// any routing that started before a DetachWorkers.
+  std::vector<AttachedWorker> WorkerSnapshot() const DBTF_EXCLUDES(mu_);
 
   ClusterConfig config_;
   std::shared_ptr<const PlacementPolicy> placement_;
   std::unique_ptr<ThreadPool> pool_;
   CommStats comm_;
 
-  mutable std::mutex mu_;
-  std::vector<AttachedWorker> workers_;
-  std::vector<double> machine_seconds_;
-  double driver_seconds_ = 0.0;
+  mutable Mutex mu_;
+  std::vector<AttachedWorker> workers_ DBTF_GUARDED_BY(mu_);
+  std::vector<double> machine_seconds_ DBTF_GUARDED_BY(mu_);
+  double driver_seconds_ DBTF_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace dbtf

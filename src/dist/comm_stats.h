@@ -53,6 +53,12 @@ struct CommSnapshot {
 /// of the paper: O(|X|) for the one-off partitioning shuffle, O(M*I*R) per
 /// iteration of factor-matrix broadcast, and O(N*I) per column update of
 /// error collection.
+///
+/// The counters are lock-free atomics, so no mutex (and no GUARDED_BY) is
+/// needed. Within src/, only Cluster's Charge* methods may call the Record*
+/// mutators — every routed message is charged exactly once at the routing
+/// layer, and tools/dbtf_lint.py rejects any other mutation site. Tests may
+/// drive a standalone CommStats directly.
 class CommStats {
  public:
   CommStats() = default;

@@ -1,0 +1,50 @@
+#include "dist/provision.h"
+
+#include <memory>
+#include <utility>
+
+#include "dist/cluster.h"
+#include "dist/worker.h"
+
+namespace dbtf {
+
+Status ProvisionWorkers(Cluster& cluster) {
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    Status attached = cluster.AttachWorker(m, std::make_shared<Worker>(m));
+    if (!attached.ok()) {
+      cluster.DetachWorkers();
+      return attached;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<Worker*> ResidentWorker(Cluster& cluster, std::int64_t index) {
+  const int owner = cluster.OwnerOf(index);
+  Worker* worker = cluster.AttachedWorkerOn(owner);
+  if (worker == nullptr) {
+    return Status::FailedPrecondition(
+        "no worker endpoint attached to the partition's machine");
+  }
+  return worker;
+}
+
+}  // namespace
+
+Status StorePartition(Cluster& cluster, Mode mode, std::int64_t index,
+                      Partition partition, const UnfoldShape& shape) {
+  DBTF_ASSIGN_OR_RETURN(Worker* worker, ResidentWorker(cluster, index));
+  worker->AdoptPartition(mode, index, std::move(partition), shape);
+  return Status::OK();
+}
+
+Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
+                     const Partition* partition, const UnfoldShape& shape) {
+  DBTF_ASSIGN_OR_RETURN(Worker* worker, ResidentWorker(cluster, index));
+  worker->BorrowPartition(mode, index, partition, shape);
+  return Status::OK();
+}
+
+}  // namespace dbtf

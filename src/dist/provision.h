@@ -1,0 +1,43 @@
+#ifndef DBTF_DIST_PROVISION_H_
+#define DBTF_DIST_PROVISION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dbtf/partition.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+class Cluster;
+
+/// Provisioning seam of the driver/worker runtime.
+///
+/// Driver code (session, factor update, engine callers) never names a Worker
+/// member: it provisions endpoints and places partition data through these
+/// free functions, then communicates exclusively via Cluster routing.
+/// tools/dbtf_lint.py enforces the boundary — outside src/dist/ only
+/// src/dbtf/engine.cc (the routing call sites) may include dist/worker.h.
+
+/// Creates one cluster-owned Worker per machine and attaches each as that
+/// machine's message endpoint. On failure every already-attached worker is
+/// detached, leaving the cluster idle. Fails if any machine already has an
+/// endpoint.
+Status ProvisionWorkers(Cluster& cluster);
+
+/// Moves `partition` (index `index` of the mode-`mode` unfolding, shape
+/// `shape`) onto the machine the cluster's placement policy names, giving
+/// the resident worker ownership. The driver keeps no partition data.
+/// Fails if that machine has no attached endpoint.
+Status StorePartition(Cluster& cluster, Mode mode, std::int64_t index,
+                      Partition partition, const UnfoldShape& shape);
+
+/// Like StorePartition, but the resident worker only borrows `partition`;
+/// the caller keeps ownership and must keep it alive until the workers are
+/// detached.
+Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
+                     const Partition* partition, const UnfoldShape& shape);
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_PROVISION_H_

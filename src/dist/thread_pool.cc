@@ -1,6 +1,8 @@
 #include "dist/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace dbtf {
 
@@ -14,7 +16,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -23,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -31,8 +33,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  lock.Wait(all_done_, [this] {
+    mu_.AssertHeld();
+    return in_flight_ == 0;
+  });
 }
 
 void ThreadPool::ParallelFor(std::int64_t n,
@@ -56,9 +61,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      lock.Wait(work_available_, [this] {
+        mu_.AssertHeld();
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -68,7 +75,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -5,14 +5,21 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbtf {
 
 /// Fixed-size worker pool. Tasks are arbitrary callables; ParallelFor blocks
 /// until every iteration has finished. Not copyable or movable.
+///
+/// Locking discipline (machine-checked under Clang `-Wthread-safety`): all
+/// queue and completion state is guarded by `mu_`; the condition variables
+/// pair with it. `threads_` is written only by the constructor and joined by
+/// the destructor, so it needs no guard.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (values < 1 are clamped to 1).
@@ -25,25 +32,28 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DBTF_EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have completed.
-  void Wait();
+  void Wait() DBTF_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), distributed over the pool; returns when all
-  /// iterations are done. Safe to call from one thread at a time.
-  void ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+  /// iterations are done. Safe to call from one thread at a time. Must not
+  /// be called from inside a pool task (Wait would count the calling task as
+  /// in flight and deadlock).
+  void ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn)
+      DBTF_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DBTF_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::int64_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::deque<std::function<void()>> queue_ DBTF_GUARDED_BY(mu_);
+  std::int64_t in_flight_ DBTF_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ DBTF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dbtf

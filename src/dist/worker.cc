@@ -2,8 +2,36 @@
 
 #include <utility>
 
+#include "common/check.h"
+
 namespace dbtf {
 namespace {
+
+/// Lemma 3 invariants of a partition block, enforced whenever a partition
+/// enters a worker (Adopt/BorrowPartition). Every block must be a word-
+/// aligned slice of one PVM product: that alignment is what makes the cached
+/// S-bit row summations directly comparable against the block's packed rows
+/// (cache base + word_begin, final word masked). A block that violates these
+/// would silently read the wrong cache words, so the checks are always on —
+/// partition install is cold code.
+void CheckBlockInvariants(const PartitionBlock& b, const UnfoldShape& shape) {
+  DBTF_CHECK_LE(0, b.block_index);
+  DBTF_CHECK_LT(b.block_index, shape.blocks);
+  DBTF_CHECK_EQ(b.within_begin % 64, 0);
+  DBTF_CHECK_EQ(b.word_begin, b.within_begin / 64);
+  DBTF_CHECK_LT(b.within_begin, b.within_end);
+  DBTF_CHECK_LE(b.within_end, shape.within);
+  DBTF_CHECK_EQ(b.rows.cols(), b.width());
+  DBTF_CHECK_EQ(b.rows.rows(), shape.rows);
+  DBTF_CHECK_EQ(static_cast<std::int64_t>(b.row_nnz.size()), shape.rows);
+}
+
+void CheckPartitionInvariants(const Partition& partition,
+                              const UnfoldShape& shape) {
+  for (const PartitionBlock& block : partition.blocks) {
+    CheckBlockInvariants(block, shape);
+  }
+}
 
 /// Error contribution of one block for one row under one cache key: the
 /// number of positions where the cached Boolean row summation differs from
@@ -38,6 +66,7 @@ std::int64_t FactorMatrices::WireBytes() const {
 
 void Worker::AdoptPartition(Mode mode, std::int64_t index, Partition partition,
                             const UnfoldShape& shape) {
+  CheckPartitionInvariants(partition, shape);
   ModeState& st = state(mode);
   st.shape = shape;
   LocalPartition lp;
@@ -50,6 +79,8 @@ void Worker::AdoptPartition(Mode mode, std::int64_t index, Partition partition,
 void Worker::BorrowPartition(Mode mode, std::int64_t index,
                              const Partition* partition,
                              const UnfoldShape& shape) {
+  DBTF_CHECK(partition != nullptr);
+  CheckPartitionInvariants(*partition, shape);
   ModeState& st = state(mode);
   st.shape = shape;
   LocalPartition lp;

@@ -87,7 +87,10 @@ struct CollectErrors {
 /// and Handle(RunUpdateColumn) run on the pool (one task per worker, CPU
 /// charged to this worker's machine), Handle(CollectErrors) runs on the
 /// driver thread during the sequential collect reduce. A worker's handlers
-/// are never invoked concurrently with each other.
+/// are never invoked concurrently with each other — Cluster routing runs at
+/// most one task per worker at a time — which is why Worker deliberately has
+/// no mutex: adding one would paper over a routing bug instead of surfacing
+/// it under TSan.
 class Worker {
  public:
   explicit Worker(int machine) : machine_(machine) {}
@@ -101,12 +104,15 @@ class Worker {
 
   /// Takes ownership of partition `index` of the mode-`mode` unfolding. The
   /// driver relinquishes the data; it lives on this machine from now on.
+  /// Aborts (DBTF_CHECK) if any block violates the Lemma 3 alignment
+  /// invariants — see CheckBlockInvariants in worker.cc.
   void AdoptPartition(Mode mode, std::int64_t index, Partition partition,
                       const UnfoldShape& shape);
 
   /// Borrows partition `index` without taking ownership (the legacy
   /// UpdateFactor entry point runs over an externally owned
   /// PartitionedUnfolding). `partition` must outlive the worker's use.
+  /// Enforces the same Lemma 3 block invariants as AdoptPartition.
   void BorrowPartition(Mode mode, std::int64_t index,
                        const Partition* partition, const UnfoldShape& shape);
 

@@ -1,6 +1,6 @@
 #include "tensor/bit_matrix.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace dbtf {
 

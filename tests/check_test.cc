@@ -1,0 +1,69 @@
+#include "common/check.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace dbtf {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DBTF_CHECK(true);
+  DBTF_CHECK(1 + 1 == 2, "never printed: %d", 5);
+  DBTF_CHECK_EQ(4, 4);
+  DBTF_CHECK_LT(3, 4);
+  DBTF_CHECK_LE(4, 4);
+  DBTF_DCHECK(true);
+  DBTF_DCHECK_EQ(1, 1);
+  DBTF_DCHECK_LT(1, 2);
+  DBTF_DCHECK_LE(2, 2);
+}
+
+TEST(CheckTest, ArgumentsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  DBTF_CHECK_LE(bump(), 5);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, CheckPrintsExpression) {
+  EXPECT_DEATH(DBTF_CHECK(2 > 3), "CHECK failed: 2 > 3");
+}
+
+TEST(CheckDeathTest, CheckPrintsFormattedMessage) {
+  const int v = 65;
+  EXPECT_DEATH(DBTF_CHECK(v < 64, "group width V=%d", v),
+               "CHECK failed: v < 64: group width V=65");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothValues) {
+  const std::int64_t lhs = 4;
+  const std::int64_t rhs = 5;
+  EXPECT_DEATH(DBTF_CHECK_EQ(lhs, rhs),
+               "CHECK failed: lhs == rhs \\(4 vs. 5\\)");
+}
+
+TEST(CheckDeathTest, CheckLtPrintsBothValues) {
+  EXPECT_DEATH(DBTF_CHECK_LT(9, 7), "CHECK failed: 9 < 7 \\(9 vs. 7\\)");
+}
+
+TEST(CheckDeathTest, CheckLePrintsBothValues) {
+  EXPECT_DEATH(DBTF_CHECK_LE(8, 7), "CHECK failed: 8 <= 7 \\(8 vs. 7\\)");
+}
+
+TEST(CheckDeathTest, DcheckMatchesBuildType) {
+#ifdef NDEBUG
+  // Release: DCHECKs generate no code and evaluate no arguments.
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  DBTF_DCHECK(false, "compiled out");
+  DBTF_DCHECK_EQ(bump(), 2);
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(DBTF_DCHECK(false), "CHECK failed: false");
+  EXPECT_DEATH(DBTF_DCHECK_EQ(1, 2), "\\(1 vs. 2\\)");
+#endif
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -47,7 +47,9 @@ TEST(BooleanProductProperties, Monotonicity) {
   ASSERT_TRUE(base.ok() && more.ok());
   for (std::int64_t i = 0; i < base->rows(); ++i) {
     for (std::int64_t j = 0; j < base->cols(); ++j) {
-      if (base->Get(i, j)) EXPECT_TRUE(more->Get(i, j));
+      if (base->Get(i, j)) {
+        EXPECT_TRUE(more->Get(i, j));
+      }
     }
   }
 }

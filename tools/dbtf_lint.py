@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""DBTF project linter: structural rules the compiler cannot check.
+
+Scans src/**/*.{h,cc} and enforces the layering and locking discipline of
+the driver/worker runtime (see DESIGN.md, "Correctness tooling"):
+
+  worker-include      dist/worker.h may be included only inside src/dist/
+                      and by src/dbtf/engine.cc (the routing call sites).
+                      Driver code must go through Cluster routing and the
+                      provisioning seam (dist/provision.h).
+  naked-mutex         every mutex member (std::mutex or dbtf::Mutex, named
+                      with a trailing underscore) must guard something: the
+                      declaring file must annotate at least one member with
+                      DBTF_GUARDED_BY(<that mutex>). A mutex protecting
+                      nothing is either dead or hiding unguarded state.
+  thread-construction std::thread objects are created only by the pool
+                      (src/dist/thread_pool.{h,cc}). Reading static members
+                      such as std::thread::hardware_concurrency() is fine.
+  comm-stats-mutation the CommStats ledger is mutated (Record*/Reset) only
+                      by Cluster's charging layer (src/dist/cluster.cc), so
+                      every routed message is charged exactly once.
+
+Exit status 0 when clean; 1 with "file:line: [rule] message" diagnostics
+otherwise. Run as a CTest case (dbtf_lint) and in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# (rule, regex) pairs are matched per line, after comment stripping.
+WORKER_INCLUDE_RE = re.compile(r'#\s*include\s+"dist/worker\.h"')
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:(?:std|dbtf)::)?[Mm]utex\s+(\w+_)\s*;")
+THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
+COMM_MUTATION_RE = re.compile(
+    r"(?:\.|->)\s*(?:Record(?:Shuffle|Broadcast|Collect)|Reset)\s*\(")
+# Reset() is only a ledger mutation when called on a CommStats; restrict the
+# Reset arm to lines that name the ledger to avoid flagging unrelated Resets.
+COMM_RESET_RE = re.compile(r"\bcomm(?:_|\(\))\s*\.\s*Reset\s*\(")
+COMM_RECORD_RE = re.compile(
+    r"(?:\.|->)\s*Record(?:Shuffle|Broadcast|Collect)\s*\(")
+GUARDED_BY_RE = re.compile(r"(?:DBTF_)?GUARDED_BY\((\w+_?)\)")
+
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def relative_posix(path: Path, root: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments while preserving line numbers."""
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    return "\n".join(line.split("//", 1)[0] for line in text.split("\n"))
+
+
+def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
+    """Returns (line, rule, message) findings for one source file."""
+    findings = []
+    lines = strip_comments(text).split("\n")
+
+    allow_worker_include = rel.startswith("dist/") or rel == "dbtf/engine.cc"
+    allow_thread = rel in ("dist/thread_pool.h", "dist/thread_pool.cc")
+    allow_comm_mutation = rel == "dist/cluster.cc"
+    # common/mutex.h wraps the underlying std::mutex; comm_stats.h defines
+    # the Record* methods themselves (no object prefix, so the mutation
+    # regexes would not fire there anyway).
+    check_mutex_members = rel != "common/mutex.h"
+
+    guarded = set(GUARDED_BY_RE.findall(text))
+
+    for lineno, line in enumerate(lines, start=1):
+        if not allow_worker_include and WORKER_INCLUDE_RE.search(line):
+            findings.append((
+                lineno, "worker-include",
+                "dist/worker.h is only visible to src/dist/ and "
+                "src/dbtf/engine.cc; drive workers through Cluster routing "
+                "or dist/provision.h"))
+        if check_mutex_members:
+            m = MUTEX_MEMBER_RE.match(line)
+            if m and m.group(1) not in guarded:
+                findings.append((
+                    lineno, "naked-mutex",
+                    f"mutex member '{m.group(1)}' guards nothing: annotate "
+                    f"the protected members with "
+                    f"DBTF_GUARDED_BY({m.group(1)})"))
+        if not allow_thread and THREAD_RE.search(line):
+            findings.append((
+                lineno, "thread-construction",
+                "std::thread objects are created only by "
+                "src/dist/thread_pool.{h,cc}; submit work to the pool "
+                "instead"))
+        if not allow_comm_mutation and (COMM_RECORD_RE.search(line)
+                                        or COMM_RESET_RE.search(line)):
+            findings.append((
+                lineno, "comm-stats-mutation",
+                "the CommStats ledger is charged only by Cluster "
+                "(src/dist/cluster.cc) so routed bytes are counted exactly "
+                "once"))
+    return findings
+
+
+def lint_tree(root: Path) -> list[str]:
+    src = root / "src"
+    diagnostics = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc") or not path.is_file():
+            continue
+        rel = relative_posix(path, src)
+        text = path.read_text(encoding="utf-8")
+        for lineno, rule, message in check_file(rel, text):
+            diagnostics.append(
+                f"{relative_posix(path, root)}:{lineno}: [{rule}] {message}")
+    return diagnostics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root containing src/ (default: this repo)")
+    args = parser.parse_args(argv)
+
+    if not (args.root / "src").is_dir():
+        print(f"dbtf_lint: no src/ under {args.root}", file=sys.stderr)
+        return 2
+    diagnostics = lint_tree(args.root.resolve())
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if diagnostics:
+        print(f"dbtf_lint: {len(diagnostics)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

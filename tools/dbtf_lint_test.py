@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Self-test for dbtf_lint.py: every violation class trips, clean code passes."""
+
+from __future__ import annotations
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import dbtf_lint
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def rules_in(diagnostics: list[str]) -> set[str]:
+    return {d.split("[", 1)[1].split("]", 1)[0] for d in diagnostics}
+
+
+class FixtureTest(unittest.TestCase):
+    def lint(self, case: str) -> list[str]:
+        root = FIXTURES / case
+        self.assertTrue((root / "src").is_dir(), f"missing fixture {case}")
+        return dbtf_lint.lint_tree(root)
+
+    def test_worker_include_fixture_trips(self):
+        diagnostics = self.lint("worker_include")
+        self.assertEqual(rules_in(diagnostics), {"worker-include"})
+        self.assertEqual(len(diagnostics), 1)
+        self.assertIn("src/dbtf/session.h:6:", diagnostics[0])
+
+    def test_naked_mutex_fixture_trips(self):
+        diagnostics = self.lint("naked_mutex")
+        self.assertEqual(rules_in(diagnostics), {"naked-mutex"})
+        self.assertIn("mu_", diagnostics[0])
+
+    def test_thread_construction_fixture_trips(self):
+        diagnostics = self.lint("thread_construction")
+        self.assertEqual(rules_in(diagnostics), {"thread-construction"})
+        self.assertEqual(len(diagnostics), 1)
+
+    def test_comm_stats_mutation_fixture_trips(self):
+        diagnostics = self.lint("comm_stats_mutation")
+        self.assertEqual(rules_in(diagnostics), {"comm-stats-mutation"})
+        # Both the Record* and the Reset mutation lines are flagged.
+        self.assertEqual(len(diagnostics), 2)
+
+    def test_clean_fixture_passes(self):
+        self.assertEqual(self.lint("clean"), [])
+
+    def test_repo_tree_is_clean(self):
+        repo = Path(__file__).resolve().parent.parent
+        self.assertEqual(dbtf_lint.lint_tree(repo), [])
+
+    def test_cli_exit_codes(self):
+        self.assertEqual(
+            dbtf_lint.main(["--root", str(FIXTURES / "clean")]), 0)
+        self.assertEqual(
+            dbtf_lint.main(["--root", str(FIXTURES / "worker_include")]), 1)
+        self.assertEqual(
+            dbtf_lint.main(["--root", str(FIXTURES)]), 2)  # no src/ here
+
+
+if __name__ == "__main__":
+    unittest.main()

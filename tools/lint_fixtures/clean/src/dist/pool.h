@@ -1,0 +1,22 @@
+// Fixture: rule-abiding dist-layer code — every pattern here is allowed.
+#ifndef FIXTURE_POOL_H_
+#define FIXTURE_POOL_H_
+
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "dist/worker.h"  // fine: src/dist/ may see the worker
+
+class Pool {
+ public:
+  // Reading a static member is not thread construction.
+  static unsigned Cores() { return std::thread::hardware_concurrency(); }
+
+ private:
+  dbtf::Mutex mu_;
+  std::deque<int> queue_ DBTF_GUARDED_BY(mu_);
+  // A comment mentioning comm().RecordBroadcast(1) must not trip the rule.
+};
+
+#endif  // FIXTURE_POOL_H_

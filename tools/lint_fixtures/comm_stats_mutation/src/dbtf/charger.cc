@@ -1,0 +1,7 @@
+// Fixture: driver code charging the ledger directly instead of via Cluster.
+#include "dist/cluster.h"
+
+void Charge(dbtf::Cluster* cluster) {
+  cluster->comm().RecordShuffle(1024);  // violation: cluster.cc only
+  cluster->comm().Reset();              // violation: cluster.cc only
+}

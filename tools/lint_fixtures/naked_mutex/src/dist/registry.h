@@ -1,0 +1,14 @@
+// Fixture: a mutex member with no DBTF_GUARDED_BY data anywhere in the file.
+#ifndef FIXTURE_REGISTRY_H_
+#define FIXTURE_REGISTRY_H_
+
+#include <mutex>
+#include <vector>
+
+class Registry {
+ private:
+  mutable std::mutex mu_;  // violation: guards nothing
+  std::vector<int> entries_;
+};
+
+#endif  // FIXTURE_REGISTRY_H_

@@ -1,0 +1,7 @@
+// Fixture: driver code spawning its own OS thread instead of using the pool.
+#include <thread>
+
+void Run() {
+  std::thread worker([] {});  // violation: only thread_pool.{h,cc} may
+  worker.join();
+}
