@@ -162,6 +162,24 @@ Status RunFactorize(FlagParser* flags) {
     DBTF_ASSIGN_OR_RETURN(const std::int64_t v,
                           flags->GetInt64("cache-group-size", 15));
     config.cache_group_size = static_cast<int>(v);
+    // Fault injection: an explicit plan wins over a seeded random one; the
+    // seeded form injects a few transient faults plus one machine crash,
+    // reproducibly for a given seed.
+    const std::string fault_plan = flags->GetString("fault-plan", "");
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t fault_seed,
+                          flags->GetInt64("fault-seed", 0));
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t max_retries,
+                          flags->GetInt64("max-retries", 3));
+    config.cluster.retry.max_attempts = static_cast<int>(max_retries);
+    if (!fault_plan.empty()) {
+      DBTF_ASSIGN_OR_RETURN(config.cluster.fault_plan,
+                            FaultPlan::Parse(fault_plan));
+    } else if (fault_seed != 0) {
+      config.cluster.fault_plan =
+          FaultPlan::Random(static_cast<std::uint64_t>(fault_seed),
+                            config.cluster.num_machines,
+                            /*num_transient=*/4, /*num_crashes=*/1);
+    }
     DBTF_RETURN_IF_ERROR(flags->Finish());
     DBTF_ASSIGN_OR_RETURN(const DbtfResult result,
                           Dbtf::Factorize(tensor, config));
@@ -176,6 +194,11 @@ Status RunFactorize(FlagParser* flags) {
                 static_cast<long long>(result.cache_bytes));
     std::printf("cells changed  : %lld\n",
                 static_cast<long long>(result.cells_changed));
+    if (!config.cluster.fault_plan.empty()) {
+      std::printf("fault plan     : %s\n",
+                  config.cluster.fault_plan.ToString().c_str());
+      std::printf("recovery       : %s\n", result.recovery.ToString().c_str());
+    }
     if (!output_prefix.empty()) {
       DBTF_RETURN_IF_ERROR(
           WriteFactors(output_prefix, result.a, result.b, result.c));
@@ -348,7 +371,10 @@ std::string UsageText() {
       "             [--rank R --max-iterations T --seed N\n"
       "              --output-prefix PFX --time-budget-seconds S]\n"
       "             dbtf: [--initial-sets L --partitions N --machines M\n"
-      "                    --cache-group-size V]\n"
+      "                    --cache-group-size V --max-retries K\n"
+      "                    --fault-seed S | --fault-plan PLAN]\n"
+      "                   PLAN: comma-separated machine:message:kind@delivery\n"
+      "                   entries, e.g. 1:dispatch:transient@2,2:collect:crash@1\n"
       "             bcp-als: [--asso-candidates C]\n"
       "             walk-n-merge: [--density-threshold T]\n"
       "             tucker: [--restarts K]\n"

@@ -19,10 +19,17 @@ enum class StatusCode {
   kDeadlineExceeded,
   kIoError,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
 const char* StatusCodeToString(StatusCode code);
+
+/// True for the codes that describe a transient condition worth retrying
+/// (a machine briefly unreachable, a delivery past its deadline) as opposed
+/// to a deterministic failure that would recur on every attempt. The dist
+/// layer's retry policy keys off this.
+bool IsRetryable(StatusCode code);
 
 /// Lightweight status object modeled after absl::Status / rocksdb::Status.
 /// A default-constructed Status is OK and carries no message.
@@ -57,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -52,6 +52,12 @@ struct DbtfResult {
   /// Factor entries flipped across every update executed, including the L
   /// initial sets. Zero in a late iteration means a fixed point.
   std::int64_t cells_changed = 0;
+
+  /// What failures cost this run: retries, permanent machine losses,
+  /// partitions re-provisioned onto survivors, re-shipped bytes (also on
+  /// `comm` as shuffle traffic), and virtual seconds lost to recovery. All
+  /// zero on a fault-free run.
+  RecoveryStats recovery;
 };
 
 /// Distributed Boolean CP factorization (Algorithm 2 of the paper).

@@ -9,12 +9,10 @@
 
 namespace dbtf {
 
-Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
-                                          const UnfoldShape& shape,
-                                          BitMatrix* factor,
-                                          const BitMatrix& mf,
-                                          const BitMatrix& ms,
-                                          const DbtfConfig& config) {
+Result<UpdateFactorStats> RunFactorUpdate(
+    Cluster* cluster, Mode mode, const UnfoldShape& shape, BitMatrix* factor,
+    const BitMatrix& mf, const BitMatrix& ms, const DbtfConfig& config,
+    const RecoverWorkersFn& recover) {
   const std::int64_t rank = config.rank;
   if (factor->cols() != rank || mf.cols() != rank || ms.cols() != rank) {
     return Status::InvalidArgument("factor ranks do not match config.rank");
@@ -29,10 +27,12 @@ Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
   }
   const std::int64_t rows = shape.rows;
 
-  // Ledger seam (Lemma 7): one factor update must charge exactly one
-  // broadcast event, one collect event per column, and no shuffle — checked
-  // against a snapshot at the end of this function.
+  // Ledger seam (Lemma 7): a fault-free factor update must charge exactly
+  // one broadcast event, one collect event per column, and no shuffle —
+  // checked against a snapshot at the end of this function (recovery relaxes
+  // the checks; see below).
   const CommSnapshot ledger_begin = cluster->comm().Snapshot();
+  const RecoveryStats recovery_begin = cluster->recovery().Snapshot();
 
   // Broadcast of the three factor matrices to every machine (Lemma 7); each
   // worker rebuilds its per-partition caches from its copy (Algorithm 5).
@@ -43,9 +43,37 @@ Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
   broadcast.ms = &ms;
   broadcast.cache_group_size = config.cache_group_size;
   broadcast.enable_caching = config.enable_caching;
-  DBTF_RETURN_IF_ERROR(cluster->BroadcastToWorkers(
-      broadcast.WireBytes(),
-      [&broadcast](Worker& w) { return w.Handle(broadcast); }));
+  const auto send_broadcast = [cluster, &broadcast]() {
+    return cluster->BroadcastToWorkers(
+        broadcast.WireBytes(),
+        [&broadcast](Worker& w) { return w.Handle(broadcast); });
+  };
+
+  // Runs `op`, recovering from retryable routing failures: `recover`
+  // restores partition coverage (re-provisioning lost machines' partitions
+  // onto survivors), then — when `rebroadcast` — the factor matrices go out
+  // again so the adopted partitions get cache tables and error state, then
+  // `op` is re-run from scratch. The original driver-owned matrices are
+  // re-broadcast verbatim and each column recomputes its errors entirely
+  // from the driver's row masks, so a recovered run makes exactly the
+  // decisions a fault-free run makes. Bounded: one round per machine plus
+  // one, so a fault that recovery cannot clear surfaces instead of looping.
+  const auto with_recovery = [&](const std::function<Status()>& op,
+                                 bool rebroadcast) -> Status {
+    Status status = op();
+    int rounds = cluster->num_machines() + 1;
+    while (recover != nullptr && !status.ok() &&
+           IsRetryable(status.code()) && rounds-- > 0) {
+      DBTF_RETURN_IF_ERROR(recover());
+      if (rebroadcast) DBTF_RETURN_IF_ERROR(send_broadcast());
+      status = op();
+    }
+    return status;
+  };
+
+  // A failed broadcast re-runs itself after recovery, which also equips any
+  // partitions adopted during that recovery.
+  DBTF_RETURN_IF_ERROR(with_recovery(send_broadcast, /*rebroadcast=*/false));
 
   UpdateFactorStats stats;
   CollectErrors::CacheMetrics cache_metrics;
@@ -60,25 +88,33 @@ Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
   std::vector<std::int64_t> totals0(static_cast<std::size_t>(rows));
   std::vector<std::int64_t> totals1(static_cast<std::size_t>(rows));
   for (std::int64_t c = 0; c < rank; ++c) {
-    RunUpdateColumn run;
-    run.mode = mode;
-    run.column = c;
-    run.row_masks = row_masks.data();
-    run.rows = rows;
-    DBTF_RETURN_IF_ERROR(cluster->DispatchToWorkers(
-        [&run](Worker& w) { return w.Handle(run); }));
+    // One column is the recovery retry unit: dispatch + collect, with the
+    // driver accumulators (and the piggybacked cache metrics) zeroed at the
+    // start of every attempt so a partially collected failed attempt leaves
+    // no residue behind.
+    const auto run_column = [&]() -> Status {
+      RunUpdateColumn run;
+      run.mode = mode;
+      run.column = c;
+      run.row_masks = row_masks.data();
+      run.rows = rows;
+      DBTF_RETURN_IF_ERROR(cluster->DispatchToWorkers(
+          [&run](Worker& w) { return w.Handle(run); }));
 
-    std::fill(totals0.begin(), totals0.end(), 0);
-    std::fill(totals1.begin(), totals1.end(), 0);
-    CollectErrors collect;
-    collect.mode = mode;
-    collect.totals0 = totals0.data();
-    collect.totals1 = totals1.data();
-    collect.rows = rows;
-    // Cache metrics piggyback on the first collect's responses.
-    collect.stats = (c == 0) ? &cache_metrics : nullptr;
-    DBTF_RETURN_IF_ERROR(cluster->CollectFromWorkers(
-        [&collect](Worker& w) { return w.Handle(collect); }));
+      std::fill(totals0.begin(), totals0.end(), 0);
+      std::fill(totals1.begin(), totals1.end(), 0);
+      if (c == 0) cache_metrics = CollectErrors::CacheMetrics();
+      CollectErrors collect;
+      collect.mode = mode;
+      collect.totals0 = totals0.data();
+      collect.totals1 = totals1.data();
+      collect.rows = rows;
+      // Cache metrics piggyback on the first collect's responses.
+      collect.stats = (c == 0) ? &cache_metrics : nullptr;
+      return cluster->CollectFromWorkers(
+          [&collect](Worker& w) { return w.Handle(collect); });
+    };
+    DBTF_RETURN_IF_ERROR(with_recovery(run_column, /*rebroadcast=*/true));
 
     // Decide each entry of column c; ties prefer 0 (the sparser factor).
     const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(c);
@@ -104,11 +140,22 @@ Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
     factor->SetRowMask64(r, row_masks[static_cast<std::size_t>(r)]);
   }
 
-  // Every routed message was charged exactly once by the Cluster layer.
+  // Every routed message was charged exactly once by the Cluster layer. A
+  // fault-free update charges the exact Lemma 7 footprint; an update that
+  // went through retries or recovery legitimately re-charges re-broadcasts
+  // and re-collects, and every re-provision appears as one shuffle.
   const CommSnapshot d = cluster->comm().Snapshot().Since(ledger_begin);
-  DBTF_DCHECK_EQ(d.broadcast_events, 1);
-  DBTF_DCHECK_EQ(d.collect_events, rank);
-  DBTF_DCHECK_EQ(d.shuffle_events, 0);
+  const RecoveryStats r = cluster->recovery().Snapshot().Since(recovery_begin);
+  if (r.failed_deliveries == 0 && r.machines_lost == 0 &&
+      r.reprovisions == 0) {
+    DBTF_DCHECK_EQ(d.broadcast_events, 1);
+    DBTF_DCHECK_EQ(d.collect_events, rank);
+    DBTF_DCHECK_EQ(d.shuffle_events, 0);
+  } else {
+    DBTF_DCHECK_LE(1, d.broadcast_events);
+    DBTF_DCHECK_LE(rank, d.collect_events);
+    DBTF_DCHECK_EQ(d.shuffle_events, r.reprovisions);
+  }
   return stats;
 }
 

@@ -2,6 +2,7 @@
 #define DBTF_DBTF_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "common/status.h"
 #include "dbtf/config.h"
@@ -39,12 +40,22 @@ struct UpdateFactorStats {
 /// the unfolding (shape `shape`). Because the current value of every entry
 /// is always among the candidates, the factor's error is non-increasing
 /// across column sweeps.
-Result<UpdateFactorStats> RunFactorUpdate(Cluster* cluster, Mode mode,
-                                          const UnfoldShape& shape,
-                                          BitMatrix* factor,
-                                          const BitMatrix& mf,
-                                          const BitMatrix& ms,
-                                          const DbtfConfig& config);
+///
+/// Fault tolerance: when `recover` is provided, a retryable routing failure
+/// (kUnavailable / kDeadlineExceeded — an exhausted retry budget or a
+/// permanent machine loss) invokes it to restore partition coverage
+/// (Session wires in ReprovisionLostPartitions), re-broadcasts the factor
+/// matrices so adopted partitions get caches, and re-runs the failed step.
+/// Retry granularity is the *current column*: its errors are recomputed
+/// entirely from the driver's row masks, so a recovered update makes
+/// bitwise-identical decisions to a fault-free run. Without `recover`, a
+/// routing failure surfaces unchanged.
+using RecoverWorkersFn = std::function<Status()>;
+
+Result<UpdateFactorStats> RunFactorUpdate(
+    Cluster* cluster, Mode mode, const UnfoldShape& shape, BitMatrix* factor,
+    const BitMatrix& mf, const BitMatrix& ms, const DbtfConfig& config,
+    const RecoverWorkersFn& recover = nullptr);
 
 }  // namespace dbtf
 

@@ -130,23 +130,45 @@ Session::~Session() {
   if (cluster_ != nullptr) cluster_->DetachWorkers();
 }
 
+Status Session::RecoverLostWorkers() {
+  std::vector<ReprovisionSpec> specs;
+  for (const Mode mode : {Mode::kOne, Mode::kTwo, Mode::kThree}) {
+    const std::size_t slot = static_cast<std::size_t>(mode) - 1;
+    ReprovisionSpec spec;
+    spec.mode = mode;
+    spec.shape = shapes_[slot];
+    spec.num_partitions = nparts_[slot];
+    specs.push_back(spec);
+  }
+  return ReprovisionLostPartitions(
+      *cluster_, specs,
+      [this](Mode mode) -> Result<std::vector<Partition>> {
+        DBTF_ASSIGN_OR_RETURN(
+            PartitionedUnfolding unfolding,
+            PartitionedUnfolding::Build(*tensor_, mode,
+                                        num_partitions_requested_));
+        return std::move(unfolding).ReleasePartitions();
+      });
+}
+
 Result<Session::TripleStats> Session::UpdateFactors(FactorSet* factors,
                                                     const DbtfConfig& config) {
+  const RecoverWorkersFn recover = [this]() { return RecoverLostWorkers(); };
   // X(1) ~ A o (C kr B)^T
   DBTF_ASSIGN_OR_RETURN(
       const UpdateFactorStats stats_a,
       RunFactorUpdate(cluster_.get(), Mode::kOne, shapes_[0], &factors->a,
-                      factors->c, factors->b, config));
+                      factors->c, factors->b, config, recover));
   // X(2) ~ B o (C kr A)^T
   DBTF_ASSIGN_OR_RETURN(
       const UpdateFactorStats stats_b,
       RunFactorUpdate(cluster_.get(), Mode::kTwo, shapes_[1], &factors->b,
-                      factors->c, factors->a, config));
+                      factors->c, factors->a, config, recover));
   // X(3) ~ C o (B kr A)^T
   DBTF_ASSIGN_OR_RETURN(
       const UpdateFactorStats stats_c,
       RunFactorUpdate(cluster_.get(), Mode::kThree, shapes_[2], &factors->c,
-                      factors->b, factors->a, config));
+                      factors->b, factors->a, config, recover));
   TripleStats merged;
   merged.error = stats_c.final_error;
   merged.cells_changed =
@@ -181,6 +203,7 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
     cluster_->ChargeCompute(m, shuffle_virtual_seconds_);
   }
   const CommSnapshot ledger_start = cluster_->comm().Snapshot();
+  const RecoveryStats recovery_start = cluster_->recovery().Snapshot();
 
   DbtfResult result;
   Rng rng(config.seed);
@@ -249,6 +272,7 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
   // for a single run reports exactly what the monolithic driver did.
   result.comm =
       cluster_->comm().Snapshot().Since(ledger_start).Plus(shuffle_snapshot_);
+  result.recovery = cluster_->recovery().Snapshot().Since(recovery_start);
   result.wall_seconds = build_seconds_ + run.ElapsedSeconds();
   result.virtual_seconds = cluster_->VirtualMakespanSeconds();
   result.partitions_used = nparts_[0];

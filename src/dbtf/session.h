@@ -78,6 +78,12 @@ class Session {
   Result<TripleStats> UpdateFactors(FactorSet* factors,
                                     const DbtfConfig& config);
 
+  /// Recovery hook wired into every factor update: rebuilds the partitions
+  /// lost with crashed machines from the session's tensor (lineage-style
+  /// recomputation) and moves them onto survivors via
+  /// ReprovisionLostPartitions. A no-op when coverage is intact.
+  Status RecoverLostWorkers();
+
   const SparseTensor* tensor_ = nullptr;
   std::int64_t num_partitions_requested_ = 0;
   int num_machines_ = 0;

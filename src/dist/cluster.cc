@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace dbtf {
@@ -22,7 +23,8 @@ Status ClusterConfig::Validate() const {
   if (network_latency_seconds < 0.0 || driver_seconds_per_byte < 0.0) {
     return Status::InvalidArgument("network costs must be non-negative");
   }
-  return Status::OK();
+  DBTF_RETURN_IF_ERROR(retry.Validate());
+  return fault_plan.Validate(num_machines);
 }
 
 Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterConfig& config) {
@@ -33,6 +35,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterConfig& config) {
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       placement_(config.placement ? config.placement : DefaultPlacement()),
+      dead_(static_cast<std::size_t>(config.num_machines), false),
       machine_seconds_(static_cast<std::size_t>(config.num_machines), 0.0) {
   int threads = config_.num_threads;
   if (threads == 0) {
@@ -40,6 +43,9 @@ Cluster::Cluster(const ClusterConfig& config)
     if (threads == 0) threads = 1;
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (!config_.fault_plan.empty()) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault_plan);
+  }
 }
 
 void Cluster::RunTasks(std::int64_t n,
@@ -69,6 +75,11 @@ Status Cluster::AttachWorkerImpl(int machine, Worker* worker,
     return Status::InvalidArgument("cannot attach a null worker");
   }
   MutexLock lock(mu_);
+  if (dead_[static_cast<std::size_t>(machine)]) {
+    return Status::FailedPrecondition(
+        "machine " + std::to_string(machine) +
+        " is dead; its endpoint cannot be re-attached");
+  }
   for (const AttachedWorker& w : workers_) {
     if (w.machine == machine) {
       return Status::FailedPrecondition(
@@ -102,45 +113,173 @@ std::vector<Cluster::AttachedWorker> Cluster::WorkerSnapshot() const {
   return workers_;
 }
 
+namespace {
+
+/// Routing on an empty registry: kUnavailable if machines have died (the
+/// driver can recover by re-provisioning after re-attaching nothing — the
+/// situation is transient from its point of view), the original
+/// kFailedPrecondition otherwise (nothing was ever attached; a usage error).
+Status NoWorkersError(const std::vector<int>& dead) {
+  if (!dead.empty()) {
+    return Status::Unavailable(
+        "no workers attached to the cluster after machine loss");
+  }
+  return Status::FailedPrecondition("no workers attached to the cluster");
+}
+
+}  // namespace
+
 Status Cluster::BroadcastToWorkers(std::int64_t wire_bytes,
                                    const WorkerFn& deliver) {
   ChargeBroadcast(wire_bytes);
-  return DispatchToWorkers(deliver);
+  return RouteToWorkers(MessageKind::kBroadcast, deliver);
 }
 
 Status Cluster::DispatchToWorkers(const WorkerFn& fn) {
+  return RouteToWorkers(MessageKind::kDispatch, fn);
+}
+
+Status Cluster::RouteToWorkers(MessageKind kind, const WorkerFn& fn) {
   const std::vector<AttachedWorker> workers = WorkerSnapshot();
-  if (workers.empty()) {
-    return Status::FailedPrecondition("no workers attached to the cluster");
-  }
-  Status first_error = Status::OK();
-  Mutex error_mu;
+  if (workers.empty()) return NoWorkersError(DeadMachines());
+  std::vector<Status> statuses(workers.size());
   pool_->ParallelFor(
       static_cast<std::int64_t>(workers.size()), [&](std::int64_t i) {
         const AttachedWorker& w = workers[static_cast<std::size_t>(i)];
-        ThreadCpuTimer timer;
-        const Status status = fn(*w.worker);
-        ChargeCompute(w.machine, timer.ElapsedSeconds());
-        if (!status.ok()) {
-          MutexLock lock(error_mu);
-          if (first_error.ok()) first_error = status;
-        }
+        statuses[static_cast<std::size_t>(i)] =
+            DeliverWithRetry(w.machine, kind, [this, &fn, &w]() {
+              ThreadCpuTimer timer;
+              const Status status = fn(*w.worker);
+              ChargeCompute(w.machine, timer.ElapsedSeconds());
+              return status;
+            });
       });
-  return first_error;
+  // Deterministic error selection: fatal codes outrank retryable ones, ties
+  // break by snapshot (attach) order — never by thread interleaving, which
+  // would make the surfaced error (and hence the recovery path taken by the
+  // driver) depend on scheduling.
+  for (const Status& status : statuses) {
+    if (!status.ok() && !IsRetryable(status.code())) return status;
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 Status Cluster::CollectFromWorkers(const WorkerGatherFn& gather) {
   const std::vector<AttachedWorker> workers = WorkerSnapshot();
-  if (workers.empty()) {
-    return Status::FailedPrecondition("no workers attached to the cluster");
-  }
+  if (workers.empty()) return NoWorkersError(DeadMachines());
   std::int64_t total_bytes = 0;
   for (const AttachedWorker& w : workers) {
-    DBTF_ASSIGN_OR_RETURN(const std::int64_t bytes, gather(*w.worker));
-    total_bytes += bytes;
+    // The gather reduce runs on the driver thread; a retryable failure here
+    // is redelivered like any other message. The handler only mutates the
+    // driver's accumulators on success, so a retried gather never
+    // double-counts.
+    DBTF_RETURN_IF_ERROR(DeliverWithRetry(
+        w.machine, MessageKind::kCollect, [&gather, &w, &total_bytes]() {
+          const Result<std::int64_t> bytes = gather(*w.worker);
+          if (!bytes.ok()) return bytes.status();
+          total_bytes += *bytes;
+          return Status::OK();
+        }));
   }
   ChargeCollect(total_bytes);
   return Status::OK();
+}
+
+Status Cluster::DeliverWithRetry(int machine, MessageKind kind,
+                                 const std::function<Status()>& attempt) {
+  const RetryPolicy& retry = config_.retry;
+  double backoff = retry.backoff_seconds;
+  Status last = Status::OK();
+  for (int a = 1; a <= retry.max_attempts; ++a) {
+    if (a > 1) {
+      // Exponential backoff before every redelivery, charged as virtual
+      // driver time — the driver sits on the retry, the cluster does not
+      // wall-clock sleep.
+      ChargeDriverSeconds(backoff);
+      recovery_.RecordRetry(backoff);
+      backoff *= retry.backoff_multiplier;
+    }
+    Status status = Status::OK();
+    if (injector_ != nullptr) {
+      const FaultInjector::Outcome outcome = injector_->OnDelivery(machine, kind);
+      if (outcome.machine_lost) {
+        MarkMachineLost(machine);
+        recovery_.RecordFailedDelivery();
+        return outcome.status;  // permanent: retrying this endpoint is futile
+      }
+      if (outcome.stall_seconds > 0.0) {
+        // A stall costs virtual time whether or not the delivery survives it.
+        ChargeCompute(machine, outcome.stall_seconds);
+        recovery_.RecordStall(outcome.stall_seconds);
+        if (outcome.stall_seconds > retry.message_deadline_seconds) {
+          status = Status::DeadlineExceeded(
+              "delivery to machine " + std::to_string(machine) +
+              " stalled past the message deadline");
+        }
+      }
+      if (status.ok()) status = outcome.status;
+    }
+    if (status.ok()) status = attempt();
+    if (status.ok() || !IsRetryable(status.code())) return status;
+    recovery_.RecordFailedDelivery();
+    last = status;
+  }
+  return Status::Unavailable(
+      "retry budget exhausted after " + std::to_string(retry.max_attempts) +
+      " attempts (" + last.ToString() + ")");
+}
+
+std::vector<int> Cluster::DeadMachines() const {
+  MutexLock lock(mu_);
+  std::vector<int> dead;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    if (dead_[static_cast<std::size_t>(m)]) dead.push_back(m);
+  }
+  return dead;
+}
+
+void Cluster::MarkMachineLost(int machine) {
+  if (machine < 0 || machine >= config_.num_machines) return;
+  bool newly_dead = false;
+  {
+    MutexLock lock(mu_);
+    if (!dead_[static_cast<std::size_t>(machine)]) {
+      dead_[static_cast<std::size_t>(machine)] = true;
+      newly_dead = true;
+    }
+    // Detach the endpoint. Routing snapshots taken before this keep the
+    // worker alive until their deliveries drain; new snapshots skip it.
+    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+      if (it->machine == machine) {
+        workers_.erase(it);
+        break;
+      }
+    }
+  }
+  if (newly_dead) {
+    recovery_.RecordMachineLost();
+    DBTF_LOG(kWarning, "machine %d lost permanently; endpoint detached",
+             machine);
+  }
+}
+
+void Cluster::ChargeReprovision(int machine, std::int64_t bytes) {
+  // The rebuilt partition crosses the wire again: ledger it as a shuffle
+  // (the same event class as the original partitioning shuffle), and charge
+  // the transfer to both ends — the driver ships, the survivor receives.
+  comm_.RecordShuffle(bytes);
+  const double seconds = TransferSeconds(bytes);
+  recovery_.RecordReprovision(bytes, seconds);
+  ChargeCompute(machine, seconds);
+  ChargeDriverSeconds(seconds);
+}
+
+void Cluster::ChargeDriverSeconds(double seconds) {
+  MutexLock lock(mu_);
+  driver_seconds_ += seconds;
 }
 
 void Cluster::ChargeCompute(int machine, double seconds) {

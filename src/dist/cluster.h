@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "dist/comm_stats.h"
+#include "dist/fault.h"
 #include "dist/placement.h"
 #include "dist/thread_pool.h"
 
@@ -32,6 +33,15 @@ struct ClusterConfig {
   /// Partition/task placement; null selects round-robin (the default and the
   /// paper's implicit scheme).
   std::shared_ptr<const PlacementPolicy> placement;
+
+  /// Deterministic fault schedule (dist/fault.h). Empty means no faults are
+  /// injected and routing behaves exactly as before.
+  FaultPlan fault_plan;
+
+  /// Per-delivery retry policy applied by the routing methods. The defaults
+  /// are active even without a fault plan, but only matter when a handler
+  /// (or the injector) returns a retryable code.
+  RetryPolicy retry;
 
   Status Validate() const;
 };
@@ -114,6 +124,15 @@ class Cluster {
   Worker* AttachedWorkerOn(int machine) const DBTF_EXCLUDES(mu_);
 
   // --- Message routing (the only driver <-> worker data path) --------------
+  //
+  // Every delivery below goes through the retry policy in `config().retry`:
+  // retryable failures (IsRetryable — kUnavailable, kDeadlineExceeded) are
+  // redelivered up to max_attempts times with exponential backoff charged as
+  // virtual driver time, fatal codes surface immediately, and an exhausted
+  // budget surfaces as kUnavailable. When a FaultPlan crashes a machine, the
+  // machine is marked dead, its endpoint is detached, and the caller sees
+  // kUnavailable — recovery (re-provisioning the lost partitions onto a
+  // survivor, dist/provision.h) is the driver's job, not the router's.
 
   /// Routes one driver->worker broadcast: charges `wire_bytes` to every
   /// machine on the ledger (Lemma 7), then invokes `deliver` on each
@@ -132,6 +151,26 @@ class Cluster {
   /// worker sequentially (the driver-side reduce), sums the returned wire
   /// bytes, and charges the total as one collect event (Lemma 7).
   Status CollectFromWorkers(const WorkerGatherFn& gather) DBTF_EXCLUDES(mu_);
+
+  // --- Failure tracking and recovery charging ------------------------------
+
+  /// Machines that have been lost permanently (injected crash), in index
+  /// order. A dead machine's endpoint is detached and can never be
+  /// re-attached; its partitions must be re-provisioned onto a survivor.
+  std::vector<int> DeadMachines() const DBTF_EXCLUDES(mu_);
+
+  /// Records the re-shipment of `bytes` of rebuilt partition data onto
+  /// surviving machine `machine`: the bytes go on the CommStats ledger as a
+  /// shuffle (they cross the wire again, exactly like the original
+  /// partitioning shuffle), the transfer time is charged to the driver and
+  /// the receiving machine, and the recovery ledger records one
+  /// re-provision. Called by the re-provisioning seam (dist/provision.h).
+  void ChargeReprovision(int machine, std::int64_t bytes) DBTF_EXCLUDES(mu_);
+
+  /// Recovery ledger (retries, machine losses, re-provisions, virtual
+  /// seconds lost). Read via recovery().Snapshot(); the Record* mutators are
+  /// reserved for cluster.cc (enforced by tools/dbtf_lint.py).
+  const RecoveryLedger& recovery() const { return recovery_; }
 
   // --- Ledger and virtual clocks -------------------------------------------
 
@@ -193,13 +232,37 @@ class Cluster {
   /// any routing that started before a DetachWorkers.
   std::vector<AttachedWorker> WorkerSnapshot() const DBTF_EXCLUDES(mu_);
 
+  /// Shared fan-out path of BroadcastToWorkers and DispatchToWorkers:
+  /// delivers `fn` to every attached worker in parallel through the retry
+  /// policy, then picks one error deterministically (fatal codes first, then
+  /// snapshot order) so the surfaced Status never depends on interleaving.
+  Status RouteToWorkers(MessageKind kind, const WorkerFn& fn)
+      DBTF_EXCLUDES(mu_);
+
+  /// Runs one delivery to `machine` through the fault injector and the retry
+  /// policy. `attempt` performs the actual handler invocation (and its CPU
+  /// charging); it runs at most once per attempt and never after a crash.
+  Status DeliverWithRetry(int machine, MessageKind kind,
+                          const std::function<Status()>& attempt)
+      DBTF_EXCLUDES(mu_);
+
+  /// Marks `machine` permanently dead and detaches its endpoint. Idempotent.
+  void MarkMachineLost(int machine) DBTF_EXCLUDES(mu_);
+
+  /// Adds virtual seconds to the driver clock (backoff, recovery transfer).
+  void ChargeDriverSeconds(double seconds) DBTF_EXCLUDES(mu_);
+
   ClusterConfig config_;
   std::shared_ptr<const PlacementPolicy> placement_;
   std::unique_ptr<ThreadPool> pool_;
   CommStats comm_;
+  RecoveryLedger recovery_;
+  /// Null when config_.fault_plan is empty (the fault-free fast path).
+  std::unique_ptr<FaultInjector> injector_;
 
   mutable Mutex mu_;
   std::vector<AttachedWorker> workers_ DBTF_GUARDED_BY(mu_);
+  std::vector<bool> dead_ DBTF_GUARDED_BY(mu_);
   std::vector<double> machine_seconds_ DBTF_GUARDED_BY(mu_);
   double driver_seconds_ DBTF_GUARDED_BY(mu_) = 0.0;
 };

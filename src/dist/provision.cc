@@ -31,6 +31,17 @@ Result<Worker*> ResidentWorker(Cluster& cluster, std::int64_t index) {
   return worker;
 }
 
+/// Packed bytes of one partition's block rows — what re-shipping it costs on
+/// the wire (the same per-block accounting as Worker::LocalPartitionBytes).
+std::int64_t PartitionPackedBytes(const Partition& partition) {
+  std::int64_t bytes = 0;
+  for (const PartitionBlock& block : partition.blocks) {
+    bytes += block.rows.rows() * block.rows.words_per_row() *
+             static_cast<std::int64_t>(sizeof(BitWord));
+  }
+  return bytes;
+}
+
 }  // namespace
 
 Status StorePartition(Cluster& cluster, Mode mode, std::int64_t index,
@@ -44,6 +55,63 @@ Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
                      const Partition* partition, const UnfoldShape& shape) {
   DBTF_ASSIGN_OR_RETURN(Worker* worker, ResidentWorker(cluster, index));
   worker->BorrowPartition(mode, index, partition, shape);
+  return Status::OK();
+}
+
+Status ReprovisionLostPartitions(Cluster& cluster,
+                                 const std::vector<ReprovisionSpec>& specs,
+                                 const UnfoldingRebuilder& rebuild) {
+  const int machines = cluster.num_machines();
+  for (const ReprovisionSpec& spec : specs) {
+    if (spec.num_partitions <= 0) continue;
+
+    // Residency is queried, not derived from the placement policy: after a
+    // previous recovery a partition may live anywhere that survived.
+    std::vector<bool> resident(static_cast<std::size_t>(spec.num_partitions),
+                               false);
+    for (int m = 0; m < machines; ++m) {
+      Worker* worker = cluster.AttachedWorkerOn(m);
+      if (worker == nullptr) continue;
+      for (const std::int64_t p : worker->LocalPartitionIndexes(spec.mode)) {
+        if (p >= 0 && p < spec.num_partitions) {
+          resident[static_cast<std::size_t>(p)] = true;
+        }
+      }
+    }
+    std::vector<std::int64_t> missing;
+    for (std::int64_t p = 0; p < spec.num_partitions; ++p) {
+      if (!resident[static_cast<std::size_t>(p)]) missing.push_back(p);
+    }
+    if (missing.empty()) continue;
+
+    // Lineage-style recomputation: rebuild the whole unfolding from the
+    // driver-held input, then keep only the lost slices.
+    DBTF_ASSIGN_OR_RETURN(std::vector<Partition> partitions,
+                          rebuild(spec.mode));
+    if (static_cast<std::int64_t>(partitions.size()) != spec.num_partitions) {
+      return Status::Internal(
+          "unfolding rebuilder produced a different partition count");
+    }
+    for (const std::int64_t p : missing) {
+      // First surviving machine in ring order after the original owner —
+      // deterministic, and it spreads adopted partitions across survivors.
+      const int owner = cluster.OwnerOf(p);
+      Worker* target = nullptr;
+      int target_machine = -1;
+      for (int step = 1; step <= machines && target == nullptr; ++step) {
+        target_machine = (owner + step) % machines;
+        target = cluster.AttachedWorkerOn(target_machine);
+      }
+      if (target == nullptr) {
+        return Status::FailedPrecondition(
+            "no surviving machine to adopt the lost partitions");
+      }
+      Partition& partition = partitions[static_cast<std::size_t>(p)];
+      const std::int64_t bytes = PartitionPackedBytes(partition);
+      target->AdoptPartition(spec.mode, p, std::move(partition), spec.shape);
+      cluster.ChargeReprovision(target_machine, bytes);
+    }
+  }
   return Status::OK();
 }
 

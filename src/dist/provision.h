@@ -2,6 +2,8 @@
 #define DBTF_DIST_PROVISION_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "dbtf/partition.h"
@@ -37,6 +39,38 @@ Status StorePartition(Cluster& cluster, Mode mode, std::int64_t index,
 /// detached.
 Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
                      const Partition* partition, const UnfoldShape& shape);
+
+// --- Recovery ---------------------------------------------------------------
+
+/// What one mode's partitioned unfolding is supposed to look like — the
+/// driver-side metadata needed to detect and rebuild lost partitions.
+struct ReprovisionSpec {
+  Mode mode;
+  UnfoldShape shape{0, 0, 0};
+  std::int64_t num_partitions = 0;
+};
+
+/// Rebuilds every partition of the given mode's unfolding from driver-held
+/// inputs (lineage-style recomputation: the session re-partitions the tensor
+/// it was created over). Invoked at most once per mode per recovery, and
+/// only when that mode actually lost partitions.
+using UnfoldingRebuilder =
+    std::function<Result<std::vector<Partition>>(Mode mode)>;
+
+/// Restores full partition coverage after permanent machine loss: for each
+/// spec, queries the surviving workers for the partitions still resident,
+/// rebuilds the missing ones via `rebuild`, and moves each onto the first
+/// surviving machine in ring order after its original owner. The reshipped
+/// bytes are charged through Cluster::ChargeReprovision (CommStats shuffle +
+/// recovery ledger). A no-op when nothing is missing. Fails with
+/// kFailedPrecondition if no machine survives.
+///
+/// The rebuilt partitions carry no cache tables or error state — the driver
+/// must re-broadcast its FactorMatrices before the next dispatch, which is
+/// exactly what the engine's recovery loop does.
+Status ReprovisionLostPartitions(Cluster& cluster,
+                                 const std::vector<ReprovisionSpec>& specs,
+                                 const UnfoldingRebuilder& rebuild);
 
 }  // namespace dbtf
 

@@ -93,6 +93,14 @@ std::int64_t Worker::NumLocalPartitions(Mode mode) const {
   return static_cast<std::int64_t>(state(mode).partitions.size());
 }
 
+std::vector<std::int64_t> Worker::LocalPartitionIndexes(Mode mode) const {
+  const ModeState& st = state(mode);
+  std::vector<std::int64_t> indexes;
+  indexes.reserve(st.partitions.size());
+  for (const LocalPartition& lp : st.partitions) indexes.push_back(lp.index);
+  return indexes;
+}
+
 std::int64_t Worker::LocalPartitionBytes() const {
   std::int64_t bytes = 0;
   for (const ModeState& st : modes_) {

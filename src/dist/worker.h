@@ -95,10 +95,15 @@ class Worker {
  public:
   explicit Worker(int machine) : machine_(machine) {}
 
+  // Not copyable and not movable: a worker is attached into the cluster
+  // registry by raw pointer, so a moved-from attached worker would leave a
+  // dangling endpoint behind. Workers live at a fixed address for their
+  // whole life — the provisioning seam's shared_ptr ownership
+  // (dist/provision.h) is what lets them be handed around.
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
-  Worker(Worker&&) = default;
-  Worker& operator=(Worker&&) = default;
+  Worker(Worker&&) = delete;
+  Worker& operator=(Worker&&) = delete;
 
   int machine() const { return machine_; }
 
@@ -118,6 +123,13 @@ class Worker {
 
   /// Partitions of `mode` resident on this machine.
   std::int64_t NumLocalPartitions(Mode mode) const;
+
+  /// Global indexes of the mode-`mode` partitions resident on this machine,
+  /// in adoption order. The re-provisioning seam (dist/provision.h) uses the
+  /// union over surviving workers to find which partitions died with a lost
+  /// machine — residency after a recovery no longer matches the placement
+  /// policy, so ownership must be queried, not derived.
+  std::vector<std::int64_t> LocalPartitionIndexes(Mode mode) const;
 
   /// Packed bytes of all resident partition slices (Lemma 5's partition
   /// term, restricted to this machine).

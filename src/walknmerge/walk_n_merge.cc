@@ -77,8 +77,11 @@ Result<WalkNMergeResult> WalkNMerge(const SparseTensor& x,
   DBTF_RETURN_IF_ERROR(config.Validate());
   Timer wall;
   const auto expired = [&]() {
-    return config.time_budget_seconds > 0.0 &&
-           wall.ElapsedSeconds() > config.time_budget_seconds;
+    if (config.time_budget_seconds <= 0.0) return false;
+    const double elapsed = config.budget_clock_for_test
+                               ? config.budget_clock_for_test()
+                               : wall.ElapsedSeconds();
+    return elapsed > config.time_budget_seconds;
   };
   WalkNMergeResult result;
   const std::vector<Coord>& entries = x.entries();

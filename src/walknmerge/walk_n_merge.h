@@ -2,6 +2,7 @@
 #define DBTF_WALKNMERGE_WALK_N_MERGE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +46,12 @@ struct WalkNMergeConfig {
   /// budget expires mid-run the call returns DeadlineExceeded (the paper's
   /// O.O.T. outcome).
   double time_budget_seconds = 0.0;
+
+  /// Test seam: when set, the budget checks read elapsed seconds from this
+  /// callable instead of the wall clock, so each DeadlineExceeded phase
+  /// (walk, merge, error computation) can be hit deterministically. Null in
+  /// production.
+  std::function<double()> budget_clock_for_test;
 
   Status Validate() const;
 };

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "dbtf/dbtf.h"
 #include "dbtf/session.h"
+#include "dist/fault.h"
 #include "generator/generator.h"
 #include "modelselect/rank_selection.h"
 
@@ -169,6 +172,106 @@ TEST(RunFactorUpdate, RequiresAttachedWorkers) {
   auto r = RunFactorUpdate(cluster->get(), Mode::kOne, shape, &factor, mf, ms,
                            config);
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+void ExpectSameFactorsAndErrors(const DbtfResult& got, const DbtfResult& want) {
+  EXPECT_EQ(got.a, want.a);
+  EXPECT_EQ(got.b, want.b);
+  EXPECT_EQ(got.c, want.c);
+  EXPECT_EQ(got.iteration_errors, want.iteration_errors);
+  EXPECT_EQ(got.final_error, want.final_error);
+  EXPECT_EQ(got.cells_changed, want.cells_changed);
+}
+
+/// The fault-tolerance acceptance criterion: transient faults absorbed by the
+/// routing retry policy leave the result bitwise-identical to the fault-free
+/// run — only the recovery ledger shows they ever happened.
+TEST(SessionFaults, SeededTransientFaultsAreInvisibleInTheResult) {
+  const PlantedTensor p = MakePlanted(24, 4, 47);
+  const DbtfConfig config = SmallConfig();
+  auto baseline = Dbtf::Factorize(p.tensor, config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->recovery.failed_deliveries, 0)
+      << "a fault-free run reports an all-zero recovery ledger";
+  EXPECT_EQ(baseline->recovery.machines_lost, 0);
+
+  for (const std::uint64_t seed : {11, 12, 13}) {
+    DbtfConfig faulty = config;
+    faulty.cluster.fault_plan = FaultPlan::Random(
+        seed, config.cluster.num_machines, /*num_transient=*/5,
+        /*num_crashes=*/0);
+    auto r = Dbtf::Factorize(p.tensor, faulty);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    ExpectSameFactorsAndErrors(*r, *baseline);
+    EXPECT_GT(r->recovery.failed_deliveries + r->recovery.recovery_seconds, 0)
+        << "seed " << seed << ": the plan never fired";
+    EXPECT_EQ(r->recovery.machines_lost, 0);
+  }
+}
+
+/// Losing one machine permanently mid-update re-provisions its partitions
+/// onto the survivor and re-runs the interrupted column — the recovered run
+/// is bitwise-identical, and the reshipped bytes ride the CommStats ledger
+/// as shuffles.
+TEST(SessionFaults, PermanentMachineLossRecoversBitwiseIdentical) {
+  const PlantedTensor p = MakePlanted(24, 4, 48);
+  const DbtfConfig config = SmallConfig();
+  auto baseline = Dbtf::Factorize(p.tensor, config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  DbtfConfig faulty = config;
+  auto plan = FaultPlan::Parse("1:dispatch:crash@3");
+  ASSERT_TRUE(plan.ok());
+  faulty.cluster.fault_plan = *plan;
+  auto r = Dbtf::Factorize(p.tensor, faulty);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectSameFactorsAndErrors(*r, *baseline);
+
+  EXPECT_EQ(r->recovery.machines_lost, 1);
+  EXPECT_GT(r->recovery.reprovisions, 0);
+  EXPECT_GT(r->recovery.reshipped_bytes, 0);
+  EXPECT_EQ(r->comm.shuffle_bytes - baseline->comm.shuffle_bytes,
+            r->recovery.reshipped_bytes)
+      << "reshipped partitions are priced as shuffles";
+  EXPECT_EQ(r->comm.shuffle_events - baseline->comm.shuffle_events,
+            r->recovery.reprovisions);
+}
+
+/// Random plans mixing transient faults with one permanent loss: the paper's
+/// numbers must not depend on which machines survived the run.
+TEST(SessionFaults, MixedRandomPlansStayBitwiseIdentical) {
+  const PlantedTensor p = MakePlanted(24, 4, 49);
+  const DbtfConfig config = SmallConfig();
+  auto baseline = Dbtf::Factorize(p.tensor, config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (const std::uint64_t seed : {21, 22}) {
+    DbtfConfig faulty = config;
+    faulty.cluster.fault_plan = FaultPlan::Random(
+        seed, config.cluster.num_machines, /*num_transient=*/4,
+        /*num_crashes=*/1);
+    auto r = Dbtf::Factorize(p.tensor, faulty);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    ExpectSameFactorsAndErrors(*r, *baseline);
+    EXPECT_EQ(r->recovery.machines_lost, 1) << "seed " << seed;
+    EXPECT_GT(r->recovery.reprovisions, 0);
+  }
+}
+
+/// A fault the retry budget cannot bridge surfaces as a clean kUnavailable —
+/// never a hang, never a crash.
+TEST(SessionFaults, ExhaustedRetryBudgetSurfacesCleanUnavailable) {
+  const PlantedTensor p = MakePlanted(24, 4, 50);
+  DbtfConfig faulty = SmallConfig();
+  auto plan = FaultPlan::Parse("0:dispatch:transient@1x1000000");
+  ASSERT_TRUE(plan.ok());
+  faulty.cluster.fault_plan = *plan;
+  auto r = Dbtf::Factorize(p.tensor, faulty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("retry budget exhausted"),
+            std::string::npos)
+      << r.status().ToString();
 }
 
 /// The rank scan runs every candidate on one resident session.

@@ -40,6 +40,28 @@ TEST(Status, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(Status, UnavailableRoundTrips) {
+  const Status s = Status::Unavailable("machine 2 unreachable");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "machine 2 unreachable");
+  EXPECT_EQ(s.ToString(), "Unavailable: machine 2 unreachable");
+}
+
+TEST(Status, IsRetryableOnlyForTransientCodes) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetryable(StatusCode::kIoError));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
 }
 
 TEST(Result, HoldsValue) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "generator/generator.h"
 
 namespace dbtf {
@@ -179,6 +183,61 @@ TEST(WalkNMerge, NegativeTimeBudgetRejected) {
   WalkNMergeConfig config;
   config.time_budget_seconds = -1.0;
   EXPECT_FALSE(config.Validate().ok());
+}
+
+/// Each phase that can run out of budget (walk, merge, error computation)
+/// is reachable deterministically through the budget_clock_for_test seam:
+/// the run is seeded, so the Nth clock consultation always lands in the same
+/// phase, and expiring exactly there pins the phase named in the status.
+TEST(WalkNMerge, BudgetClockHitsEachPhaseDeterministically) {
+  const SparseTensor t = TensorWithBlocks({{0, 10, 0, 10, 0, 10}});
+  WalkNMergeConfig config;
+  config.seed = 9;
+  config.num_walks = 100;  // <= 1024: exactly one walk-phase budget check
+  config.time_budget_seconds = 1.0;
+
+  // Clean pass under a never-expiring clock: count the consultations. They
+  // fall as one walk-phase check, then one per merge candidate, then one per
+  // accepted block — so call 1 is the walk phase, call 2 the merge phase,
+  // and the final call the error computation.
+  std::int64_t total_calls = 0;
+  config.budget_clock_for_test = [&total_calls]() {
+    ++total_calls;
+    return 0.0;
+  };
+  auto clean = WalkNMerge(t, config);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_GE(clean->num_blocks, 1);
+  ASSERT_GE(total_calls, 3) << "all three phases consulted the budget";
+
+  const auto expire_at = [&config](std::int64_t call) {
+    auto calls = std::make_shared<std::int64_t>(0);
+    config.budget_clock_for_test = [calls, call]() {
+      return ++*calls >= call ? 1e9 : 0.0;
+    };
+  };
+
+  expire_at(1);
+  auto walk = WalkNMerge(t, config);
+  ASSERT_FALSE(walk.ok());
+  EXPECT_EQ(walk.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(walk.status().message().find("walk phase"), std::string::npos)
+      << walk.status().ToString();
+
+  expire_at(2);
+  auto merge = WalkNMerge(t, config);
+  ASSERT_FALSE(merge.ok());
+  EXPECT_EQ(merge.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(merge.status().message().find("merge phase"), std::string::npos)
+      << merge.status().ToString();
+
+  expire_at(total_calls);
+  auto error = WalkNMerge(t, config);
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(error.status().message().find("error computation"),
+            std::string::npos)
+      << error.status().ToString();
 }
 
 }  // namespace

@@ -19,6 +19,17 @@ the driver/worker runtime (see DESIGN.md, "Correctness tooling"):
   comm-stats-mutation the CommStats ledger is mutated (Record*/Reset) only
                       by Cluster's charging layer (src/dist/cluster.cc), so
                       every routed message is charged exactly once.
+  fault-handling      failure is expressed only through dist/fault.h: no
+                      wall-clock sleeps anywhere in src/dist/ or src/dbtf/
+                      (faults cost virtual time, never real time), and
+                      Status::Unavailable is constructed only by the fault
+                      seam (dist/fault.cc) and the retrying router
+                      (dist/cluster.cc) — ad-hoc failure flags elsewhere
+                      would bypass the retry policy and the recovery ledger.
+  recovery-stats-mutation
+                      the RecoveryLedger is mutated (Record*) only by
+                      Cluster's charging layer (src/dist/cluster.cc), so
+                      every retry/re-provision is counted exactly once.
 
 Exit status 0 when clean; 1 with "file:line: [rule] message" diagnostics
 otherwise. Run as a CTest case (dbtf_lint) and in CI.
@@ -44,6 +55,16 @@ COMM_RESET_RE = re.compile(r"\bcomm(?:_|\(\))\s*\.\s*Reset\s*\(")
 COMM_RECORD_RE = re.compile(
     r"(?:\.|->)\s*Record(?:Shuffle|Broadcast|Collect)\s*\(")
 GUARDED_BY_RE = re.compile(r"(?:DBTF_)?GUARDED_BY\((\w+_?)\)")
+# Wall-clock sleeps in the runtime (src/dist/, src/dbtf/). Faults, backoff,
+# and stalls are charged to the virtual clocks; a real sleep would leak wall
+# time into what the virtual makespan is supposed to model.
+SLEEP_RE = re.compile(
+    r"\bstd::this_thread::sleep_(?:for|until)\b|\busleep\s*\(|"
+    r"\bnanosleep\s*\(|(?<![\w:])sleep\s*\(")
+UNAVAILABLE_RE = re.compile(r"\bStatus::Unavailable\s*\(")
+RECOVERY_RECORD_RE = re.compile(
+    r"(?:\.|->)\s*Record(?:FailedDelivery|Retry|MachineLost|Reprovision|"
+    r"Stall)\s*\(")
 
 BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -69,6 +90,14 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
     allow_worker_include = rel.startswith("dist/") or rel == "dbtf/engine.cc"
     allow_thread = rel in ("dist/thread_pool.h", "dist/thread_pool.cc")
     allow_comm_mutation = rel == "dist/cluster.cc"
+    # The fault seam itself and the retrying router are the only places that
+    # may manufacture kUnavailable; everyone else receives it through routing.
+    allow_unavailable = rel in ("dist/fault.cc", "dist/cluster.cc",
+                                "common/status.h", "common/status.cc")
+    check_fault_handling = rel.startswith("dist/") or rel.startswith("dbtf/")
+    # RecoveryLedger's own method definitions use :: qualification, which the
+    # mutation regex (object '.'/'->' prefix) deliberately does not match.
+    allow_recovery_mutation = rel == "dist/cluster.cc"
     # common/mutex.h wraps the underlying std::mutex; comm_stats.h defines
     # the Record* methods themselves (no object prefix, so the mutation
     # regexes would not fire there anyway).
@@ -104,6 +133,25 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
                 "the CommStats ledger is charged only by Cluster "
                 "(src/dist/cluster.cc) so routed bytes are counted exactly "
                 "once"))
+        if check_fault_handling and SLEEP_RE.search(line):
+            findings.append((
+                lineno, "fault-handling",
+                "no wall-clock sleeps in the runtime: faults, stalls, and "
+                "retry backoff are charged to the virtual clocks via "
+                "dist/fault.h"))
+        if (check_fault_handling and not allow_unavailable
+                and UNAVAILABLE_RE.search(line)):
+            findings.append((
+                lineno, "fault-handling",
+                "Status::Unavailable is manufactured only by the fault seam "
+                "(dist/fault.cc) and the retrying router (dist/cluster.cc); "
+                "express failures through dist/fault.h"))
+        if not allow_recovery_mutation and RECOVERY_RECORD_RE.search(line):
+            findings.append((
+                lineno, "recovery-stats-mutation",
+                "the RecoveryLedger is charged only by Cluster "
+                "(src/dist/cluster.cc) so every retry and re-provision is "
+                "counted exactly once"))
     return findings
 
 

@@ -46,6 +46,17 @@ class FixtureTest(unittest.TestCase):
         # Both the Record* and the Reset mutation lines are flagged.
         self.assertEqual(len(diagnostics), 2)
 
+    def test_fault_handling_fixture_trips(self):
+        diagnostics = self.lint("fault_handling")
+        self.assertEqual(rules_in(diagnostics), {"fault-handling"})
+        # Two sleeps plus one ad-hoc Status::Unavailable construction.
+        self.assertEqual(len(diagnostics), 3)
+
+    def test_recovery_stats_mutation_fixture_trips(self):
+        diagnostics = self.lint("recovery_stats_mutation")
+        self.assertEqual(rules_in(diagnostics), {"recovery-stats-mutation"})
+        self.assertEqual(len(diagnostics), 2)
+
     def test_clean_fixture_passes(self):
         self.assertEqual(self.lint("clean"), [])
 

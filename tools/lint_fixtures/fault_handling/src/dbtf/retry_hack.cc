@@ -1,0 +1,12 @@
+// Fixture: ad-hoc fault handling in driver code instead of dist/fault.h.
+#include <chrono>
+#include <thread>
+
+#include "common/status.h"
+
+dbtf::Status WaitForWorker() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // violation
+  usleep(1000);  // violation: wall-clock sleep in the runtime
+  // violation: manufacturing kUnavailable outside the fault seam
+  return dbtf::Status::Unavailable("worker busy");
+}

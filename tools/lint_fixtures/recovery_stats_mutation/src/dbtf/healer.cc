@@ -1,0 +1,8 @@
+// Fixture: driver code charging the recovery ledger directly instead of
+// letting Cluster's charging layer count the retry/re-provision.
+#include "dist/cluster.h"
+
+void Heal(dbtf::Cluster* cluster, dbtf::RecoveryLedger* ledger) {
+  ledger->RecordRetry(0.001);            // violation: cluster.cc only
+  ledger->RecordReprovision(4096, 0.1);  // violation: cluster.cc only
+}
