@@ -162,6 +162,9 @@ Status RunFactorize(FlagParser* flags) {
     DBTF_ASSIGN_OR_RETURN(const std::int64_t v,
                           flags->GetInt64("cache-group-size", 15));
     config.cache_group_size = static_cast<int>(v);
+    DBTF_ASSIGN_OR_RETURN(const bool no_delta,
+                          flags->GetBool("no-delta-broadcast", false));
+    config.enable_delta_broadcast = !no_delta;
     // Fault injection: an explicit plan wins over a seeded random one; the
     // seeded form injects a few transient faults plus one machine crash,
     // reproducibly for a given seed.
@@ -372,6 +375,8 @@ std::string UsageText() {
       "              --output-prefix PFX --time-budget-seconds S]\n"
       "             dbtf: [--initial-sets L --partitions N --machines M\n"
       "                    --cache-group-size V --max-retries K\n"
+      "                    --no-delta-broadcast (ship full operand matrices\n"
+      "                    every update instead of changed columns)\n"
       "                    --fault-seed S | --fault-plan PLAN]\n"
       "                   PLAN: comma-separated machine:message:kind@delivery\n"
       "                   entries, e.g. 1:dispatch:transient@2,2:collect:crash@1\n"

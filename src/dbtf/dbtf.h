@@ -37,6 +37,16 @@ struct DbtfResult {
   /// reports.
   double virtual_seconds = 0.0;
 
+  /// Driver share of `virtual_seconds`: simulated network transfer time
+  /// (broadcast/collect/shuffle bytes over the configured bandwidth). Fully
+  /// deterministic for a given configuration — the benchmark's per-phase
+  /// breakdown reports it next to the noisy compute share.
+  double driver_seconds = 0.0;
+
+  /// Compute share of `virtual_seconds` (max per-machine CPU seconds):
+  /// virtual_seconds - driver_seconds.
+  double machine_seconds = 0.0;
+
   /// Actual partitions used per unfolding (may be below the requested N for
   /// very small tensors).
   std::int64_t partitions_used = 0;

@@ -1,5 +1,8 @@
 #include "dbtf/engine.h"
 
+#include <atomic>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -8,11 +11,117 @@
 #include "dist/worker.h"
 
 namespace dbtf {
+namespace {
+
+/// Process-wide generation source. Globally unique generations make a
+/// worker-side generation match proof of identical content even across
+/// Factorize runs on session-resident workers — two runs can never hand out
+/// the same generation for different content. Only equality is ever tested,
+/// so the allocation order does not affect results.
+std::uint64_t NextGeneration() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+FactorDelta FactorBroadcastState::Plan(const FactorRoles& roles, Mode mode,
+                                       std::int64_t rows, const BitMatrix& mf,
+                                       const BitMatrix& ms,
+                                       const DbtfConfig& config) {
+  FactorDelta msg;
+  msg.mode = mode;
+  msg.rows = rows;
+  msg.mf_slot = roles.mf_slot;
+  msg.ms_slot = roles.ms_slot;
+  msg.cache_group_size = config.cache_group_size;
+  msg.enable_caching = config.enable_caching;
+  PlanSlot(roles.mf_slot, mf, &msg);
+  PlanSlot(roles.ms_slot, ms, &msg);
+  return msg;
+}
+
+void FactorBroadcastState::PlanSlot(int slot_index, const BitMatrix& current,
+                                    FactorDelta* out) {
+  DBTF_CHECK_LE(0, slot_index);
+  DBTF_CHECK_LT(slot_index, 3);
+  Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  // The workers already hold exactly this content — ship nothing. (Freshly
+  // adopted partitions still get cache tables: the worker rebuilds any
+  // partition with no table from its resident copy.)
+  if (slot.initialized && slot.shadow == current) return;
+
+  MatrixDelta d;
+  d.slot = slot_index;
+  d.rows = current.rows();
+  d.cols = current.cols();
+  d.generation = NextGeneration();
+  slot.pending_generation = d.generation;
+
+  bool ship_full = !slot.initialized || !delta_enabled_;
+  if (!ship_full) {
+    // Changed columns, from the 64-bit row masks (factor cols == rank <= 64,
+    // the same bound RowMask64-based column scoring already relies on).
+    std::uint64_t changed = 0;
+    for (std::int64_t r = 0; r < current.rows(); ++r) {
+      changed |= slot.shadow.RowMask64(r) ^ current.RowMask64(r);
+    }
+    d.full = false;
+    d.base_generation = slot.generation;
+    const std::size_t words_per_column =
+        static_cast<std::size_t>((current.rows() + 63) / 64);
+    for (std::int64_t c = 0; c < current.cols(); ++c) {
+      if ((changed & (std::uint64_t{1} << static_cast<unsigned>(c))) == 0) {
+        continue;
+      }
+      std::vector<BitWord> bits(words_per_column, 0);
+      for (std::int64_t r = 0; r < current.rows(); ++r) {
+        if (current.Get(r, c)) {
+          bits[static_cast<std::size_t>(r / 64)] |=
+              std::uint64_t{1} << static_cast<unsigned>(r % 64);
+        }
+      }
+      d.columns.push_back(c);
+      d.column_bits.push_back(std::move(bits));
+    }
+    // A delta that is no smaller than the full matrix buys nothing — ship
+    // full and let the generation skip handle idempotence.
+    const std::int64_t full_bytes =
+        d.rows * ((d.cols + 63) / 64) *
+        static_cast<std::int64_t>(sizeof(BitWord));
+    if (d.WireBytes() >= full_bytes) ship_full = true;
+  }
+  if (ship_full) {
+    d.full = true;
+    d.base_generation = 0;
+    d.dense = &current;
+    d.columns.clear();
+    d.column_bits.clear();
+  }
+  out->updates.push_back(std::move(d));
+}
+
+void FactorBroadcastState::Commit(const FactorRoles& roles,
+                                  const BitMatrix& mf, const BitMatrix& ms) {
+  CommitSlot(roles.mf_slot, mf);
+  CommitSlot(roles.ms_slot, ms);
+}
+
+void FactorBroadcastState::CommitSlot(int slot_index,
+                                      const BitMatrix& current) {
+  Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  if (slot.pending_generation == 0) return;  // nothing was planned/shipped
+  slot.shadow = current;
+  slot.generation = slot.pending_generation;
+  slot.pending_generation = 0;
+  slot.initialized = true;
+}
 
 Result<UpdateFactorStats> RunFactorUpdate(
     Cluster* cluster, Mode mode, const UnfoldShape& shape, BitMatrix* factor,
     const BitMatrix& mf, const BitMatrix& ms, const DbtfConfig& config,
-    const RecoverWorkersFn& recover) {
+    const RecoverWorkersFn& recover, const FactorRoles& roles,
+    FactorBroadcastState* broadcast_state) {
   const std::int64_t rank = config.rank;
   if (factor->cols() != rank || mf.cols() != rank || ms.cols() != rank) {
     return Status::InvalidArgument("factor ranks do not match config.rank");
@@ -34,15 +143,17 @@ Result<UpdateFactorStats> RunFactorUpdate(
   const CommSnapshot ledger_begin = cluster->comm().Snapshot();
   const RecoveryStats recovery_begin = cluster->recovery().Snapshot();
 
-  // Broadcast of the three factor matrices to every machine (Lemma 7); each
-  // worker rebuilds its per-partition caches from its copy (Algorithm 5).
-  FactorMatrices broadcast;
-  broadcast.mode = mode;
-  broadcast.factor = factor;
-  broadcast.mf = &mf;
-  broadcast.ms = &ms;
-  broadcast.cache_group_size = config.cache_group_size;
-  broadcast.enable_caching = config.enable_caching;
+  // Plan the operand broadcast (Lemma 7, delta-tightened): only stale
+  // content ships; workers rebuild caches (Algorithm 5) only for operands
+  // that moved. Exactly one broadcast event goes out per update — even an
+  // empty delta is delivered, because the message also carries the mode's
+  // shape/cache parameters and triggers cache builds for freshly adopted
+  // partitions.
+  FactorBroadcastState local_state(config.enable_delta_broadcast);
+  FactorBroadcastState* bstate =
+      broadcast_state != nullptr ? broadcast_state : &local_state;
+  const FactorDelta broadcast =
+      bstate->Plan(roles, mode, rows, mf, ms, config);
   const auto send_broadcast = [cluster, &broadcast]() {
     return cluster->BroadcastToWorkers(
         broadcast.WireBytes(),
@@ -72,8 +183,10 @@ Result<UpdateFactorStats> RunFactorUpdate(
   };
 
   // A failed broadcast re-runs itself after recovery, which also equips any
-  // partitions adopted during that recovery.
+  // partitions adopted during that recovery. Commit only after a successful
+  // send: a plan that never reached the workers must not advance the shadow.
   DBTF_RETURN_IF_ERROR(with_recovery(send_broadcast, /*rebroadcast=*/false));
+  bstate->Commit(roles, mf, ms);
 
   UpdateFactorStats stats;
   CollectErrors::CacheMetrics cache_metrics;
@@ -92,18 +205,25 @@ Result<UpdateFactorStats> RunFactorUpdate(
     // driver accumulators (and the piggybacked cache metrics) zeroed at the
     // start of every attempt so a partially collected failed attempt leaves
     // no residue behind.
+    //
+    // Dispatch and collect are enqueued back-to-back on the machines'
+    // serial mailboxes: each machine runs its compute task then its gather,
+    // in order, without the driver waiting for the slowest machine between
+    // the two steps — a fast machine's gather overlaps a slow machine's
+    // compute. The accumulators are zeroed *before* either enqueue (the
+    // first gather can start while this thread is still posting), and both
+    // futures are awaited before the attempt returns, so a failed attempt
+    // never leaves tasks racing a retry.
     const auto run_column = [&]() -> Status {
+      std::fill(totals0.begin(), totals0.end(), 0);
+      std::fill(totals1.begin(), totals1.end(), 0);
+      if (c == 0) cache_metrics = CollectErrors::CacheMetrics();
+
       RunUpdateColumn run;
       run.mode = mode;
       run.column = c;
       run.row_masks = row_masks.data();
       run.rows = rows;
-      DBTF_RETURN_IF_ERROR(cluster->DispatchToWorkers(
-          [&run](Worker& w) { return w.Handle(run); }));
-
-      std::fill(totals0.begin(), totals0.end(), 0);
-      std::fill(totals1.begin(), totals1.end(), 0);
-      if (c == 0) cache_metrics = CollectErrors::CacheMetrics();
       CollectErrors collect;
       collect.mode = mode;
       collect.totals0 = totals0.data();
@@ -111,8 +231,15 @@ Result<UpdateFactorStats> RunFactorUpdate(
       collect.rows = rows;
       // Cache metrics piggyback on the first collect's responses.
       collect.stats = (c == 0) ? &cache_metrics : nullptr;
-      return cluster->CollectFromWorkers(
-          [&collect](Worker& w) { return w.Handle(collect); });
+
+      Future<Unit> dispatched = cluster->AsyncDispatchToWorkers(
+          [run](Worker& w) { return w.Handle(run); });
+      Future<Unit> collected = cluster->AsyncCollectFromWorkers(
+          [collect](Worker& w) { return w.Handle(collect); });
+      const Status dispatch_status = dispatched.Get().status();
+      const Status collect_status = collected.Get().status();
+      DBTF_RETURN_IF_ERROR(dispatch_status);
+      return collect_status;
     };
     DBTF_RETURN_IF_ERROR(with_recovery(run_column, /*rebroadcast=*/true));
 

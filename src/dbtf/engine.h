@@ -1,6 +1,7 @@
 #ifndef DBTF_DBTF_ENGINE_H_
 #define DBTF_DBTF_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -12,6 +13,11 @@
 
 namespace dbtf {
 
+// The broadcast payload type lives in dist/worker.h; only engine.cc (the
+// routing call-site layer) may include that header, so it is forward-
+// declared here and returned through declarations only.
+struct FactorDelta;
+
 /// Statistics of one distributed factor update.
 struct UpdateFactorStats {
   std::int64_t cache_entries = 0;      ///< entries built across partitions
@@ -20,21 +26,92 @@ struct UpdateFactorStats {
   std::int64_t final_error = 0;        ///< |X(n) - A o (Mf kr Ms)^T| after
 };
 
+/// Which worker-side factor slot each matrix of one update occupies. Slots
+/// identify the *matrix* (A = 0, B = 1, C = 2 in the session's convention),
+/// not the role: the same matrix keeps its slot whether it is currently the
+/// factor under update, M_f, or M_s, which is what lets workers keep a
+/// single resident copy per matrix across the three mode updates.
+struct FactorRoles {
+  int factor_slot = 0;  ///< slot of the factor being updated (never shipped)
+  int mf_slot = 2;      ///< slot of M_f (blocks x R operand)
+  int ms_slot = 1;      ///< slot of M_s (within x R caching unit)
+};
+
+/// Driver-side shadow of the factor content resident on the workers, used
+/// to plan delta broadcasts. Per slot it remembers the last content shipped
+/// (and its generation); Plan() ships nothing for an unchanged operand, the
+/// changed columns when the workers hold the delta's base, and the full
+/// matrix on first contact or when the delta would be no smaller.
+///
+/// Generations are drawn from a process-wide counter, so they are unique
+/// across runs and across states: a generation match at a worker is proof of
+/// byte-identical content even when session-resident workers outlive this
+/// state. One state serves one Factorize run (all three modes); constructing
+/// it with `delta_enabled = false` plans a full broadcast for every stale
+/// operand (the --no-delta-broadcast ablation).
+///
+/// Plan/Commit are split so recovery can re-send the planned message: Plan
+/// assigns pending generations eagerly, Commit (after the first successful
+/// send) finalizes them and snapshots the shadows. Commit is idempotent and
+/// re-sends of a committed plan are no-ops at the workers, so the recovery
+/// rebroadcast path needs no special casing.
+class FactorBroadcastState {
+ public:
+  explicit FactorBroadcastState(bool delta_enabled = true)
+      : delta_enabled_(delta_enabled) {}
+
+  FactorBroadcastState(const FactorBroadcastState&) = delete;
+  FactorBroadcastState& operator=(const FactorBroadcastState&) = delete;
+
+  /// Plans the operand payloads of one factor update. The returned message
+  /// keeps pointers to `mf`/`ms` (full-matrix payloads), which must stay
+  /// alive and unchanged for the duration of the update.
+  FactorDelta Plan(const FactorRoles& roles, Mode mode, std::int64_t rows,
+                   const BitMatrix& mf, const BitMatrix& ms,
+                   const DbtfConfig& config);
+
+  /// Records that the planned payloads reached the workers: snapshots the
+  /// shipped content and finalizes the pending generations.
+  void Commit(const FactorRoles& roles, const BitMatrix& mf,
+              const BitMatrix& ms);
+
+ private:
+  struct Slot {
+    BitMatrix shadow;  ///< last content shipped to the workers
+    std::uint64_t generation = 0;          ///< generation of `shadow`
+    std::uint64_t pending_generation = 0;  ///< assigned by Plan, not yet sent
+    bool initialized = false;  ///< false until the first Commit
+  };
+
+  void PlanSlot(int slot_index, const BitMatrix& current, FactorDelta* out);
+  void CommitSlot(int slot_index, const BitMatrix& current);
+
+  std::array<Slot, 3> slots_;
+  bool delta_enabled_;
+};
+
 /// Runs one distributed factor update (Algorithms 4/5) for the mode-`mode`
 /// unfolding over the workers attached to `cluster`.
 ///
 /// This is the driver side of the update: it owns `factor` and the decision
 /// loop, while all partition and cache-table state lives inside the workers.
-/// The exchange per update is exactly the paper's (Lemma 7):
+/// The exchange per update follows the paper's (Lemma 7), with the
+/// broadcast term tightened by deltas:
 ///
-///   1. Broadcast<FactorMatrices>: the three factor matrices go out once,
-///      charged per machine; each worker derives M_f masks and rebuilds its
-///      per-partition cache tables from its copy.
+///   1. Broadcast<FactorDelta>: exactly one broadcast per update, charged
+///      per machine, carrying only the operand content the workers do not
+///      already hold (full matrices on first contact, changed columns
+///      afterwards, nothing for an unchanged operand — see
+///      FactorBroadcastState). Workers rebuild M_f masks and per-partition
+///      cache tables only when the corresponding operand moved.
 ///   2. Per column c: RunUpdateColumn (task dispatch; the current row masks
 ///      ride the closure) followed by CollectErrors (one charged collect of
-///      2 errors x rows x partitions). The driver reduces the errors,
-///      decides each entry of the column (ties prefer 0, the sparser
-///      factor), and carries the decisions into the next column's closure.
+///      2 errors x rows x partitions). Both are enqueued back-to-back on
+///      the machines' serial mailboxes, so one machine's collect can run
+///      while another is still computing — the greedy decision only needs
+///      the *reduced* errors, which the driver awaits before deciding. The
+///      driver decides each entry of the column (ties prefer 0, the sparser
+///      factor) and carries the decisions into the next column's closure.
 ///
 /// The workers attached to `cluster` must jointly hold every partition of
 /// the unfolding (shape `shape`). Because the current value of every entry
@@ -52,10 +129,17 @@ struct UpdateFactorStats {
 /// routing failure surfaces unchanged.
 using RecoverWorkersFn = std::function<Status()>;
 
+/// `roles` maps the three matrices onto worker factor slots (defaults suit
+/// a standalone single-factor update). `broadcast_state` carries the shipped
+/// content across updates of one run; nullptr uses a fresh state for just
+/// this update (every stale operand ships full — the right behavior for
+/// one-shot callers whose workers hold nothing).
 Result<UpdateFactorStats> RunFactorUpdate(
     Cluster* cluster, Mode mode, const UnfoldShape& shape, BitMatrix* factor,
     const BitMatrix& mf, const BitMatrix& ms, const DbtfConfig& config,
-    const RecoverWorkersFn& recover = nullptr);
+    const RecoverWorkersFn& recover = nullptr,
+    const FactorRoles& roles = FactorRoles{},
+    FactorBroadcastState* broadcast_state = nullptr);
 
 }  // namespace dbtf
 

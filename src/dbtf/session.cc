@@ -151,24 +151,31 @@ Status Session::RecoverLostWorkers() {
       });
 }
 
-Result<Session::TripleStats> Session::UpdateFactors(FactorSet* factors,
-                                                    const DbtfConfig& config) {
+Result<Session::TripleStats> Session::UpdateFactors(
+    FactorSet* factors, const DbtfConfig& config,
+    FactorBroadcastState* bcast) {
   const RecoverWorkersFn recover = [this]() { return RecoverLostWorkers(); };
+  // Slot convention: A = 0, B = 1, C = 2 (FactorRoles doc). The factor
+  // under update never ships; the two Khatri-Rao operands ship as deltas
+  // against the content the workers kept from the previous update.
   // X(1) ~ A o (C kr B)^T
   DBTF_ASSIGN_OR_RETURN(
       const UpdateFactorStats stats_a,
       RunFactorUpdate(cluster_.get(), Mode::kOne, shapes_[0], &factors->a,
-                      factors->c, factors->b, config, recover));
+                      factors->c, factors->b, config, recover,
+                      FactorRoles{0, 2, 1}, bcast));
   // X(2) ~ B o (C kr A)^T
   DBTF_ASSIGN_OR_RETURN(
       const UpdateFactorStats stats_b,
       RunFactorUpdate(cluster_.get(), Mode::kTwo, shapes_[1], &factors->b,
-                      factors->c, factors->a, config, recover));
+                      factors->c, factors->a, config, recover,
+                      FactorRoles{1, 2, 0}, bcast));
   // X(3) ~ C o (B kr A)^T
   DBTF_ASSIGN_OR_RETURN(
       const UpdateFactorStats stats_c,
       RunFactorUpdate(cluster_.get(), Mode::kThree, shapes_[2], &factors->c,
-                      factors->b, factors->a, config, recover));
+                      factors->b, factors->a, config, recover,
+                      FactorRoles{2, 1, 0}, bcast));
   TripleStats merged;
   merged.error = stats_c.final_error;
   merged.cells_changed =
@@ -208,6 +215,13 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
   DbtfResult result;
   Rng rng(config.seed);
 
+  // Delta-broadcast shadows are per run, not per session: a fresh run must
+  // report the same ledger a fresh session would (its first update ships
+  // full operands), so multi-run reuse stays byte-comparable to one-shot
+  // wrappers. Workers may still skip redundant *applies* across runs thanks
+  // to the globally unique generations, but the wire ledger is per run.
+  FactorBroadcastState bcast(config.enable_delta_broadcast);
+
   // Iteration 1: update all L initial sets, keep the best (Alg. 2).
   if (config.init_scheme == InitScheme::kFiberSample &&
       tensor_->NumNonZeros() > 0 && fibers_ == nullptr) {
@@ -233,7 +247,7 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
                                       config.init_density, &rng);
     }
     DBTF_ASSIGN_OR_RETURN(const TripleStats stats,
-                          UpdateFactors(&candidate, config));
+                          UpdateFactors(&candidate, config, &bcast));
     result.cells_changed += stats.cells_changed;
     result.cache_entries = std::max(result.cache_entries, stats.cache_entries);
     result.cache_bytes = std::max(result.cache_bytes, stats.cache_bytes);
@@ -251,7 +265,7 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
       return Status::DeadlineExceeded("DBTF: iterations");
     }
     DBTF_ASSIGN_OR_RETURN(const TripleStats stats,
-                          UpdateFactors(&best, config));
+                          UpdateFactors(&best, config, &bcast));
     result.cells_changed += stats.cells_changed;
     result.cache_entries = std::max(result.cache_entries, stats.cache_entries);
     result.cache_bytes = std::max(result.cache_bytes, stats.cache_bytes);
@@ -275,6 +289,8 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
   result.recovery = cluster_->recovery().Snapshot().Since(recovery_start);
   result.wall_seconds = build_seconds_ + run.ElapsedSeconds();
   result.virtual_seconds = cluster_->VirtualMakespanSeconds();
+  result.driver_seconds = cluster_->DriverSeconds();
+  result.machine_seconds = result.virtual_seconds - result.driver_seconds;
   result.partitions_used = nparts_[0];
   return result;
 }

@@ -14,6 +14,8 @@
 
 namespace dbtf {
 
+class FactorBroadcastState;  // dbtf/engine.h
+
 /// A tensor resident on the distributed runtime, reusable across
 /// factorization runs.
 ///
@@ -74,9 +76,11 @@ class Session {
 
   Session() = default;
 
-  /// One full alternating iteration (update A, then B, then C).
+  /// One full alternating iteration (update A, then B, then C). `bcast`
+  /// carries the per-run delta-broadcast shadows across updates.
   Result<TripleStats> UpdateFactors(FactorSet* factors,
-                                    const DbtfConfig& config);
+                                    const DbtfConfig& config,
+                                    FactorBroadcastState* bcast);
 
   /// Recovery hook wired into every factor update: rebuilds the partitions
   /// lost with crashed machines from the session's tensor (lineage-style

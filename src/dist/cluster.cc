@@ -1,6 +1,8 @@
 #include "dist/cluster.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -17,11 +19,21 @@ Status ClusterConfig::Validate() const {
   if (num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0");
   }
-  if (network_bandwidth_bytes_per_second <= 0.0) {
-    return Status::InvalidArgument("network bandwidth must be positive");
+  // Each cost parameter must be a *finite* number in range: NaN compares
+  // false against every bound, so without the isfinite checks a NaN (or
+  // infinite) bandwidth or per-byte cost would slip through and poison every
+  // TransferSeconds-derived virtual-clock charge downstream.
+  if (!std::isfinite(network_bandwidth_bytes_per_second) ||
+      network_bandwidth_bytes_per_second <= 0.0) {
+    return Status::InvalidArgument(
+        "network bandwidth must be positive and finite");
   }
-  if (network_latency_seconds < 0.0 || driver_seconds_per_byte < 0.0) {
-    return Status::InvalidArgument("network costs must be non-negative");
+  if (!std::isfinite(network_latency_seconds) ||
+      network_latency_seconds < 0.0 ||
+      !std::isfinite(driver_seconds_per_byte) ||
+      driver_seconds_per_byte < 0.0) {
+    return Status::InvalidArgument(
+        "network costs must be non-negative and finite");
   }
   DBTF_RETURN_IF_ERROR(retry.Validate());
   return fault_plan.Validate(num_machines);
@@ -45,6 +57,10 @@ Cluster::Cluster(const ClusterConfig& config)
   pool_ = std::make_unique<ThreadPool>(threads);
   if (!config_.fault_plan.empty()) {
     injector_ = std::make_unique<FaultInjector>(config_.fault_plan);
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(config_.num_machines));
+  for (int m = 0; m < config_.num_machines; ++m) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(pool_.get()));
   }
 }
 
@@ -127,37 +143,67 @@ Status NoWorkersError(const std::vector<int>& dead) {
   return Status::FailedPrecondition("no workers attached to the cluster");
 }
 
+/// Lifts a combined fan-out status into the future's payload.
+Result<Unit> ToUnitResult(const Status& status) {
+  if (status.ok()) return Unit{};
+  return status;
+}
+
 }  // namespace
+
+/// Shared state of one async broadcast/dispatch fan-out. Each machine's
+/// mailbox task writes its own statuses slot; the last task to finish (the
+/// remaining counter hitting zero, acq_rel so every slot is visible) picks
+/// the combined status and resolves the promise. The snapshot pins
+/// cluster-owned workers alive until every delivery has drained.
+struct Cluster::RouteOp {
+  std::vector<AttachedWorker> workers;
+  WorkerFn fn;
+  std::vector<Status> statuses;
+  std::atomic<int> remaining{0};
+  Promise<Unit> promise;
+};
+
+/// Shared state of one async collect fan-out. The gathers mutate the
+/// driver's accumulators, so they are serialized under `reduce_mu_` — the
+/// mailbox-parallel equivalent of the old sequential driver-side reduce
+/// (int64 sums commute, so the reduce order does not affect the result).
+struct Cluster::CollectOp {
+  std::vector<AttachedWorker> workers;
+  WorkerGatherFn gather;
+  std::vector<Status> statuses;
+  std::atomic<int> remaining{0};
+  Promise<Unit> promise;
+  Mutex reduce_mu_;
+  std::int64_t total_bytes_ DBTF_GUARDED_BY(reduce_mu_) = 0;
+};
+
+Future<Unit> Cluster::AsyncBroadcastToWorkers(std::int64_t wire_bytes,
+                                              const WorkerFn& deliver) {
+  // Lemma 7 charging happens at enqueue, exactly once per broadcast, whether
+  // or not any delivery later fails (the bytes left the driver either way).
+  ChargeBroadcast(wire_bytes);
+  return AsyncRouteToWorkers(MessageKind::kBroadcast, deliver);
+}
+
+Future<Unit> Cluster::AsyncDispatchToWorkers(const WorkerFn& fn) {
+  return AsyncRouteToWorkers(MessageKind::kDispatch, fn);
+}
 
 Status Cluster::BroadcastToWorkers(std::int64_t wire_bytes,
                                    const WorkerFn& deliver) {
-  ChargeBroadcast(wire_bytes);
-  return RouteToWorkers(MessageKind::kBroadcast, deliver);
+  return AsyncBroadcastToWorkers(wire_bytes, deliver).Get().status();
 }
 
 Status Cluster::DispatchToWorkers(const WorkerFn& fn) {
-  return RouteToWorkers(MessageKind::kDispatch, fn);
+  return AsyncDispatchToWorkers(fn).Get().status();
 }
 
-Status Cluster::RouteToWorkers(MessageKind kind, const WorkerFn& fn) {
-  const std::vector<AttachedWorker> workers = WorkerSnapshot();
-  if (workers.empty()) return NoWorkersError(DeadMachines());
-  std::vector<Status> statuses(workers.size());
-  pool_->ParallelFor(
-      static_cast<std::int64_t>(workers.size()), [&](std::int64_t i) {
-        const AttachedWorker& w = workers[static_cast<std::size_t>(i)];
-        statuses[static_cast<std::size_t>(i)] =
-            DeliverWithRetry(w.machine, kind, [this, &fn, &w]() {
-              ThreadCpuTimer timer;
-              const Status status = fn(*w.worker);
-              ChargeCompute(w.machine, timer.ElapsedSeconds());
-              return status;
-            });
-      });
-  // Deterministic error selection: fatal codes outrank retryable ones, ties
-  // break by snapshot (attach) order — never by thread interleaving, which
-  // would make the surfaced error (and hence the recovery path taken by the
-  // driver) depend on scheduling.
+Status Cluster::CollectFromWorkers(const WorkerGatherFn& gather) {
+  return AsyncCollectFromWorkers(gather).Get().status();
+}
+
+Status Cluster::CombineStatuses(const std::vector<Status>& statuses) {
   for (const Status& status : statuses) {
     if (!status.ok() && !IsRetryable(status.code())) return status;
   }
@@ -167,25 +213,79 @@ Status Cluster::RouteToWorkers(MessageKind kind, const WorkerFn& fn) {
   return Status::OK();
 }
 
-Status Cluster::CollectFromWorkers(const WorkerGatherFn& gather) {
-  const std::vector<AttachedWorker> workers = WorkerSnapshot();
-  if (workers.empty()) return NoWorkersError(DeadMachines());
-  std::int64_t total_bytes = 0;
-  for (const AttachedWorker& w : workers) {
-    // The gather reduce runs on the driver thread; a retryable failure here
-    // is redelivered like any other message. The handler only mutates the
-    // driver's accumulators on success, so a retried gather never
-    // double-counts.
-    DBTF_RETURN_IF_ERROR(DeliverWithRetry(
-        w.machine, MessageKind::kCollect, [&gather, &w, &total_bytes]() {
-          const Result<std::int64_t> bytes = gather(*w.worker);
-          if (!bytes.ok()) return bytes.status();
-          total_bytes += *bytes;
-          return Status::OK();
-        }));
+Future<Unit> Cluster::AsyncRouteToWorkers(MessageKind kind,
+                                          const WorkerFn& fn) {
+  auto op = std::make_shared<RouteOp>();
+  op->workers = WorkerSnapshot();
+  if (op->workers.empty()) {
+    op->promise.Set(NoWorkersError(DeadMachines()));
+    return op->promise.future();
   }
-  ChargeCollect(total_bytes);
-  return Status::OK();
+  op->fn = fn;
+  op->statuses.assign(op->workers.size(), Status::OK());
+  op->remaining.store(static_cast<int>(op->workers.size()),
+                      std::memory_order_relaxed);
+  // Take the future before posting: the last delivery may resolve (and the
+  // caller may drop) the op while this loop is still running.
+  Future<Unit> future = op->promise.future();
+  for (std::size_t i = 0; i < op->workers.size(); ++i) {
+    const int machine = op->workers[i].machine;
+    mailboxes_[static_cast<std::size_t>(machine)]->Post([this, op, kind, i] {
+      const AttachedWorker& w = op->workers[i];
+      op->statuses[i] = DeliverWithRetry(w.machine, kind, [this, op, &w]() {
+        ThreadCpuTimer timer;
+        const Status status = op->fn(*w.worker);
+        ChargeCompute(w.machine, timer.ElapsedSeconds());
+        return status;
+      });
+      if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        op->promise.Set(ToUnitResult(CombineStatuses(op->statuses)));
+      }
+    });
+  }
+  return future;
+}
+
+Future<Unit> Cluster::AsyncCollectFromWorkers(const WorkerGatherFn& gather) {
+  auto op = std::make_shared<CollectOp>();
+  op->workers = WorkerSnapshot();
+  if (op->workers.empty()) {
+    op->promise.Set(NoWorkersError(DeadMachines()));
+    return op->promise.future();
+  }
+  op->gather = gather;
+  op->statuses.assign(op->workers.size(), Status::OK());
+  op->remaining.store(static_cast<int>(op->workers.size()),
+                      std::memory_order_relaxed);
+  Future<Unit> future = op->promise.future();
+  for (std::size_t i = 0; i < op->workers.size(); ++i) {
+    const int machine = op->workers[i].machine;
+    mailboxes_[static_cast<std::size_t>(machine)]->Post([this, op, i] {
+      const AttachedWorker& w = op->workers[i];
+      op->statuses[i] =
+          DeliverWithRetry(w.machine, MessageKind::kCollect, [op, &w]() {
+            // The gather only mutates the driver's accumulators on success,
+            // so a retried gather never double-counts.
+            MutexLock lock(op->reduce_mu_);
+            const Result<std::int64_t> bytes = op->gather(*w.worker);
+            if (!bytes.ok()) return bytes.status();
+            op->total_bytes_ += *bytes;
+            return Status::OK();
+          });
+      if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const Status combined = CombineStatuses(op->statuses);
+        if (combined.ok()) {
+          // One collect event for the whole fan-out (Lemma 7), charged only
+          // when every gather succeeded — a failed collect charges nothing,
+          // exactly like the old sequential reduce's early return.
+          MutexLock lock(op->reduce_mu_);
+          ChargeCollect(op->total_bytes_);
+        }
+        op->promise.Set(ToUnitResult(combined));
+      }
+    });
+  }
+  return future;
 }
 
 Status Cluster::DeliverWithRetry(int machine, MessageKind kind,

@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "dist/async.h"
 #include "dist/comm_stats.h"
 #include "dist/fault.h"
 #include "dist/placement.h"
@@ -125,7 +126,17 @@ class Cluster {
 
   // --- Message routing (the only driver <-> worker data path) --------------
   //
-  // Every delivery below goes through the retry policy in `config().retry`:
+  // The routing core is asynchronous: each Async* method enqueues one
+  // delivery per attached worker onto that machine's *mailbox* (a serial
+  // FIFO queue on the pool, dist/async.h) and returns a future that resolves
+  // when every delivery has completed. Per-machine mailbox order is the
+  // determinism anchor: the FaultInjector's per-(machine, message-kind)
+  // delivery counters advance in enqueue order, and a worker's handlers are
+  // never invoked concurrently, no matter how many routed messages are in
+  // flight at once. The blocking methods are thin shims over the Async*
+  // variants (enqueue, then Get()).
+  //
+  // Every delivery goes through the retry policy in `config().retry`:
   // retryable failures (IsRetryable — kUnavailable, kDeadlineExceeded) are
   // redelivered up to max_attempts times with exponential backoff charged as
   // virtual driver time, fatal codes surface immediately, and an exhausted
@@ -133,23 +144,47 @@ class Cluster {
   // machine is marked dead, its endpoint is detached, and the caller sees
   // kUnavailable — recovery (re-provisioning the lost partitions onto a
   // survivor, dist/provision.h) is the driver's job, not the router's.
+  //
+  // All Lemma 6–7 ledger charging stays at this layer, at enqueue or at
+  // completion: a broadcast charges its wire size once per machine at
+  // enqueue (before any delivery runs), a collect charges the summed payload
+  // as one driver-side event when every gather has succeeded, and a failed
+  // collect charges nothing. The future's status is picked
+  // deterministically: fatal (non-retryable) codes outrank retryable ones,
+  // ties break by snapshot (attach) order — never by thread interleaving.
 
-  /// Routes one driver->worker broadcast: charges `wire_bytes` to every
-  /// machine on the ledger (Lemma 7), then invokes `deliver` on each
-  /// attached worker in parallel, charging each delivery's CPU time to the
-  /// receiving machine's virtual clock.
+  /// Asynchronously routes one driver->worker broadcast: charges
+  /// `wire_bytes` to every machine on the ledger (Lemma 7) at enqueue, then
+  /// delivers to each attached worker through its mailbox, charging each
+  /// delivery's CPU time to the receiving machine's virtual clock. `deliver`
+  /// is copied; everything it references must outlive the returned future's
+  /// completion (await the future before releasing the payload).
+  Future<Unit> AsyncBroadcastToWorkers(std::int64_t wire_bytes,
+                                       const WorkerFn& deliver)
+      DBTF_EXCLUDES(mu_);
+
+  /// Asynchronously routes a control-plane command to every attached worker
+  /// (CPU charged to each machine's virtual clock). Dispatch closures ride
+  /// the task scheduler, which the paper's shuffle analysis prices at zero;
+  /// data-plane payloads must use the broadcast / collect primitives.
+  Future<Unit> AsyncDispatchToWorkers(const WorkerFn& fn) DBTF_EXCLUDES(mu_);
+
+  /// Asynchronously routes a worker->driver collect: invokes `gather` on
+  /// every attached worker (serialized across machines — the gathers mutate
+  /// the driver's accumulators, exactly like the old sequential driver-side
+  /// reduce), sums the returned wire bytes, and charges the total as one
+  /// collect event (Lemma 7) once all gathers have succeeded.
+  Future<Unit> AsyncCollectFromWorkers(const WorkerGatherFn& gather)
+      DBTF_EXCLUDES(mu_);
+
+  /// Blocking shim over AsyncBroadcastToWorkers (enqueue + Get()).
   Status BroadcastToWorkers(std::int64_t wire_bytes, const WorkerFn& deliver)
       DBTF_EXCLUDES(mu_);
 
-  /// Routes a control-plane command to every attached worker in parallel
-  /// (CPU charged to each machine's virtual clock). Dispatch closures ride
-  /// the task scheduler, which the paper's shuffle analysis prices at zero;
-  /// data-plane payloads must use BroadcastToWorkers / CollectFromWorkers.
+  /// Blocking shim over AsyncDispatchToWorkers (enqueue + Get()).
   Status DispatchToWorkers(const WorkerFn& fn) DBTF_EXCLUDES(mu_);
 
-  /// Routes a worker->driver collect: invokes `gather` on every attached
-  /// worker sequentially (the driver-side reduce), sums the returned wire
-  /// bytes, and charges the total as one collect event (Lemma 7).
+  /// Blocking shim over AsyncCollectFromWorkers (enqueue + Get()).
   Status CollectFromWorkers(const WorkerGatherFn& gather) DBTF_EXCLUDES(mu_);
 
   // --- Failure tracking and recovery charging ------------------------------
@@ -232,12 +267,22 @@ class Cluster {
   /// any routing that started before a DetachWorkers.
   std::vector<AttachedWorker> WorkerSnapshot() const DBTF_EXCLUDES(mu_);
 
-  /// Shared fan-out path of BroadcastToWorkers and DispatchToWorkers:
-  /// delivers `fn` to every attached worker in parallel through the retry
-  /// policy, then picks one error deterministically (fatal codes first, then
-  /// snapshot order) so the surfaced Status never depends on interleaving.
-  Status RouteToWorkers(MessageKind kind, const WorkerFn& fn)
+  struct RouteOp;    // shared state of one async broadcast/dispatch fan-out
+  struct CollectOp;  // shared state of one async collect fan-out
+
+  /// Shared fan-out path of the async broadcast and dispatch variants: posts
+  /// one delivery of `fn` per attached worker onto that machine's mailbox,
+  /// each through the retry policy; the last delivery to finish resolves the
+  /// future with CombineStatuses over all per-machine outcomes.
+  Future<Unit> AsyncRouteToWorkers(MessageKind kind, const WorkerFn& fn)
       DBTF_EXCLUDES(mu_);
+
+  /// Deterministic error selection over a fan-out's per-machine statuses:
+  /// fatal codes outrank retryable ones, ties break by snapshot (attach)
+  /// order — never by thread interleaving, which would make the surfaced
+  /// error (and hence the recovery path taken by the driver) depend on
+  /// scheduling.
+  static Status CombineStatuses(const std::vector<Status>& statuses);
 
   /// Runs one delivery to `machine` through the fault injector and the retry
   /// policy. `attempt` performs the actual handler invocation (and its CPU
@@ -265,6 +310,12 @@ class Cluster {
   std::vector<bool> dead_ DBTF_GUARDED_BY(mu_);
   std::vector<double> machine_seconds_ DBTF_GUARDED_BY(mu_);
   double driver_seconds_ DBTF_GUARDED_BY(mu_) = 0.0;
+
+  /// One serial delivery queue per machine (index = machine). Declared last
+  /// on purpose: destruction runs in reverse order, so the mailboxes drain
+  /// their in-flight deliveries before the pool, the ledger, or the injector
+  /// go away.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 
 }  // namespace dbtf

@@ -66,8 +66,9 @@ using UnfoldingRebuilder =
 /// kFailedPrecondition if no machine survives.
 ///
 /// The rebuilt partitions carry no cache tables or error state — the driver
-/// must re-broadcast its FactorMatrices before the next dispatch, which is
-/// exactly what the engine's recovery loop does.
+/// must re-send its FactorDelta broadcast before the next dispatch (adopted
+/// partitions get tables even when no operand changed), which is exactly
+/// what the engine's recovery loop does.
 Status ReprovisionLostPartitions(Cluster& cluster,
                                  const std::vector<ReprovisionSpec>& specs,
                                  const UnfoldingRebuilder& rebuild);

@@ -4,7 +4,18 @@
 #include <atomic>
 #include <utility>
 
+#include "common/check.h"
+
 namespace dbtf {
+namespace {
+
+/// True on threads owned by *any* ThreadPool, for the lifetime of the
+/// thread. Set once at WorkerLoop entry; used to catch the silent
+/// ParallelFor/Wait self-deadlock (the caller's own task counts as in
+/// flight, so the wait can never finish).
+thread_local bool t_on_pool_thread = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -33,6 +44,10 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  DBTF_CHECK(!t_on_pool_thread,
+             "ThreadPool::Wait called from inside a pool task: the calling "
+             "task counts as in flight, so this deadlocks. Run the wait on "
+             "the driver thread (or chain the work through a Mailbox).");
   MutexLock lock(mu_);
   lock.Wait(all_done_, [this] {
     mu_.AssertHeld();
@@ -42,6 +57,11 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(std::int64_t n,
                              const std::function<void(std::int64_t)>& fn) {
+  DBTF_CHECK(!t_on_pool_thread,
+             "ThreadPool::ParallelFor called from inside a pool task: its "
+             "Wait would count the calling task as in flight and deadlock. "
+             "Run the loop on the driver thread (or chain the work through "
+             "a Mailbox).");
   if (n <= 0) return;
   std::atomic<std::int64_t> next{0};
   const int workers =
@@ -58,6 +78,7 @@ void ThreadPool::ParallelFor(std::int64_t n,
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_pool_thread = true;
   for (;;) {
     std::function<void()> task;
     {

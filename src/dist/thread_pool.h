@@ -38,9 +38,10 @@ class ThreadPool {
   void Wait() DBTF_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), distributed over the pool; returns when all
-  /// iterations are done. Safe to call from one thread at a time. Must not
-  /// be called from inside a pool task (Wait would count the calling task as
-  /// in flight and deadlock).
+  /// iterations are done. Safe to call from one thread at a time. Calling it
+  /// (or Wait) from inside a pool task would deadlock — Wait would count the
+  /// calling task as in flight — so both check-fail with a clear message
+  /// when invoked on a pool-owned thread (thread-local flag).
   void ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn)
       DBTF_EXCLUDES(mu_);
 

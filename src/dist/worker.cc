@@ -56,12 +56,22 @@ std::int64_t BlockError(const PartitionBlock& block, std::int64_t row,
 
 }  // namespace
 
-std::int64_t FactorMatrices::WireBytes() const {
-  const auto matrix_bytes = [](const BitMatrix& m) {
-    return m.rows() * m.words_per_row() *
+std::int64_t MatrixDelta::WireBytes() const {
+  if (full) {
+    return rows * ((cols + 63) / 64) *
            static_cast<std::int64_t>(sizeof(BitWord));
-  };
-  return matrix_bytes(*factor) + matrix_bytes(*mf) + matrix_bytes(*ms);
+  }
+  // Per changed column: an 8-byte column index plus the packed column bits.
+  const std::int64_t words_per_column = (rows + 63) / 64;
+  return static_cast<std::int64_t>(columns.size()) *
+         (static_cast<std::int64_t>(sizeof(std::int64_t)) +
+          words_per_column * static_cast<std::int64_t>(sizeof(BitWord)));
+}
+
+std::int64_t FactorDelta::WireBytes() const {
+  std::int64_t bytes = 0;
+  for (const MatrixDelta& d : updates) bytes += d.WireBytes();
+  return bytes;
 }
 
 void Worker::AdoptPartition(Mode mode, std::int64_t index, Partition partition,
@@ -115,28 +125,115 @@ std::int64_t Worker::LocalPartitionBytes() const {
   return bytes;
 }
 
-Status Worker::Handle(const FactorMatrices& msg) {
-  ModeState& st = state(msg.mode);
-  st.rows = msg.factor->rows();
+Status Worker::ApplyMatrixDelta(const MatrixDelta& d) {
+  DBTF_CHECK_LE(0, d.slot);
+  DBTF_CHECK_LT(d.slot, 3);
+  CachedFactor& cf = factors_[static_cast<std::size_t>(d.slot)];
+  // Generations are globally unique, so equality means the resident copy is
+  // byte-identical to what this delta produces: re-delivery (retry, recovery
+  // rebroadcast) is a no-op.
+  if (cf.valid && cf.generation == d.generation) return Status::OK();
+  if (d.full) {
+    DBTF_CHECK(d.dense != nullptr);
+    if (d.dense->rows() != d.rows || d.dense->cols() != d.cols) {
+      return Status::Internal("full factor payload does not match its shape");
+    }
+    cf.matrix = *d.dense;
+    cf.generation = d.generation;
+    cf.valid = true;
+    return Status::OK();
+  }
+  if (!cf.valid || cf.generation != d.base_generation) {
+    return Status::FailedPrecondition(
+        "column delta does not apply to the resident factor generation");
+  }
+  if (cf.matrix.rows() != d.rows || cf.matrix.cols() != d.cols) {
+    return Status::FailedPrecondition(
+        "column delta shape does not match the resident factor");
+  }
+  DBTF_CHECK_EQ(d.columns.size(), d.column_bits.size());
+  const std::size_t words_per_column =
+      static_cast<std::size_t>((d.rows + 63) / 64);
+  for (std::size_t i = 0; i < d.columns.size(); ++i) {
+    const std::int64_t c = d.columns[i];
+    DBTF_CHECK_LE(0, c);
+    DBTF_CHECK_LT(c, d.cols);
+    const std::vector<BitWord>& bits = d.column_bits[i];
+    DBTF_CHECK_EQ(bits.size(), words_per_column);
+    for (std::int64_t r = 0; r < d.rows; ++r) {
+      const bool bit =
+          ((bits[static_cast<std::size_t>(r / 64)] >>
+            static_cast<unsigned>(r % 64)) & 1u) != 0;
+      cf.matrix.Set(r, c, bit);
+    }
+  }
+  cf.generation = d.generation;
+  return Status::OK();
+}
 
-  // Row masks of M_f, used to derive cache keys per block. Each machine
-  // derives them from its broadcast copy.
-  st.mf_masks.resize(static_cast<std::size_t>(msg.mf->rows()));
-  for (std::int64_t q = 0; q < msg.mf->rows(); ++q) {
-    st.mf_masks[static_cast<std::size_t>(q)] = msg.mf->RowMask64(q);
+Status Worker::Handle(const FactorDelta& msg) {
+  for (const MatrixDelta& d : msg.updates) {
+    DBTF_RETURN_IF_ERROR(ApplyMatrixDelta(d));
   }
 
-  // Each partition builds its own cache of Boolean row summations of M_s^T
-  // (Algorithm 5) from the broadcast copy.
-  const BitMatrix ms_t = msg.ms->Transpose();
+  ModeState& st = state(msg.mode);
+  st.rows = msg.rows;
+  DBTF_CHECK_LE(0, msg.mf_slot);
+  DBTF_CHECK_LT(msg.mf_slot, 3);
+  DBTF_CHECK_LE(0, msg.ms_slot);
+  DBTF_CHECK_LT(msg.ms_slot, 3);
+  const CachedFactor& mf = factors_[static_cast<std::size_t>(msg.mf_slot)];
+  const CachedFactor& ms = factors_[static_cast<std::size_t>(msg.ms_slot)];
+  if (!mf.valid || !ms.valid) {
+    return Status::FailedPrecondition(
+        "factor update before the operand factors were shipped");
+  }
+
+  // Row masks of M_f, used to derive cache keys per block. Rebuilt only when
+  // the resident M_f content actually moved.
+  if (st.built_mf_generation != mf.generation) {
+    st.mf_masks.resize(static_cast<std::size_t>(mf.matrix.rows()));
+    for (std::int64_t q = 0; q < mf.matrix.rows(); ++q) {
+      st.mf_masks[static_cast<std::size_t>(q)] = mf.matrix.RowMask64(q);
+    }
+    st.built_mf_generation = mf.generation;
+  }
+
+  // Cache tables of Boolean row summations of M_s^T (Algorithm 5). Rebuilt
+  // when the resident M_s content or the cache parameters moved; freshly
+  // adopted partitions (recovery hand-off) have no table yet and get one
+  // even when the generation is unchanged.
+  const bool rebuild_all = st.built_ms_generation != ms.generation ||
+                           st.built_cache_group_size != msg.cache_group_size ||
+                           st.built_caching != msg.enable_caching;
+  BitMatrix ms_t;
+  bool transposed = false;
   for (LocalPartition& lp : st.partitions) {
+    if (!rebuild_all && lp.cache != nullptr) continue;
+    if (!transposed) {
+      ms_t = ms.matrix.Transpose();
+      transposed = true;
+    }
     DBTF_ASSIGN_OR_RETURN(
         CacheTable cache,
         CacheTable::Build(ms_t, msg.cache_group_size, msg.enable_caching));
     lp.cache = std::make_unique<CacheTable>(std::move(cache));
-    lp.err0.assign(static_cast<std::size_t>(st.rows), 0);
-    lp.err1.assign(static_cast<std::size_t>(st.rows), 0);
-    lp.scratch.assign(static_cast<std::size_t>(ms_t.words_per_row()), 0);
+  }
+  st.built_ms_generation = ms.generation;
+  st.built_cache_group_size = msg.cache_group_size;
+  st.built_caching = msg.enable_caching;
+
+  // Error accumulators and cache-lookup scratch, (re)sized when stale.
+  const std::size_t scratch_words =
+      static_cast<std::size_t>((ms.matrix.rows() + 63) / 64);
+  for (LocalPartition& lp : st.partitions) {
+    if (lp.err0.size() != static_cast<std::size_t>(st.rows)) {
+      lp.err0.assign(static_cast<std::size_t>(st.rows), 0);
+      lp.err1.assign(static_cast<std::size_t>(st.rows), 0);
+    }
+    if (lp.scratch.size() != scratch_words) {
+      lp.scratch.assign(scratch_words, 0);
+    }
   }
   return Status::OK();
 }
@@ -152,7 +249,7 @@ Status Worker::Handle(const RunUpdateColumn& msg) {
   for (LocalPartition& lp : st.partitions) {
     if (lp.cache == nullptr) {
       return Status::FailedPrecondition(
-          "RunUpdateColumn before FactorMatrices broadcast");
+          "RunUpdateColumn before the factor broadcast");
     }
     const Partition& part = *lp.data;
     const CacheTable& cache = *lp.cache;

@@ -20,27 +20,58 @@ namespace dbtf {
 // through exactly one Cluster primitive, so the Lemma 6–7 ledger charging
 // happens at the routing layer instead of at call sites:
 //
-//   FactorMatrices  -> Cluster::BroadcastToWorkers (charged per machine)
+//   FactorDelta     -> Cluster::BroadcastToWorkers (charged per machine)
 //   RunUpdateColumn -> Cluster::DispatchToWorkers  (task closure; priced at
 //                      zero, as the paper's shuffle analysis prices task
 //                      dispatch)
 //   CollectErrors   -> Cluster::CollectFromWorkers (charged once, total)
 
-/// Broadcast payload of one factor update (Lemma 7): the driver's copies of
-/// the factor being updated plus the two Khatri-Rao operands, along with the
-/// cache parameters the workers need to rebuild their tables. Pointers refer
-/// to driver-owned matrices and are only valid for the duration of the
-/// delivering Cluster::BroadcastToWorkers call; workers derive and keep what
-/// they need (M_f row masks, M_s^T, cache tables) rather than the pointers.
-struct FactorMatrices {
-  Mode mode;                ///< which unfolding's factor is being updated
-  const BitMatrix* factor;  ///< matrix being updated (shape.rows x R)
-  const BitMatrix* mf;      ///< first KR operand (shape.blocks x R)
-  const BitMatrix* ms;      ///< second KR operand / caching unit (within x R)
-  int cache_group_size;     ///< V of Lemma 2
-  bool enable_caching;      ///< ablation: false recomputes every summation
+/// One factor matrix crossing the wire, either as a full replacement or as
+/// the set of columns that changed since the generation the workers already
+/// hold. Generations are globally unique (drawn from one process-wide
+/// counter on the driver), so an equality match is proof that the worker's
+/// cached copy is byte-identical to the driver's — including across
+/// Factorize runs on session-resident workers.
+struct MatrixDelta {
+  int slot = 0;  ///< worker-side cache slot (factor index, 0..2)
+  std::uint64_t generation = 0;       ///< content identity after applying
+  std::uint64_t base_generation = 0;  ///< column deltas: required base
+  bool full = true;         ///< full replacement vs changed-column delta
+  const BitMatrix* dense = nullptr;  ///< full payload; driver-owned, valid
+                                     ///< only during the delivering call
+  std::int64_t rows = 0;             ///< target shape (checked on apply)
+  std::int64_t cols = 0;
+  std::vector<std::int64_t> columns;  ///< changed column indexes (delta)
+  std::vector<std::vector<BitWord>> column_bits;  ///< packed bits per column
 
-  /// Packed bytes of the three matrices: what one machine receives.
+  /// Packed bytes one machine receives: the full matrix, or per changed
+  /// column an 8-byte index plus the packed column bits.
+  std::int64_t WireBytes() const;
+};
+
+/// Broadcast payload of one factor update (Lemma 7). Instead of shipping
+/// three full matrices every update, the driver ships only the stale
+/// Khatri-Rao operands — full on first contact, changed columns afterwards —
+/// tagged with generation counters. Workers keep the operand matrices
+/// resident (`Worker::factors_`) and rebuild derived state (M_f row masks,
+/// M_s^T cache tables) only when the cached operand's generation moves. The
+/// factor under update itself never crosses the wire: workers only need its
+/// row count, and the per-column row masks ride each RunUpdateColumn task.
+///
+/// The message is idempotent: re-delivery (recovery rebroadcast, retry after
+/// a transient fault) applies nothing when generations already match, and a
+/// worker holding an unexpected base generation rejects the delta with
+/// kFailedPrecondition instead of corrupting its cache.
+struct FactorDelta {
+  Mode mode;              ///< which unfolding's factor is being updated
+  std::int64_t rows = 0;  ///< rows of the factor being updated
+  int mf_slot = 0;        ///< slot of M_f (shape.blocks x R operand)
+  int ms_slot = 0;        ///< slot of M_s (within x R caching unit)
+  int cache_group_size = 1;    ///< V of Lemma 2
+  bool enable_caching = true;  ///< ablation: false recomputes every summation
+  std::vector<MatrixDelta> updates;  ///< operand payloads, possibly empty
+
+  /// Packed bytes of all shipped updates: what one machine receives.
   std::int64_t WireBytes() const;
 };
 
@@ -83,14 +114,14 @@ struct CollectErrors {
 /// touches partition or cache state directly — that is what enforces the
 /// paper's claim that only factor matrices cross the wire (Lemmas 6–7).
 ///
-/// Message handlers are invoked by Cluster routing: Handle(FactorMatrices)
-/// and Handle(RunUpdateColumn) run on the pool (one task per worker, CPU
-/// charged to this worker's machine), Handle(CollectErrors) runs on the
-/// driver thread during the sequential collect reduce. A worker's handlers
-/// are never invoked concurrently with each other — Cluster routing runs at
-/// most one task per worker at a time — which is why Worker deliberately has
-/// no mutex: adding one would paper over a routing bug instead of surfacing
-/// it under TSan.
+/// Message handlers are invoked by Cluster routing: Handle(FactorDelta) and
+/// Handle(RunUpdateColumn) run on the pool (one task per worker, CPU charged
+/// to this worker's machine), Handle(CollectErrors) runs under the collect
+/// reduce mutex. A worker's handlers are never invoked concurrently with
+/// each other — each machine's messages drain through a serial Mailbox
+/// (dist/async.h), one task at a time in enqueue order — which is why Worker
+/// deliberately has no mutex: adding one would paper over a routing bug
+/// instead of surfacing it under TSan.
 class Worker {
  public:
   explicit Worker(int machine) : machine_(machine) {}
@@ -137,10 +168,14 @@ class Worker {
 
   // --- Message handlers (call via Cluster routing only) --------------------
 
-  /// Receives the broadcast factor matrices: derives the M_f row masks,
-  /// transposes M_s, and rebuilds one cache table per local partition
-  /// (Algorithm 5). Also (re)sizes the per-partition error accumulators.
-  Status Handle(const FactorMatrices& msg);
+  /// Receives a broadcast factor delta: applies each operand update to the
+  /// resident factor cache (full copy or changed columns, generation-
+  /// checked), then rebuilds only the derived state whose operand actually
+  /// moved — M_f row masks when the M_f slot's generation changed, cache
+  /// tables (Algorithm 5) when the M_s slot's generation or the cache
+  /// parameters changed, plus tables for freshly adopted partitions that
+  /// have none yet. Also (re)sizes the per-partition error accumulators.
+  Status Handle(const FactorDelta& msg);
 
   /// Scores both candidate values of the given column for every row against
   /// each local partition (Algorithm 4's inner sweep).
@@ -155,20 +190,34 @@ class Worker {
     std::int64_t index;                ///< global partition index
     std::unique_ptr<Partition> owned;  ///< set when this worker owns the data
     const Partition* data;             ///< owned.get() or the borrowed slice
-    std::unique_ptr<CacheTable> cache; ///< rebuilt on every FactorMatrices
+    std::unique_ptr<CacheTable> cache; ///< rebuilt when M_s moves
     std::vector<std::int64_t> err0;    ///< per-row error, candidate bit = 0
     std::vector<std::int64_t> err1;    ///< per-row error, candidate bit = 1
     std::vector<BitWord> scratch;      ///< multi-group cache-lookup scratch
   };
 
+  /// One machine-resident factor matrix, identified by its generation. The
+  /// driver's deltas move it from generation to generation; derived state
+  /// (masks, caches) records which generation it was built from.
+  struct CachedFactor {
+    BitMatrix matrix;
+    std::uint64_t generation = 0;
+    bool valid = false;  ///< false until the first full replacement lands
+  };
+
   /// Per-mode slice of the runtime state. Updates for different modes never
-  /// interleave inside one factor update, but the caches of all three modes
-  /// stay resident between updates (they are rebuilt on the next broadcast).
+  /// interleave inside one factor update, but the derived state of all three
+  /// modes stays resident between updates; the built_* generations say which
+  /// operand content it reflects, so an unchanged operand costs nothing.
   struct ModeState {
     UnfoldShape shape{0, 0, 0};
     std::vector<LocalPartition> partitions;
-    std::vector<std::uint64_t> mf_masks;  ///< row masks of the broadcast M_f
+    std::vector<std::uint64_t> mf_masks;  ///< row masks of the cached M_f
     std::int64_t rows = 0;                ///< rows of the factor under update
+    std::uint64_t built_mf_generation = 0;   ///< M_f gen of mf_masks
+    std::uint64_t built_ms_generation = 0;   ///< M_s gen of the cache tables
+    int built_cache_group_size = -1;         ///< V the tables were built with
+    bool built_caching = false;              ///< caching flag of the tables
   };
 
   ModeState& state(Mode mode) {
@@ -178,8 +227,14 @@ class Worker {
     return modes_[static_cast<std::size_t>(mode) - 1];
   }
 
+  /// Applies one operand update to `factors_[d.slot]`. Idempotent: matching
+  /// generations apply nothing; a column delta against the wrong base is
+  /// rejected with kFailedPrecondition.
+  Status ApplyMatrixDelta(const MatrixDelta& d);
+
   int machine_;
   std::array<ModeState, 3> modes_;
+  std::array<CachedFactor, 3> factors_;  ///< machine-resident operand slots
 };
 
 }  // namespace dbtf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 
 #include "dist/placement.h"
 #include "dist/worker.h"
@@ -30,6 +31,28 @@ TEST(ClusterConfig, Validation) {
   EXPECT_FALSE(config.Validate().ok());
   config = SmallConfig();
   config.network_latency_seconds = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  // Non-finite values satisfy no ordering comparison, so a plain bound check
+  // would silently accept them (NaN) or accept a meaningless model (Inf).
+  config = SmallConfig();
+  config.network_bandwidth_bytes_per_second =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.Validate().ok());
+  config.network_bandwidth_bytes_per_second =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.network_latency_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.driver_seconds_per_byte = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.driver_seconds_per_byte = -0.001;
+  EXPECT_FALSE(config.Validate().ok());
+  // Both knobs bad at once must still be rejected (whichever is checked
+  // first), not cancel out in some combined cost expression.
+  config.network_bandwidth_bytes_per_second = 0;
   EXPECT_FALSE(config.Validate().ok());
 }
 

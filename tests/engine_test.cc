@@ -274,6 +274,80 @@ TEST(SessionFaults, ExhaustedRetryBudgetSurfacesCleanUnavailable) {
       << r.status().ToString();
 }
 
+/// The delta-broadcast acceptance criterion: shipping only changed operand
+/// columns is invisible in the results — factors, error trajectory, collect
+/// and shuffle traffic all match the full-broadcast ablation bitwise — while
+/// the broadcast bytes strictly shrink (same number of broadcast *events*).
+TEST(DeltaBroadcast, BitwiseIdenticalWithStrictlyFewerBroadcastBytes) {
+  const PlantedTensor p = MakePlanted(24, 4, 51);
+  DbtfConfig with_delta = SmallConfig();
+  ASSERT_TRUE(with_delta.enable_delta_broadcast) << "delta is the default";
+  DbtfConfig full = with_delta;
+  full.enable_delta_broadcast = false;
+
+  auto delta_run = Dbtf::Factorize(p.tensor, with_delta);
+  auto full_run = Dbtf::Factorize(p.tensor, full);
+  ASSERT_TRUE(delta_run.ok()) << delta_run.status().ToString();
+  ASSERT_TRUE(full_run.ok()) << full_run.status().ToString();
+
+  ExpectSameFactorsAndErrors(*delta_run, *full_run);
+  EXPECT_EQ(delta_run->comm.broadcast_events, full_run->comm.broadcast_events);
+  EXPECT_EQ(delta_run->comm.collect_bytes, full_run->comm.collect_bytes);
+  EXPECT_EQ(delta_run->comm.collect_events, full_run->comm.collect_events);
+  EXPECT_EQ(delta_run->comm.shuffle_bytes, full_run->comm.shuffle_bytes);
+  EXPECT_LT(delta_run->comm.broadcast_bytes, full_run->comm.broadcast_bytes)
+      << "delta broadcasts must strictly reduce the broadcast volume";
+}
+
+/// Deltas and recovery compose: under a fault plan with transient faults and
+/// one permanent machine loss, the delta run still matches the full-broadcast
+/// run (and hence the fault-free baseline) bitwise. The recovery rebroadcast
+/// re-sends an already-applied delta, which workers skip by generation.
+TEST(DeltaBroadcast, BitwiseIdenticalUnderFaultPlan) {
+  const PlantedTensor p = MakePlanted(24, 4, 52);
+  DbtfConfig with_delta = SmallConfig();
+  auto plan =
+      FaultPlan::Parse("0:broadcast:transient@2,1:dispatch:crash@4");
+  ASSERT_TRUE(plan.ok());
+  with_delta.cluster.fault_plan = *plan;
+  DbtfConfig full = with_delta;
+  full.enable_delta_broadcast = false;
+
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  auto delta_run = Dbtf::Factorize(p.tensor, with_delta);
+  auto full_run = Dbtf::Factorize(p.tensor, full);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_TRUE(delta_run.ok()) << delta_run.status().ToString();
+  ASSERT_TRUE(full_run.ok()) << full_run.status().ToString();
+
+  ExpectSameFactorsAndErrors(*delta_run, *baseline);
+  ExpectSameFactorsAndErrors(*delta_run, *full_run);
+  EXPECT_EQ(delta_run->recovery.machines_lost, 1);
+  EXPECT_LT(delta_run->comm.broadcast_bytes, full_run->comm.broadcast_bytes);
+}
+
+/// On a bandwidth-starved cluster the broadcast bytes dominate the virtual
+/// makespan, so shipping deltas must shrink it. driver_seconds (the network
+/// share) is fully deterministic; the compute share rides along.
+TEST(DeltaBroadcast, ImprovesVirtualMakespanWhenBandwidthBound) {
+  const PlantedTensor p = MakePlanted(24, 4, 53);
+  DbtfConfig with_delta = SmallConfig();
+  with_delta.cluster.network_bandwidth_bytes_per_second = 1e4;
+  DbtfConfig full = with_delta;
+  full.enable_delta_broadcast = false;
+
+  auto delta_run = Dbtf::Factorize(p.tensor, with_delta);
+  auto full_run = Dbtf::Factorize(p.tensor, full);
+  ASSERT_TRUE(delta_run.ok()) << delta_run.status().ToString();
+  ASSERT_TRUE(full_run.ok()) << full_run.status().ToString();
+
+  EXPECT_NEAR(delta_run->driver_seconds + delta_run->machine_seconds,
+              delta_run->virtual_seconds, 1e-9);
+  EXPECT_LT(delta_run->driver_seconds, full_run->driver_seconds)
+      << "fewer broadcast bytes must mean less simulated network time";
+  EXPECT_LT(delta_run->virtual_seconds, full_run->virtual_seconds);
+}
+
 /// The rank scan runs every candidate on one resident session.
 TEST(RankSelection, SharesOnePartitionedSession) {
   const PlantedTensor p = MakePlanted(24, 3, 46);

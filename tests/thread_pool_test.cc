@@ -67,5 +67,30 @@ TEST(ThreadPool, ManyMoreTasksThanThreads) {
   EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
 }
 
+TEST(ThreadPoolDeathTest, ParallelForInsidePoolTaskAborts) {
+  // Nesting ParallelFor inside a pool task would self-deadlock (the caller's
+  // own task counts as in flight), so it must abort with a clear message
+  // instead of hanging. The pool lives inside the statement so the
+  // death-test child constructs its own threads.
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(1, [&pool](std::int64_t) {
+          pool.ParallelFor(1, [](std::int64_t) {});
+        });
+      },
+      "inside a pool task");
+}
+
+TEST(ThreadPoolDeathTest, WaitInsidePoolTaskAborts) {
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Submit([&pool] { pool.Wait(); });
+        pool.Wait();
+      },
+      "inside a pool task");
+}
+
 }  // namespace
 }  // namespace dbtf

@@ -30,6 +30,13 @@ the driver/worker runtime (see DESIGN.md, "Correctness tooling"):
                       the RecoveryLedger is mutated (Record*) only by
                       Cluster's charging layer (src/dist/cluster.cc), so
                       every retry/re-provision is counted exactly once.
+  async-seam          asynchrony is expressed only through dist/async.h
+                      (Future/Promise/Mailbox): std::promise, std::future,
+                      std::packaged_task, and std::async appear nowhere
+                      outside src/dist/, and std::condition_variable only in
+                      src/dist/ and common/mutex.h. Ad-hoc futures or
+                      condvars would bypass the mailboxes' per-machine FIFO
+                      ordering that keeps fault injection deterministic.
 
 Exit status 0 when clean; 1 with "file:line: [rule] message" diagnostics
 otherwise. Run as a CTest case (dbtf_lint) and in CI.
@@ -65,6 +72,9 @@ UNAVAILABLE_RE = re.compile(r"\bStatus::Unavailable\s*\(")
 RECOVERY_RECORD_RE = re.compile(
     r"(?:\.|->)\s*Record(?:FailedDelivery|Retry|MachineLost|Reprovision|"
     r"Stall)\s*\(")
+ASYNC_PRIMITIVE_RE = re.compile(
+    r"\bstd::(?:promise|future|shared_future|packaged_task|async)\b")
+CONDVAR_RE = re.compile(r"\bstd::condition_variable(?:_any)?\b")
 
 BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -98,6 +108,10 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
     # RecoveryLedger's own method definitions use :: qualification, which the
     # mutation regex (object '.'/'->' prefix) deliberately does not match.
     allow_recovery_mutation = rel == "dist/cluster.cc"
+    # dist/async.h is the async seam; the rest of src/dist/ implements it
+    # (thread pool, mailboxes, routing). common/mutex.h wraps the condvar.
+    allow_async_primitive = rel.startswith("dist/")
+    allow_condvar = rel.startswith("dist/") or rel == "common/mutex.h"
     # common/mutex.h wraps the underlying std::mutex; comm_stats.h defines
     # the Record* methods themselves (no object prefix, so the mutation
     # regexes would not fire there anyway).
@@ -152,6 +166,19 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
                 "the RecoveryLedger is charged only by Cluster "
                 "(src/dist/cluster.cc) so every retry and re-provision is "
                 "counted exactly once"))
+        if not allow_async_primitive and ASYNC_PRIMITIVE_RE.search(line):
+            findings.append((
+                lineno, "async-seam",
+                "futures and promises come only from dist/async.h "
+                "(Future/Promise over the mailbox runtime); std:: async "
+                "primitives outside src/dist/ bypass the per-machine FIFO "
+                "ordering"))
+        if not allow_condvar and CONDVAR_RE.search(line):
+            findings.append((
+                lineno, "async-seam",
+                "std::condition_variable is confined to src/dist/ and "
+                "common/mutex.h; block on a Future or drain a Mailbox "
+                "instead of hand-rolled signalling"))
     return findings
 
 

@@ -57,6 +57,13 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(rules_in(diagnostics), {"recovery-stats-mutation"})
         self.assertEqual(len(diagnostics), 2)
 
+    def test_async_seam_fixture_trips(self):
+        diagnostics = self.lint("async_seam")
+        self.assertEqual(rules_in(diagnostics), {"async-seam"})
+        # std::future return, std::async call, std::promise member, and a
+        # std::condition_variable member — one finding per line.
+        self.assertEqual(len(diagnostics), 4)
+
     def test_clean_fixture_passes(self):
         self.assertEqual(self.lint("clean"), [])
 
