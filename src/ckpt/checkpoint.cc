@@ -1,0 +1,526 @@
+#include "ckpt/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace dbtf {
+namespace {
+
+// "DBTK" little-endian, followed by the format version. Bump the version on
+// any layout change; readers reject unknown versions (and fall back).
+constexpr std::uint32_t kManifestMagic = 0x4B544244U;
+constexpr std::uint32_t kFormatVersion = 1;
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kRunBlob = "run.bin";
+constexpr const char* kFactorsBlob = "factors.bin";
+constexpr const char* kBcastBlob = "bcast.bin";
+constexpr const char* kDistBlob = "dist.bin";
+
+constexpr const char* kSnapshotPrefix = "ckpt-";
+constexpr const char* kTmpSuffix = ".tmp";
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// --- POSIX plumbing ---------------------------------------------------------
+//
+// Deliberately plain POSIX (no std::filesystem): atomicity needs fsync on
+// the files AND on the directory after the publishing rename, which the
+// standard library does not expose.
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError(ErrnoMessage("mkdir", path));
+}
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open for fsync", path));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError(ErrnoMessage("fsync", path));
+  return Status::OK();
+}
+
+/// tmp-free durable file write: the caller's rename of the whole snapshot
+/// directory provides atomicity, this provides durability.
+Status WriteFileDurably(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError(ErrnoMessage("fopen", path));
+  Status status = Status::OK();
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    status = Status::IoError(ErrnoMessage("fwrite", path));
+  }
+  if (status.ok() && std::fflush(file) != 0) {
+    status = Status::IoError(ErrnoMessage("fflush", path));
+  }
+  if (status.ok() && ::fsync(::fileno(file)) != 0) {
+    status = Status::IoError(ErrnoMessage("fsync", path));
+  }
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = Status::IoError(ErrnoMessage("fclose", path));
+  }
+  return status;
+}
+
+Result<std::vector<std::uint8_t>> ReadFileFully(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError(ErrnoMessage("fopen", path));
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IoError(ErrnoMessage("fread", path));
+  return bytes;
+}
+
+/// Removes a snapshot directory (one level of regular files) and the
+/// directory itself. Best-effort: used for pruning and stale-tmp cleanup.
+void RemoveSnapshotDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir != nullptr) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((path + "/" + name).c_str());
+    }
+    ::closedir(dir);
+  }
+  ::rmdir(path.c_str());
+}
+
+/// Parses "ckpt-<digits>" (no tmp suffix); -1 when `name` is not a
+/// published snapshot.
+std::int64_t ParseSequence(const std::string& name) {
+  const std::string prefix = kSnapshotPrefix;
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix)) {
+    return -1;
+  }
+  std::int64_t sequence = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    if (sequence > (INT64_MAX - (name[i] - '0')) / 10) return -1;
+    sequence = sequence * 10 + (name[i] - '0');
+  }
+  return sequence;
+}
+
+std::string SnapshotDirName(const std::string& root, std::int64_t sequence) {
+  return root + "/" + kSnapshotPrefix + std::to_string(sequence);
+}
+
+// --- State (de)serialization ------------------------------------------------
+
+void WriteMatrix(ByteWriter& w, const BitMatrix& m) {
+  w.WriteI64(m.rows());
+  w.WriteI64(m.cols());
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    const BitWord* row = m.RowData(r);
+    for (std::int64_t k = 0; k < m.words_per_row(); ++k) {
+      w.WriteU64(row[k]);
+    }
+  }
+}
+
+Result<BitMatrix> ReadMatrix(ByteReader& r) {
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t rows, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t cols, r.ReadI64());
+  const std::int64_t words = rows * ((cols + 63) / 64);
+  if (rows < 0 || cols < 0 ||
+      static_cast<std::uint64_t>(words) * sizeof(BitWord) > r.remaining()) {
+    return Status::IoError("checkpoint: matrix larger than its blob");
+  }
+  DBTF_ASSIGN_OR_RETURN(BitMatrix m, BitMatrix::Create(rows, cols));
+  for (std::int64_t row = 0; row < rows; ++row) {
+    BitWord* data = m.MutableRowData(row);
+    for (std::int64_t k = 0; k < m.words_per_row(); ++k) {
+      DBTF_ASSIGN_OR_RETURN(data[k], r.ReadU64());
+    }
+  }
+  return m;
+}
+
+void WriteI64Vector(ByteWriter& w, const std::vector<std::int64_t>& values) {
+  w.WriteU64(values.size());
+  for (const std::int64_t value : values) w.WriteI64(value);
+}
+
+Result<std::vector<std::int64_t>> ReadI64Vector(ByteReader& r) {
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t count, r.ReadU64());
+  if (count * 8 > r.remaining()) {
+    return Status::IoError("checkpoint: vector larger than its blob");
+  }
+  std::vector<std::int64_t> values(static_cast<std::size_t>(count));
+  for (std::int64_t& value : values) {
+    DBTF_ASSIGN_OR_RETURN(value, r.ReadI64());
+  }
+  return values;
+}
+
+std::vector<std::uint8_t> SerializeRun(const CheckpointState& state) {
+  ByteWriter w;
+  w.WriteU64(state.config_fingerprint);
+  w.WriteU64(state.tensor_fingerprint);
+  w.WriteI64(state.iteration);
+  w.WriteI64(state.set_index);
+  w.WriteI64(state.mode_index);
+  w.WriteI64(state.next_column);
+  w.WriteI64(state.columns_done);
+  for (const std::uint64_t word : state.rng_state) w.WriteU64(word);
+  w.WriteI64(state.update_cache_entries);
+  w.WriteI64(state.update_cache_bytes);
+  w.WriteI64(state.update_cells_changed);
+  w.WriteI64(state.update_final_error);
+  w.WriteI64(state.iter_error);
+  w.WriteI64(state.iter_cells_changed);
+  w.WriteI64(state.iter_cache_entries);
+  w.WriteI64(state.iter_cache_bytes);
+  WriteI64Vector(w, state.iteration_errors);
+  w.WriteI64(state.cells_changed);
+  w.WriteI64(state.cache_entries);
+  w.WriteI64(state.cache_bytes);
+  w.WriteI64(state.checkpoints_written);
+  return w.bytes();
+}
+
+Status ParseRun(const std::vector<std::uint8_t>& bytes,
+                CheckpointState* state) {
+  ByteReader r(bytes);
+  DBTF_ASSIGN_OR_RETURN(state->config_fingerprint, r.ReadU64());
+  DBTF_ASSIGN_OR_RETURN(state->tensor_fingerprint, r.ReadU64());
+  DBTF_ASSIGN_OR_RETURN(state->iteration, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->set_index, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->mode_index, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->next_column, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->columns_done, r.ReadI64());
+  for (std::uint64_t& word : state->rng_state) {
+    DBTF_ASSIGN_OR_RETURN(word, r.ReadU64());
+  }
+  DBTF_ASSIGN_OR_RETURN(state->update_cache_entries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->update_cache_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->update_cells_changed, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->update_final_error, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_error, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_cells_changed, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_cache_entries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_cache_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iteration_errors, ReadI64Vector(r));
+  DBTF_ASSIGN_OR_RETURN(state->cells_changed, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->cache_entries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->cache_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->checkpoints_written, r.ReadI64());
+  return r.ExpectEnd();
+}
+
+std::vector<std::uint8_t> SerializeFactors(const CheckpointState& state) {
+  ByteWriter w;
+  WriteMatrix(w, state.a);
+  WriteMatrix(w, state.b);
+  WriteMatrix(w, state.c);
+  w.WriteU8(state.has_best ? 1 : 0);
+  WriteMatrix(w, state.best_a);
+  WriteMatrix(w, state.best_b);
+  WriteMatrix(w, state.best_c);
+  w.WriteI64(state.best_error);
+  return w.bytes();
+}
+
+Status ParseFactors(const std::vector<std::uint8_t>& bytes,
+                    CheckpointState* state) {
+  ByteReader r(bytes);
+  DBTF_ASSIGN_OR_RETURN(state->a, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->b, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->c, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(const std::uint8_t has_best, r.ReadU8());
+  if (has_best > 1) return Status::IoError("checkpoint: bad has_best flag");
+  state->has_best = has_best != 0;
+  DBTF_ASSIGN_OR_RETURN(state->best_a, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->best_b, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->best_c, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->best_error, r.ReadI64());
+  return r.ExpectEnd();
+}
+
+std::vector<std::uint8_t> SerializeBcast(const CheckpointState& state) {
+  ByteWriter w;
+  for (const FactorShadowSnapshot& shadow : state.shadows) {
+    w.WriteU8(shadow.initialized ? 1 : 0);
+    w.WriteU64(shadow.generation);
+    WriteMatrix(w, shadow.content);
+  }
+  return w.bytes();
+}
+
+Status ParseBcast(const std::vector<std::uint8_t>& bytes,
+                  CheckpointState* state) {
+  ByteReader r(bytes);
+  for (FactorShadowSnapshot& shadow : state->shadows) {
+    DBTF_ASSIGN_OR_RETURN(const std::uint8_t initialized, r.ReadU8());
+    if (initialized > 1) {
+      return Status::IoError("checkpoint: bad shadow flag");
+    }
+    shadow.initialized = initialized != 0;
+    DBTF_ASSIGN_OR_RETURN(shadow.generation, r.ReadU64());
+    DBTF_ASSIGN_OR_RETURN(shadow.content, ReadMatrix(r));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<std::uint8_t> SerializeDist(const CheckpointState& state) {
+  ByteWriter w;
+  w.WriteI64(state.comm.shuffle_bytes);
+  w.WriteI64(state.comm.broadcast_bytes);
+  w.WriteI64(state.comm.collect_bytes);
+  w.WriteI64(state.comm.shuffle_events);
+  w.WriteI64(state.comm.broadcast_events);
+  w.WriteI64(state.comm.collect_events);
+  w.WriteI64(state.recovery.failed_deliveries);
+  w.WriteI64(state.recovery.retries);
+  w.WriteI64(state.recovery.machines_lost);
+  w.WriteI64(state.recovery.reprovisions);
+  w.WriteI64(state.recovery.reshipped_bytes);
+  w.WriteDouble(state.recovery.recovery_seconds);
+  WriteI64Vector(w, state.fault_delivery_counters);
+  w.WriteU64(state.dead_machines.size());
+  for (const int machine : state.dead_machines) {
+    w.WriteI64(machine);
+  }
+  w.WriteU64(state.machine_seconds.size());
+  for (const double seconds : state.machine_seconds) {
+    w.WriteDouble(seconds);
+  }
+  w.WriteDouble(state.driver_seconds);
+  return w.bytes();
+}
+
+Status ParseDist(const std::vector<std::uint8_t>& bytes,
+                 CheckpointState* state) {
+  ByteReader r(bytes);
+  DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.collect_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.collect_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.failed_deliveries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.retries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.machines_lost, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.reprovisions, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.reshipped_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.recovery_seconds, r.ReadDouble());
+  DBTF_ASSIGN_OR_RETURN(state->fault_delivery_counters, ReadI64Vector(r));
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t dead_count, r.ReadU64());
+  if (dead_count * 8 > r.remaining()) {
+    return Status::IoError("checkpoint: dead-machine list larger than blob");
+  }
+  state->dead_machines.resize(static_cast<std::size_t>(dead_count));
+  for (int& machine : state->dead_machines) {
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t value, r.ReadI64());
+    machine = static_cast<int>(value);
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t clock_count, r.ReadU64());
+  if (clock_count * 8 > r.remaining()) {
+    return Status::IoError("checkpoint: clock list larger than blob");
+  }
+  state->machine_seconds.resize(static_cast<std::size_t>(clock_count));
+  for (double& seconds : state->machine_seconds) {
+    DBTF_ASSIGN_OR_RETURN(seconds, r.ReadDouble());
+  }
+  DBTF_ASSIGN_OR_RETURN(state->driver_seconds, r.ReadDouble());
+  return r.ExpectEnd();
+}
+
+struct Blob {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Validates and loads one published snapshot directory end-to-end: the
+/// manifest's trailing CRC and magic/version, then each listed blob's size
+/// and CRC, then the blob parses (each of which must consume its blob
+/// exactly).
+Result<CheckpointState> LoadSnapshot(const std::string& snapshot_dir) {
+  DBTF_ASSIGN_OR_RETURN(
+      const std::vector<std::uint8_t> manifest,
+      ReadFileFully(snapshot_dir + "/" + kManifestName));
+  if (manifest.size() < 4) {
+    return Status::IoError("checkpoint: manifest truncated");
+  }
+  const std::size_t body_size = manifest.size() - 4;
+  ByteReader trailer(manifest.data() + body_size, 4);
+  DBTF_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, trailer.ReadU32());
+  if (Crc32(manifest.data(), body_size) != stored_crc) {
+    return Status::IoError("checkpoint: manifest CRC mismatch");
+  }
+
+  ByteReader r(manifest.data(), body_size);
+  DBTF_ASSIGN_OR_RETURN(const std::uint32_t magic, r.ReadU32());
+  if (magic != kManifestMagic) {
+    return Status::IoError("checkpoint: bad manifest magic");
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::IoError("checkpoint: unsupported format version");
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t sequence, r.ReadI64());
+  (void)sequence;  // informational; the directory name is authoritative
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t blob_count, r.ReadU64());
+
+  CheckpointState state;
+  bool seen[4] = {false, false, false, false};
+  for (std::uint64_t i = 0; i < blob_count; ++i) {
+    DBTF_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
+    DBTF_ASSIGN_OR_RETURN(const std::uint64_t size, r.ReadU64());
+    DBTF_ASSIGN_OR_RETURN(const std::uint32_t crc, r.ReadU32());
+    DBTF_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
+                          ReadFileFully(snapshot_dir + "/" + name));
+    if (bytes.size() != size || Crc32(bytes.data(), bytes.size()) != crc) {
+      return Status::IoError("checkpoint: blob " + name +
+                             " failed size/CRC validation");
+    }
+    if (name == kRunBlob) {
+      DBTF_RETURN_IF_ERROR(ParseRun(bytes, &state));
+      seen[0] = true;
+    } else if (name == kFactorsBlob) {
+      DBTF_RETURN_IF_ERROR(ParseFactors(bytes, &state));
+      seen[1] = true;
+    } else if (name == kBcastBlob) {
+      DBTF_RETURN_IF_ERROR(ParseBcast(bytes, &state));
+      seen[2] = true;
+    } else if (name == kDistBlob) {
+      DBTF_RETURN_IF_ERROR(ParseDist(bytes, &state));
+      seen[3] = true;
+    } else {
+      return Status::IoError("checkpoint: unknown blob " + name);
+    }
+  }
+  DBTF_RETURN_IF_ERROR(r.ExpectEnd());
+  for (const bool present : seen) {
+    if (!present) {
+      return Status::IoError("checkpoint: manifest is missing a blob");
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir, int retention)
+    : dir_(std::move(dir)), retention_(retention) {}
+
+Result<CheckpointStore> CheckpointStore::Open(const std::string& dir,
+                                              int retention) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("checkpoint directory must be non-empty");
+  }
+  if (retention < 1) {
+    return Status::InvalidArgument("checkpoint retention must be >= 1");
+  }
+  DBTF_RETURN_IF_ERROR(EnsureDirectory(dir));
+  return CheckpointStore(dir, retention);
+}
+
+std::vector<std::int64_t> CheckpointStore::ListSequences() const {
+  std::vector<std::int64_t> sequences;
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) return sequences;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::int64_t sequence = ParseSequence(entry->d_name);
+    if (sequence >= 0) sequences.push_back(sequence);
+  }
+  ::closedir(dir);
+  std::sort(sequences.begin(), sequences.end());
+  return sequences;
+}
+
+Result<std::int64_t> CheckpointStore::Write(
+    const CheckpointState& state) const {
+  const std::vector<std::int64_t> sequences = ListSequences();
+  const std::int64_t sequence = sequences.empty() ? 1 : sequences.back() + 1;
+
+  const std::string final_dir = SnapshotDirName(dir_, sequence);
+  const std::string tmp_dir = final_dir + kTmpSuffix;
+  RemoveSnapshotDir(tmp_dir);  // stale leftovers of an interrupted writer
+  DBTF_RETURN_IF_ERROR(EnsureDirectory(tmp_dir));
+
+  const Blob blobs[] = {
+      {kRunBlob, SerializeRun(state)},
+      {kFactorsBlob, SerializeFactors(state)},
+      {kBcastBlob, SerializeBcast(state)},
+      {kDistBlob, SerializeDist(state)},
+  };
+
+  ByteWriter manifest;
+  manifest.WriteU32(kManifestMagic);
+  manifest.WriteU32(kFormatVersion);
+  manifest.WriteI64(sequence);
+  manifest.WriteU64(std::size(blobs));
+  for (const Blob& blob : blobs) {
+    DBTF_RETURN_IF_ERROR(
+        WriteFileDurably(tmp_dir + "/" + blob.name, blob.bytes));
+    manifest.WriteString(blob.name);
+    manifest.WriteU64(blob.bytes.size());
+    manifest.WriteU32(Crc32(blob.bytes.data(), blob.bytes.size()));
+  }
+  ByteWriter sealed;
+  sealed.WriteBytes(manifest.bytes().data(), manifest.size());
+  sealed.WriteU32(manifest.Crc());
+  DBTF_RETURN_IF_ERROR(
+      WriteFileDurably(tmp_dir + "/" + kManifestName, sealed.bytes()));
+  // The manifest is written last, so a published snapshot always has one;
+  // fsync the directory entries before publishing the whole snapshot with
+  // one atomic rename, then persist the rename itself.
+  DBTF_RETURN_IF_ERROR(FsyncPath(tmp_dir));
+  if (std::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename", final_dir));
+  }
+  DBTF_RETURN_IF_ERROR(FsyncPath(dir_));
+
+  // Retention: prune the oldest published snapshots beyond the limit.
+  std::vector<std::int64_t> published = ListSequences();
+  if (static_cast<std::int64_t>(published.size()) > retention_) {
+    const std::size_t excess = published.size() -
+                               static_cast<std::size_t>(retention_);
+    for (std::size_t i = 0; i < excess; ++i) {
+      RemoveSnapshotDir(SnapshotDirName(dir_, published[i]));
+    }
+  }
+  return sequence;
+}
+
+Result<CheckpointState> CheckpointStore::LoadNewestValid() const {
+  const std::vector<std::int64_t> sequences = ListSequences();
+  for (auto it = sequences.rbegin(); it != sequences.rend(); ++it) {
+    Result<CheckpointState> state = LoadSnapshot(SnapshotDirName(dir_, *it));
+    if (state.ok()) return state;
+    DBTF_LOG(kWarning,
+             "checkpoint ckpt-%lld is invalid (%s); falling back",
+             static_cast<long long>(*it),
+             state.status().ToString().c_str());
+  }
+  return Status::NotFound("no valid checkpoint under " + dir_);
+}
+
+}  // namespace dbtf

@@ -174,6 +174,18 @@ Status RunFactorize(FlagParser* flags) {
     DBTF_ASSIGN_OR_RETURN(const std::int64_t max_retries,
                           flags->GetInt64("max-retries", 3));
     config.cluster.retry.max_attempts = static_cast<int>(max_retries);
+    // Checkpoint/restore (src/ckpt/): durable snapshots + bitwise resume.
+    config.checkpoint_dir = flags->GetString("checkpoint-dir", "");
+    DBTF_ASSIGN_OR_RETURN(config.checkpoint_every_columns,
+                          flags->GetInt64("checkpoint-every-columns", 0));
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t retention,
+                          flags->GetInt64("checkpoint-retention", 3));
+    config.checkpoint_retention = static_cast<int>(retention);
+    DBTF_ASSIGN_OR_RETURN(config.resume, flags->GetBool("resume", false));
+    DBTF_ASSIGN_OR_RETURN(config.crash_after_columns,
+                          flags->GetInt64("crash-after-columns", 0));
+    DBTF_ASSIGN_OR_RETURN(config.halt_after_columns,
+                          flags->GetInt64("halt-after-columns", 0));
     if (!fault_plan.empty()) {
       DBTF_ASSIGN_OR_RETURN(config.cluster.fault_plan,
                             FaultPlan::Parse(fault_plan));
@@ -201,6 +213,15 @@ Status RunFactorize(FlagParser* flags) {
       std::printf("fault plan     : %s\n",
                   config.cluster.fault_plan.ToString().c_str());
       std::printf("recovery       : %s\n", result.recovery.ToString().c_str());
+    }
+    if (!config.checkpoint_dir.empty()) {
+      std::printf("checkpoints    : %lld written to %s\n",
+                  static_cast<long long>(result.checkpoints_written),
+                  config.checkpoint_dir.c_str());
+      if (result.resumed_from_iteration > 0) {
+        std::printf("resumed from   : iteration %d\n",
+                    result.resumed_from_iteration);
+      }
     }
     if (!output_prefix.empty()) {
       DBTF_RETURN_IF_ERROR(
@@ -377,7 +398,12 @@ std::string UsageText() {
       "                    --cache-group-size V --max-retries K\n"
       "                    --no-delta-broadcast (ship full operand matrices\n"
       "                    every update instead of changed columns)\n"
-      "                    --fault-seed S | --fault-plan PLAN]\n"
+      "                    --fault-seed S | --fault-plan PLAN\n"
+      "                    --checkpoint-dir DIR (durable snapshots; resume\n"
+      "                    with --resume) --checkpoint-every-columns N\n"
+      "                    --checkpoint-retention K --resume\n"
+      "                    --crash-after-columns N (SIGKILL drill)\n"
+      "                    --halt-after-columns N (clean abort drill)]\n"
       "                   PLAN: comma-separated machine:message:kind@delivery\n"
       "                   entries, e.g. 1:dispatch:transient@2,2:collect:crash@1\n"
       "             bcp-als: [--asso-candidates C]\n"

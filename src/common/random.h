@@ -1,6 +1,7 @@
 #ifndef DBTF_COMMON_RANDOM_H_
 #define DBTF_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 
 namespace dbtf {
@@ -68,6 +69,17 @@ class Rng {
 
   /// Bernoulli draw with probability p.
   bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Raw engine state, for checkpointing. RestoreState(State()) resumes the
+  /// stream at exactly the same position.
+  std::array<std::uint64_t, 4> State() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restores state previously captured by State().
+  void RestoreState(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

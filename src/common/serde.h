@@ -1,0 +1,80 @@
+#ifndef DBTF_COMMON_SERDE_H_
+#define DBTF_COMMON_SERDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbtf {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// Test vector: Crc32("123456789", 9) == 0xCBF43926.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// FNV-1a 64-bit hash. Used for cheap content fingerprints (configuration
+/// and tensor identity checks on resume), not for integrity — integrity is
+/// Crc32's job.
+std::uint64_t Fnv1a64(const void* data, std::size_t size);
+
+/// Append-only little-endian binary writer. All multi-byte fields are
+/// serialized little-endian regardless of host order, so snapshots written
+/// on one machine parse on any other.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteI64(std::int64_t value);
+  void WriteDouble(double value);
+  /// Length-prefixed (u64) byte string.
+  void WriteString(const std::string& value);
+  void WriteBytes(const void* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+  /// CRC-32 of everything written so far.
+  std::uint32_t Crc() const { return Crc32(bytes_.data(), bytes_.size()); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounded little-endian reader over a byte buffer it does not own. Every
+/// read is checked against the remaining length and fails with kIoError on
+/// truncation; ExpectEnd() rejects trailing bytes, so a parse that returns
+/// OK consumed exactly the buffer.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int64_t> ReadI64();
+  Result<double> ReadDouble();
+  /// Length-prefixed (u64) byte string; the length is validated against the
+  /// remaining buffer before any allocation.
+  Result<std::string> ReadString();
+  /// Copies `size` raw bytes into `out`.
+  Status ReadBytes(void* out, std::size_t size);
+
+  std::size_t remaining() const { return size_ - offset_; }
+  std::size_t offset() const { return offset_; }
+  /// Fails with kIoError unless the buffer was consumed exactly.
+  Status ExpectEnd() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_SERDE_H_

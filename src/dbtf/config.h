@@ -2,6 +2,7 @@
 #define DBTF_DBTF_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "dist/cluster.h"
@@ -66,6 +67,36 @@ struct DbtfConfig {
   /// Cooperative wall-clock budget in seconds; 0 means unlimited. Checked
   /// between factor updates; expiry returns DeadlineExceeded.
   double time_budget_seconds = 0.0;
+
+  /// Durable checkpointing (src/ckpt/): when non-empty, the run snapshots
+  /// its full state under this directory at the configured cadence and can
+  /// be resumed bitwise-identically after a kill (see `resume`).
+  std::string checkpoint_dir;
+
+  /// Checkpoint cadence in completed factor-update columns; 0 (default)
+  /// snapshots once per completed mode update (i.e. every `rank` columns).
+  std::int64_t checkpoint_every_columns = 0;
+
+  /// Snapshots retained on disk; older ones are pruned after each write.
+  /// Must be >= 1.
+  int checkpoint_retention = 3;
+
+  /// Resume from the newest valid snapshot under `checkpoint_dir` instead
+  /// of starting fresh. The configuration and the tensor must match the
+  /// checkpointed run (fingerprint-checked); the resumed run produces
+  /// bitwise-identical factors and error ledger to an uninterrupted one.
+  bool resume = false;
+
+  /// Test hook for the kill-and-resume drill: hard-kill the process
+  /// (SIGKILL) after this many completed columns, after any checkpoint due
+  /// at that column has been written. 0 disables. Proves snapshot
+  /// durability — nothing after the fsynced rename survives.
+  std::int64_t crash_after_columns = 0;
+
+  /// Test seam: abort the run with kResourceExhausted after this many
+  /// completed columns — an in-process stand-in for `crash_after_columns`
+  /// that tests can catch and resume from within one process. 0 disables.
+  std::int64_t halt_after_columns = 0;
 
   /// Simulated cluster configuration (machines, threads, network model).
   ClusterConfig cluster;

@@ -31,6 +31,19 @@ Status DbtfConfig::Validate() const {
   if (time_budget_seconds < 0.0) {
     return Status::InvalidArgument("time budget must be >= 0");
   }
+  if (checkpoint_every_columns < 0) {
+    return Status::InvalidArgument("checkpoint_every_columns must be >= 0");
+  }
+  if (checkpoint_retention < 1) {
+    return Status::InvalidArgument("checkpoint_retention must be >= 1");
+  }
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("resume requires checkpoint_dir");
+  }
+  if (crash_after_columns < 0 || halt_after_columns < 0) {
+    return Status::InvalidArgument(
+        "crash/halt_after_columns must be >= 0");
+  }
   return cluster.Validate();
 }
 

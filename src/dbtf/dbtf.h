@@ -68,6 +68,15 @@ struct DbtfResult {
   /// `comm` as shuffle traffic), and virtual seconds lost to recovery. All
   /// zero on a fault-free run.
   RecoveryStats recovery;
+
+  /// Iteration (1-based) the run resumed at when it was restored from a
+  /// checkpoint; 0 for a fresh run.
+  int resumed_from_iteration = 0;
+
+  /// Snapshots written to checkpoint_dir, cumulative across the resumed
+  /// lineage of the run (a resumed run continues the interrupted run's
+  /// count). 0 when checkpointing is disabled.
+  std::int64_t checkpoints_written = 0;
 };
 
 /// Distributed Boolean CP factorization (Algorithm 2 of the paper).

@@ -18,9 +18,26 @@ namespace {
 /// Factorize runs on session-resident workers — two runs can never hand out
 /// the same generation for different content. Only equality is ever tested,
 /// so the allocation order does not affect results.
-std::uint64_t NextGeneration() {
+std::atomic<std::uint64_t>& GenerationCounter() {
   static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return counter;
+}
+
+std::uint64_t NextGeneration() {
+  return GenerationCounter().fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Ensures no future generation is <= `floor`. Restoring a checkpoint
+/// replays generations minted by an earlier process; bumping the counter
+/// past them keeps the uniqueness invariant for generations minted after
+/// the resume.
+void AdvanceGenerationCounterPast(std::uint64_t floor) {
+  auto& counter = GenerationCounter();
+  std::uint64_t current = counter.load(std::memory_order_relaxed);
+  while (current < floor &&
+         !counter.compare_exchange_weak(current, floor,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -117,11 +134,37 @@ void FactorBroadcastState::CommitSlot(int slot_index,
   slot.initialized = true;
 }
 
+FactorBroadcastState::ShadowView FactorBroadcastState::shadow(
+    int slot_index) const {
+  DBTF_CHECK_LE(0, slot_index);
+  DBTF_CHECK_LT(slot_index, 3);
+  const Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  ShadowView view;
+  view.initialized = slot.initialized;
+  view.generation = slot.generation;
+  view.content = slot.initialized ? &slot.shadow : nullptr;
+  return view;
+}
+
+void FactorBroadcastState::RestoreShadow(int slot_index, BitMatrix content,
+                                         std::uint64_t generation) {
+  DBTF_CHECK_LE(0, slot_index);
+  DBTF_CHECK_LT(slot_index, 3);
+  DBTF_CHECK_LT(0, static_cast<std::int64_t>(generation));
+  Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  slot.shadow = std::move(content);
+  slot.generation = generation;
+  slot.pending_generation = 0;
+  slot.initialized = true;
+  AdvanceGenerationCounterPast(generation);
+}
+
 Result<UpdateFactorStats> RunFactorUpdate(
     Cluster* cluster, Mode mode, const UnfoldShape& shape, BitMatrix* factor,
     const BitMatrix& mf, const BitMatrix& ms, const DbtfConfig& config,
     const RecoverWorkersFn& recover, const FactorRoles& roles,
-    FactorBroadcastState* broadcast_state) {
+    FactorBroadcastState* broadcast_state, const ColumnCompletedFn& on_column,
+    const FactorUpdateResume* resume) {
   const std::int64_t rank = config.rank;
   if (factor->cols() != rank || mf.cols() != rank || ms.cols() != rank) {
     return Status::InvalidArgument("factor ranks do not match config.rank");
@@ -133,6 +176,12 @@ Result<UpdateFactorStats> RunFactorUpdate(
   if (cluster->num_attached_workers() == 0) {
     return Status::FailedPrecondition(
         "RunFactorUpdate requires workers attached to the cluster");
+  }
+  const std::int64_t start_column =
+      resume != nullptr ? resume->start_column : 0;
+  if (start_column < 0 || start_column >= rank) {
+    return Status::InvalidArgument(
+        "resume start_column outside the column range");
   }
   const std::int64_t rows = shape.rows;
 
@@ -185,10 +234,21 @@ Result<UpdateFactorStats> RunFactorUpdate(
   // A failed broadcast re-runs itself after recovery, which also equips any
   // partitions adopted during that recovery. Commit only after a successful
   // send: a plan that never reached the workers must not advance the shadow.
-  DBTF_RETURN_IF_ERROR(with_recovery(send_broadcast, /*rebroadcast=*/false));
-  bstate->Commit(roles, mf, ms);
+  //
+  // A resumed update (start_column > 0) skips the send and the commit: the
+  // interrupted run already delivered and charged this update's broadcast,
+  // and the restore path rehydrated the workers to exactly the committed
+  // shadow content — so the plan above is empty by construction. It stays
+  // in scope for the recovery path, whose rebroadcast re-equips adopted
+  // partitions (an empty delta still carries the mode's cache parameters).
+  if (start_column == 0) {
+    DBTF_RETURN_IF_ERROR(
+        with_recovery(send_broadcast, /*rebroadcast=*/false));
+    bstate->Commit(roles, mf, ms);
+  }
 
-  UpdateFactorStats stats;
+  UpdateFactorStats stats = resume != nullptr ? resume->carried
+                                              : UpdateFactorStats{};
   CollectErrors::CacheMetrics cache_metrics;
 
   // Snapshot of the factor's row masks; the workers see it through each
@@ -200,7 +260,7 @@ Result<UpdateFactorStats> RunFactorUpdate(
 
   std::vector<std::int64_t> totals0(static_cast<std::size_t>(rows));
   std::vector<std::int64_t> totals1(static_cast<std::size_t>(rows));
-  for (std::int64_t c = 0; c < rank; ++c) {
+  for (std::int64_t c = start_column; c < rank; ++c) {
     // One column is the recovery retry unit: dispatch + collect, with the
     // driver accumulators (and the piggybacked cache metrics) zeroed at the
     // start of every attempt so a partially collected failed attempt leaves
@@ -258,9 +318,24 @@ Result<UpdateFactorStats> RunFactorUpdate(
         stats.final_error += new_value ? total1 : total0;
       }
     }
+    // Cache metrics piggyback on column 0's collect; fold them in here
+    // rather than after the loop so (a) the checkpoint hook below sees them
+    // and (b) a resumed update (which skips column 0) keeps the carried
+    // values instead of zeroing them.
+    if (c == 0) {
+      stats.cache_entries = cache_metrics.cache_entries;
+      stats.cache_bytes = cache_metrics.cache_bytes;
+    }
+    if (on_column != nullptr) {
+      // The hook observes the update at a column boundary: sync the decided
+      // masks into the driver-owned factor first, so a checkpoint taken in
+      // the hook snapshots exactly the columns completed so far.
+      for (std::int64_t r = 0; r < rows; ++r) {
+        factor->SetRowMask64(r, row_masks[static_cast<std::size_t>(r)]);
+      }
+      DBTF_RETURN_IF_ERROR(on_column(c, stats));
+    }
   }
-  stats.cache_entries = cache_metrics.cache_entries;
-  stats.cache_bytes = cache_metrics.cache_bytes;
 
   // Write the updated masks back into the driver-owned factor matrix.
   for (std::int64_t r = 0; r < rows; ++r) {
@@ -273,14 +348,18 @@ Result<UpdateFactorStats> RunFactorUpdate(
   // and re-collects, and every re-provision appears as one shuffle.
   const CommSnapshot d = cluster->comm().Snapshot().Since(ledger_begin);
   const RecoveryStats r = cluster->recovery().Snapshot().Since(recovery_begin);
+  // A resumed update charges no initial broadcast (the interrupted run paid
+  // it) and only the remaining columns' collects.
+  const std::int64_t expected_broadcasts = start_column == 0 ? 1 : 0;
+  const std::int64_t expected_collects = rank - start_column;
   if (r.failed_deliveries == 0 && r.machines_lost == 0 &&
       r.reprovisions == 0) {
-    DBTF_DCHECK_EQ(d.broadcast_events, 1);
-    DBTF_DCHECK_EQ(d.collect_events, rank);
+    DBTF_DCHECK_EQ(d.broadcast_events, expected_broadcasts);
+    DBTF_DCHECK_EQ(d.collect_events, expected_collects);
     DBTF_DCHECK_EQ(d.shuffle_events, 0);
   } else {
-    DBTF_DCHECK_LE(1, d.broadcast_events);
-    DBTF_DCHECK_LE(rank, d.collect_events);
+    DBTF_DCHECK_LE(expected_broadcasts, d.broadcast_events);
+    DBTF_DCHECK_LE(expected_collects, d.collect_events);
     DBTF_DCHECK_EQ(d.shuffle_events, r.reprovisions);
   }
   return stats;

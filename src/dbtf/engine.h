@@ -75,6 +75,22 @@ class FactorBroadcastState {
   void Commit(const FactorRoles& roles, const BitMatrix& mf,
               const BitMatrix& ms);
 
+  /// Read-only view of one shadow slot, for checkpointing. `content` is null
+  /// until the slot's first Commit and otherwise points at state owned by
+  /// this object (valid until the next Commit/RestoreShadow of the slot).
+  struct ShadowView {
+    bool initialized = false;
+    std::uint64_t generation = 0;
+    const BitMatrix* content = nullptr;
+  };
+  ShadowView shadow(int slot_index) const;
+
+  /// Restores one committed shadow slot from a checkpoint and advances the
+  /// process-wide generation counter past `generation`, so generations
+  /// handed out after a resume stay globally unique.
+  void RestoreShadow(int slot_index, BitMatrix content,
+                     std::uint64_t generation);
+
  private:
   struct Slot {
     BitMatrix shadow;  ///< last content shipped to the workers
@@ -129,17 +145,40 @@ class FactorBroadcastState {
 /// routing failure surfaces unchanged.
 using RecoverWorkersFn = std::function<Status()>;
 
+/// Invoked after each column's decisions are applied, with the completed
+/// column index and the update's statistics so far (the factor matrix
+/// already reflects columns <= `column`). A non-OK return aborts the update
+/// and surfaces unchanged — the checkpoint layer uses this to halt a run at
+/// a column boundary.
+using ColumnCompletedFn =
+    std::function<Status(std::int64_t column, const UpdateFactorStats& stats)>;
+
+/// Resume point for an update interrupted at a column boundary. The caller
+/// (Session's restore path) must have rehydrated the workers to the operand
+/// content this update broadcast before the interruption; the update then
+/// skips the initial broadcast and its ledger charge — the interrupted run
+/// already paid it — and continues at `start_column` with `carried` as the
+/// statistics accumulated by the completed columns.
+struct FactorUpdateResume {
+  std::int64_t start_column = 0;
+  UpdateFactorStats carried;
+};
+
 /// `roles` maps the three matrices onto worker factor slots (defaults suit
 /// a standalone single-factor update). `broadcast_state` carries the shipped
 /// content across updates of one run; nullptr uses a fresh state for just
 /// this update (every stale operand ships full — the right behavior for
-/// one-shot callers whose workers hold nothing).
+/// one-shot callers whose workers hold nothing). `on_column` is the
+/// checkpoint hook; `resume` continues an interrupted update mid-column-loop
+/// (see FactorUpdateResume).
 Result<UpdateFactorStats> RunFactorUpdate(
     Cluster* cluster, Mode mode, const UnfoldShape& shape, BitMatrix* factor,
     const BitMatrix& mf, const BitMatrix& ms, const DbtfConfig& config,
     const RecoverWorkersFn& recover = nullptr,
     const FactorRoles& roles = FactorRoles{},
-    FactorBroadcastState* broadcast_state = nullptr);
+    FactorBroadcastState* broadcast_state = nullptr,
+    const ColumnCompletedFn& on_column = nullptr,
+    const FactorUpdateResume* resume = nullptr);
 
 }  // namespace dbtf
 

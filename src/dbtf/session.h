@@ -15,6 +15,8 @@
 namespace dbtf {
 
 class FactorBroadcastState;  // dbtf/engine.h
+class Rng;                   // common/random.h
+struct CheckpointState;      // ckpt/checkpoint.h
 
 /// A tensor resident on the distributed runtime, reusable across
 /// factorization runs.
@@ -70,23 +72,47 @@ class Session {
   int num_workers() const { return cluster_->num_attached_workers(); }
 
  private:
-  struct FiberIndex;   // fiber-sampled initialization index (session.cc)
-  struct FactorSet;    // one set of factor matrices being optimized
-  struct TripleStats;  // merged stats of one full A/B/C update iteration
+  struct FiberIndex;         // fiber-sampled initialization index (session.cc)
+  struct FactorSet;          // one set of factor matrices being optimized
+  struct TripleStats;        // merged stats of one full A/B/C update iteration
+  struct RunState;           // resumable cursor + accumulators of one run
+  struct CheckpointContext;  // checkpoint cadence/crash/halt hook state
 
   Session() = default;
 
-  /// One full alternating iteration (update A, then B, then C). `bcast`
-  /// carries the per-run delta-broadcast shadows across updates.
-  Result<TripleStats> UpdateFactors(FactorSet* factors,
-                                    const DbtfConfig& config,
-                                    FactorBroadcastState* bcast);
+  /// Runs the remaining mode updates (A, then B, then C) of the current
+  /// iteration, continuing at `state`'s cursor — mode `state->mode_index`,
+  /// column `state->next_column` — and merging per-mode statistics into
+  /// `state->iter_stats`. A fresh iteration starts with a zero cursor;
+  /// `ckpt` fires the checkpoint/crash/halt hook at every column boundary.
+  Status UpdateFactorsAt(RunState* state, const DbtfConfig& config,
+                         FactorBroadcastState* bcast, CheckpointContext* ckpt);
+
+  /// Snapshot of everything a resumed run needs (src/ckpt/), with the comm
+  /// and recovery ledgers already attributed to the run (base + this
+  /// process's delta), so they stay correct across chains of resumes.
+  CheckpointState BuildCheckpoint(const CheckpointContext& ctx) const;
+
+  /// Rehydrates a run from `ck`: cursor and accumulators into `state`, the
+  /// RNG engine, the delta-broadcast shadows, the fault injector's delivery
+  /// counters and dead set, partition coverage (uncharged, same
+  /// deterministic placement as recovery), the workers' resident factor
+  /// content, and the virtual clocks. Fails with kFailedPrecondition when
+  /// the checkpoint's config/tensor fingerprints do not match.
+  Status RestoreFromCheckpoint(const CheckpointState& ck,
+                               const DbtfConfig& config, RunState* state,
+                               FactorBroadcastState* bcast, Rng* rng);
 
   /// Recovery hook wired into every factor update: rebuilds the partitions
   /// lost with crashed machines from the session's tensor (lineage-style
   /// recomputation) and moves them onto survivors via
   /// ReprovisionLostPartitions. A no-op when coverage is intact.
   Status RecoverLostWorkers();
+
+  /// Shared coverage rebuild of the recovery and restore paths: `charged`
+  /// prices the reshipment (ReprovisionLostPartitions), restore does not
+  /// (RestorePartitionCoverage) — the interrupted run already paid.
+  Status RebuildCoverage(bool charged);
 
   const SparseTensor* tensor_ = nullptr;
   std::int64_t num_partitions_requested_ = 0;
@@ -105,6 +131,10 @@ class Session {
   CommSnapshot shuffle_snapshot_;
   double shuffle_virtual_seconds_ = 0.0;
   double build_seconds_ = 0.0;
+
+  /// Content identity of the tensor (dims + entries), computed once at
+  /// Create: a checkpoint may only resume over the same tensor.
+  std::uint64_t tensor_fingerprint_ = 0;
 };
 
 }  // namespace dbtf

@@ -341,29 +341,74 @@ std::vector<int> Cluster::DeadMachines() const {
   return dead;
 }
 
-void Cluster::MarkMachineLost(int machine) {
-  if (machine < 0 || machine >= config_.num_machines) return;
+bool Cluster::DetachDeadMachine(int machine) {
   bool newly_dead = false;
-  {
-    MutexLock lock(mu_);
-    if (!dead_[static_cast<std::size_t>(machine)]) {
-      dead_[static_cast<std::size_t>(machine)] = true;
-      newly_dead = true;
-    }
-    // Detach the endpoint. Routing snapshots taken before this keep the
-    // worker alive until their deliveries drain; new snapshots skip it.
-    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
-      if (it->machine == machine) {
-        workers_.erase(it);
-        break;
-      }
+  MutexLock lock(mu_);
+  if (!dead_[static_cast<std::size_t>(machine)]) {
+    dead_[static_cast<std::size_t>(machine)] = true;
+    newly_dead = true;
+  }
+  // Detach the endpoint. Routing snapshots taken before this keep the
+  // worker alive until their deliveries drain; new snapshots skip it.
+  for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+    if (it->machine == machine) {
+      workers_.erase(it);
+      break;
     }
   }
-  if (newly_dead) {
+  return newly_dead;
+}
+
+void Cluster::MarkMachineLost(int machine) {
+  if (machine < 0 || machine >= config_.num_machines) return;
+  if (DetachDeadMachine(machine)) {
     recovery_.RecordMachineLost();
     DBTF_LOG(kWarning, "machine %d lost permanently; endpoint detached",
              machine);
   }
+}
+
+void Cluster::RestoreDeadMachine(int machine) {
+  if (machine < 0 || machine >= config_.num_machines) return;
+  // Restoring a checkpointed loss is not a new loss: the interrupted run
+  // already charged RecordMachineLost and the checkpoint's RecoveryStats
+  // snapshot carries it, so only the routing state changes here.
+  if (DetachDeadMachine(machine)) {
+    DBTF_LOG(kInfo, "machine %d restored as lost; endpoint detached",
+             machine);
+  }
+}
+
+std::vector<std::int64_t> Cluster::FaultDeliveryCounters() const {
+  if (injector_ == nullptr) return {};
+  return injector_->DeliveryCounters();
+}
+
+Status Cluster::RestoreFaultDeliveryState(
+    const std::vector<std::int64_t>& deliveries,
+    const std::vector<int>& dead_machines) {
+  if (injector_ == nullptr) {
+    if (!deliveries.empty()) {
+      return Status::FailedPrecondition(
+          "checkpoint carries fault-injector counters but the cluster has "
+          "no fault plan");
+    }
+    return Status::OK();
+  }
+  injector_->RestoreDeliveryState(deliveries, dead_machines);
+  return Status::OK();
+}
+
+Status Cluster::RestoreVirtualClocks(
+    const std::vector<double>& machine_seconds, double driver_seconds) {
+  MutexLock lock(mu_);
+  if (machine_seconds.size() != machine_seconds_.size()) {
+    return Status::FailedPrecondition(
+        "checkpointed machine clock count does not match the cluster");
+  }
+  machine_seconds_ = machine_seconds;
+  driver_seconds_ = driver_seconds;
+  return Status::OK();
 }
 
 void Cluster::ChargeReprovision(int machine, std::int64_t bytes) {

@@ -207,6 +207,37 @@ class Cluster {
   /// reserved for cluster.cc (enforced by tools/dbtf_lint.py).
   const RecoveryLedger& recovery() const { return recovery_; }
 
+  // --- Checkpoint/restore seam (src/ckpt/, dbtf/session.cc) ----------------
+  //
+  // Snapshots capture the fault injector's delivery counters and the dead
+  // set so a resumed run under a FaultPlan replays the remainder of the
+  // schedule exactly; restore re-applies them without touching the comm or
+  // recovery ledgers (the interrupted run's charges travel inside the
+  // checkpoint as already-attributed snapshots).
+
+  /// Per-(machine, message-kind) delivery counters of the fault injector,
+  /// indexed machine * 3 + kind. Empty when no fault plan is configured.
+  std::vector<std::int64_t> FaultDeliveryCounters() const;
+
+  /// Restores the state captured by FaultDeliveryCounters() plus the dead
+  /// flags of `dead_machines` inside the injector. Fails with
+  /// kFailedPrecondition when counters were checkpointed but this cluster
+  /// has no fault plan (the configurations diverged).
+  Status RestoreFaultDeliveryState(const std::vector<std::int64_t>& deliveries,
+                                   const std::vector<int>& dead_machines);
+
+  /// Re-marks `machine` permanently dead during restore: the endpoint is
+  /// detached and excluded from routing, but — unlike an injected crash —
+  /// nothing is charged to the recovery ledger, because the interrupted run
+  /// already recorded the loss (the checkpoint carries it in its
+  /// RecoveryStats snapshot).
+  void RestoreDeadMachine(int machine) DBTF_EXCLUDES(mu_);
+
+  /// Overwrites the virtual clocks with checkpointed values, so a resumed
+  /// run reports virtual times that continue the interrupted run's.
+  Status RestoreVirtualClocks(const std::vector<double>& machine_seconds,
+                              double driver_seconds) DBTF_EXCLUDES(mu_);
+
   // --- Ledger and virtual clocks -------------------------------------------
 
   /// Adds `seconds` of compute to machine m's virtual clock directly.
@@ -293,6 +324,10 @@ class Cluster {
 
   /// Marks `machine` permanently dead and detaches its endpoint. Idempotent.
   void MarkMachineLost(int machine) DBTF_EXCLUDES(mu_);
+
+  /// Shared core of MarkMachineLost / RestoreDeadMachine: sets the dead flag
+  /// and detaches the endpoint. Returns true when the machine was alive.
+  bool DetachDeadMachine(int machine) DBTF_EXCLUDES(mu_);
 
   /// Adds virtual seconds to the driver clock (backoff, recovery transfer).
   void ChargeDriverSeconds(double seconds) DBTF_EXCLUDES(mu_);

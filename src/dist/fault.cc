@@ -411,4 +411,23 @@ bool FaultInjector::IsDead(int machine) const {
          dead_[static_cast<std::size_t>(machine)];
 }
 
+std::vector<std::int64_t> FaultInjector::DeliveryCounters() const {
+  MutexLock lock(mu_);
+  return deliveries_;
+}
+
+void FaultInjector::RestoreDeliveryState(
+    const std::vector<std::int64_t>& deliveries,
+    const std::vector<int>& dead_machines) {
+  MutexLock lock(mu_);
+  deliveries_ = deliveries;
+  for (const int machine : dead_machines) {
+    if (machine < 0) continue;
+    if (static_cast<std::size_t>(machine) >= dead_.size()) {
+      dead_.resize(static_cast<std::size_t>(machine) + 1, false);
+    }
+    dead_[static_cast<std::size_t>(machine)] = true;
+  }
+}
+
 }  // namespace dbtf

@@ -150,6 +150,19 @@ class FaultInjector {
   /// True once `machine` has hit a kCrash fault.
   bool IsDead(int machine) const DBTF_EXCLUDES(mu_);
 
+  /// Snapshot of the per-(machine, message-kind) delivery counters, indexed
+  /// machine * 3 + kind — read-only, for checkpointing. A resumed run that
+  /// restores these counters replays the remainder of its fault plan's
+  /// schedule exactly.
+  std::vector<std::int64_t> DeliveryCounters() const DBTF_EXCLUDES(mu_);
+
+  /// Restores the state captured by DeliveryCounters() plus the dead flags
+  /// of the machines in `dead_machines` (the checkpoint records them via
+  /// Cluster::DeadMachines()).
+  void RestoreDeliveryState(const std::vector<std::int64_t>& deliveries,
+                            const std::vector<int>& dead_machines)
+      DBTF_EXCLUDES(mu_);
+
  private:
   FaultPlan plan_;
 

@@ -58,9 +58,14 @@ Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
   return Status::OK();
 }
 
-Status ReprovisionLostPartitions(Cluster& cluster,
-                                 const std::vector<ReprovisionSpec>& specs,
-                                 const UnfoldingRebuilder& rebuild) {
+namespace {
+
+/// Shared core of ReprovisionLostPartitions (charge = true) and
+/// RestorePartitionCoverage (charge = false): identical residency query,
+/// rebuilding, and ring-order placement; only the ledger charging differs.
+Status RestoreCoverageCore(Cluster& cluster,
+                           const std::vector<ReprovisionSpec>& specs,
+                           const UnfoldingRebuilder& rebuild, bool charge) {
   const int machines = cluster.num_machines();
   for (const ReprovisionSpec& spec : specs) {
     if (spec.num_partitions <= 0) continue;
@@ -109,8 +114,59 @@ Status ReprovisionLostPartitions(Cluster& cluster,
       Partition& partition = partitions[static_cast<std::size_t>(p)];
       const std::int64_t bytes = PartitionPackedBytes(partition);
       target->AdoptPartition(spec.mode, p, std::move(partition), spec.shape);
-      cluster.ChargeReprovision(target_machine, bytes);
+      if (charge) cluster.ChargeReprovision(target_machine, bytes);
     }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReprovisionLostPartitions(Cluster& cluster,
+                                 const std::vector<ReprovisionSpec>& specs,
+                                 const UnfoldingRebuilder& rebuild) {
+  return RestoreCoverageCore(cluster, specs, rebuild, /*charge=*/true);
+}
+
+Status RestorePartitionCoverage(Cluster& cluster,
+                                const std::vector<ReprovisionSpec>& specs,
+                                const UnfoldingRebuilder& rebuild) {
+  // The interrupted run already charged these re-provisions; the checkpoint
+  // carries them in its comm/recovery snapshots.
+  return RestoreCoverageCore(cluster, specs, rebuild, /*charge=*/false);
+}
+
+Status RestoreWorkerFactors(Cluster& cluster,
+                            const WorkerFactorRestore& restore) {
+  FactorDelta msg;
+  msg.mode = restore.mode;
+  msg.rows = restore.rows;
+  msg.mf_slot = restore.mf_slot;
+  msg.ms_slot = restore.ms_slot;
+  msg.cache_group_size = restore.cache_group_size;
+  msg.enable_caching = restore.enable_caching;
+  for (const FactorSlotRestore& slot : restore.slots) {
+    if (slot.content == nullptr) {
+      return Status::InvalidArgument(
+          "factor slot restore carries no content");
+    }
+    MatrixDelta d;
+    d.slot = slot.slot;
+    d.generation = slot.generation;
+    d.full = true;
+    d.dense = slot.content;
+    d.rows = slot.content->rows();
+    d.cols = slot.content->cols();
+    msg.updates.push_back(std::move(d));
+  }
+  // Direct per-endpoint delivery, bypassing Cluster routing on purpose:
+  // rehydration re-creates state the interrupted run already shipped and
+  // charged, so neither the comm ledger nor the fault injector's delivery
+  // counters may advance here.
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    Worker* worker = cluster.AttachedWorkerOn(m);
+    if (worker == nullptr) continue;
+    DBTF_RETURN_IF_ERROR(worker->Handle(msg));
   }
   return Status::OK();
 }

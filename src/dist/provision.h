@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "dbtf/partition.h"
+#include "tensor/bit_matrix.h"
 #include "tensor/unfold.h"
 
 namespace dbtf {
@@ -72,6 +73,57 @@ using UnfoldingRebuilder =
 Status ReprovisionLostPartitions(Cluster& cluster,
                                  const std::vector<ReprovisionSpec>& specs,
                                  const UnfoldingRebuilder& rebuild);
+
+// --- Checkpoint restore -----------------------------------------------------
+//
+// Resuming from a snapshot (src/ckpt/) re-creates the worker-resident state
+// the interrupted run had already built and paid for. These helpers do the
+// same placement and rebuilding work as the recovery path above but charge
+// nothing: the interrupted run's comm/recovery charges travel inside the
+// checkpoint as already-attributed snapshots, and charging again would
+// double-count them.
+
+/// Restores full partition coverage after the snapshot's dead machines have
+/// been re-marked dead (Cluster::RestoreDeadMachine): rebuilds the missing
+/// partitions via `rebuild` and adopts each onto the first surviving machine
+/// in ring order after its original owner — the same deterministic choice
+/// ReprovisionLostPartitions makes, so a resumed run places partitions
+/// exactly where the interrupted run had them.
+Status RestorePartitionCoverage(Cluster& cluster,
+                                const std::vector<ReprovisionSpec>& specs,
+                                const UnfoldingRebuilder& rebuild);
+
+/// One worker factor slot to rehydrate: full content at the checkpointed
+/// generation of the broadcast-state shadow. `content` must outlive the
+/// RestoreWorkerFactors call.
+struct FactorSlotRestore {
+  int slot = 0;
+  std::uint64_t generation = 0;
+  const BitMatrix* content = nullptr;
+};
+
+/// Worker rehydration payload for the checkpoint cursor's in-flight mode
+/// update: every committed factor slot plus the mode/cache parameters of
+/// that update, mirroring the FactorDelta broadcast the interrupted run had
+/// already delivered.
+struct WorkerFactorRestore {
+  Mode mode = Mode::kOne;
+  std::int64_t rows = 0;
+  int mf_slot = 2;
+  int ms_slot = 1;
+  int cache_group_size = 1;
+  bool enable_caching = true;
+  std::vector<FactorSlotRestore> slots;
+};
+
+/// Delivers the rehydration payload to every attached worker directly — no
+/// routing, so no ledger charges and no fault-injector counter advances.
+/// Each worker re-learns the shipped factor content at its checkpointed
+/// generations and rebuilds mode masks, Khatri-Rao cache tables, and error
+/// buffers for the cursor mode, exactly as Handle(FactorDelta) does for a
+/// routed broadcast.
+Status RestoreWorkerFactors(Cluster& cluster,
+                            const WorkerFactorRestore& restore);
 
 }  // namespace dbtf
 

@@ -1,0 +1,357 @@
+#include "ckpt/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "tensor/bit_matrix.h"
+
+namespace dbtf {
+namespace {
+
+std::string UniqueDir(const std::string& name) {
+  static int counter = 0;
+  const std::string dir = ::testing::TempDir() + "/ckpt_test_" + name + "_" +
+                          std::to_string(counter++);
+  // The names repeat across test-binary runs; leftovers from a previous run
+  // would change sequence numbering, so start from a clean slate.
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+BitMatrix PatternMatrix(std::int64_t rows, std::int64_t cols,
+                        std::uint64_t salt) {
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      m.Set(r, c, ((static_cast<std::uint64_t>(r * cols + c) ^ salt) % 3) ==
+                      0);
+    }
+  }
+  return m;
+}
+
+/// A fully populated state, so the roundtrip test exercises every field of
+/// the format. `salt` varies the content between snapshots.
+CheckpointState MakeState(std::uint64_t salt) {
+  CheckpointState s;
+  s.config_fingerprint = 0x1111 + salt;
+  s.tensor_fingerprint = 0x2222 + salt;
+  s.iteration = 3;
+  s.set_index = 1;
+  s.mode_index = 2;
+  s.next_column = 5;
+  s.columns_done = 37 + static_cast<std::int64_t>(salt);
+  s.rng_state = {salt + 1, salt + 2, salt + 3, salt + 4};
+  s.a = PatternMatrix(6, 4, salt);
+  s.b = PatternMatrix(7, 4, salt + 1);
+  s.c = PatternMatrix(5, 4, salt + 2);
+  s.has_best = true;
+  s.best_a = PatternMatrix(6, 4, salt + 3);
+  s.best_b = PatternMatrix(7, 4, salt + 4);
+  s.best_c = PatternMatrix(5, 4, salt + 5);
+  s.best_error = 17;
+  s.update_cache_entries = 100;
+  s.update_cache_bytes = 800;
+  s.update_cells_changed = 12;
+  s.update_final_error = 44;
+  s.iter_error = 55;
+  s.iter_cells_changed = 21;
+  s.iter_cache_entries = 110;
+  s.iter_cache_bytes = 880;
+  s.iteration_errors = {90, 70, 60};
+  s.cells_changed = 123;
+  s.cache_entries = 140;
+  s.cache_bytes = 1120;
+  s.checkpoints_written = 4;
+  s.shadows[0].initialized = true;
+  s.shadows[0].generation = 11 + salt;
+  s.shadows[0].content = PatternMatrix(6, 4, salt + 6);
+  s.shadows[1].initialized = false;
+  s.shadows[2].initialized = true;
+  s.shadows[2].generation = 13 + salt;
+  s.shadows[2].content = PatternMatrix(5, 4, salt + 7);
+  s.comm.shuffle_bytes = 1000;
+  s.comm.broadcast_bytes = 2000;
+  s.comm.collect_bytes = 3000;
+  s.comm.shuffle_events = 1;
+  s.comm.broadcast_events = 9;
+  s.comm.collect_events = 36;
+  s.recovery.failed_deliveries = 2;
+  s.recovery.retries = 3;
+  s.recovery.machines_lost = 1;
+  s.recovery.reprovisions = 6;
+  s.recovery.reshipped_bytes = 4096;
+  s.recovery.recovery_seconds = 0.25;
+  s.fault_delivery_counters = {5, 4, 3, 2, 1, 0};
+  s.dead_machines = {1};
+  s.machine_seconds = {1.5, 2.5};
+  s.driver_seconds = 0.75;
+  return s;
+}
+
+void ExpectStatesEqual(const CheckpointState& got, const CheckpointState& want) {
+  EXPECT_EQ(got.config_fingerprint, want.config_fingerprint);
+  EXPECT_EQ(got.tensor_fingerprint, want.tensor_fingerprint);
+  EXPECT_EQ(got.iteration, want.iteration);
+  EXPECT_EQ(got.set_index, want.set_index);
+  EXPECT_EQ(got.mode_index, want.mode_index);
+  EXPECT_EQ(got.next_column, want.next_column);
+  EXPECT_EQ(got.columns_done, want.columns_done);
+  EXPECT_EQ(got.rng_state, want.rng_state);
+  EXPECT_TRUE(got.a == want.a);
+  EXPECT_TRUE(got.b == want.b);
+  EXPECT_TRUE(got.c == want.c);
+  EXPECT_EQ(got.has_best, want.has_best);
+  if (got.has_best && want.has_best) {
+    EXPECT_TRUE(got.best_a == want.best_a);
+    EXPECT_TRUE(got.best_b == want.best_b);
+    EXPECT_TRUE(got.best_c == want.best_c);
+  }
+  EXPECT_EQ(got.best_error, want.best_error);
+  EXPECT_EQ(got.update_cache_entries, want.update_cache_entries);
+  EXPECT_EQ(got.update_cache_bytes, want.update_cache_bytes);
+  EXPECT_EQ(got.update_cells_changed, want.update_cells_changed);
+  EXPECT_EQ(got.update_final_error, want.update_final_error);
+  EXPECT_EQ(got.iter_error, want.iter_error);
+  EXPECT_EQ(got.iter_cells_changed, want.iter_cells_changed);
+  EXPECT_EQ(got.iter_cache_entries, want.iter_cache_entries);
+  EXPECT_EQ(got.iter_cache_bytes, want.iter_cache_bytes);
+  EXPECT_EQ(got.iteration_errors, want.iteration_errors);
+  EXPECT_EQ(got.cells_changed, want.cells_changed);
+  EXPECT_EQ(got.cache_entries, want.cache_entries);
+  EXPECT_EQ(got.cache_bytes, want.cache_bytes);
+  EXPECT_EQ(got.checkpoints_written, want.checkpoints_written);
+  for (int i = 0; i < 3; ++i) {
+    SCOPED_TRACE(i);
+    const auto& gs = got.shadows[static_cast<std::size_t>(i)];
+    const auto& ws = want.shadows[static_cast<std::size_t>(i)];
+    EXPECT_EQ(gs.initialized, ws.initialized);
+    if (gs.initialized && ws.initialized) {
+      EXPECT_EQ(gs.generation, ws.generation);
+      EXPECT_TRUE(gs.content == ws.content);
+    }
+  }
+  EXPECT_EQ(got.comm.shuffle_bytes, want.comm.shuffle_bytes);
+  EXPECT_EQ(got.comm.broadcast_bytes, want.comm.broadcast_bytes);
+  EXPECT_EQ(got.comm.collect_bytes, want.comm.collect_bytes);
+  EXPECT_EQ(got.comm.shuffle_events, want.comm.shuffle_events);
+  EXPECT_EQ(got.comm.broadcast_events, want.comm.broadcast_events);
+  EXPECT_EQ(got.comm.collect_events, want.comm.collect_events);
+  EXPECT_EQ(got.recovery.failed_deliveries, want.recovery.failed_deliveries);
+  EXPECT_EQ(got.recovery.retries, want.recovery.retries);
+  EXPECT_EQ(got.recovery.machines_lost, want.recovery.machines_lost);
+  EXPECT_EQ(got.recovery.reprovisions, want.recovery.reprovisions);
+  EXPECT_EQ(got.recovery.reshipped_bytes, want.recovery.reshipped_bytes);
+  EXPECT_EQ(got.recovery.recovery_seconds, want.recovery.recovery_seconds);
+  EXPECT_EQ(got.fault_delivery_counters, want.fault_delivery_counters);
+  EXPECT_EQ(got.dead_machines, want.dead_machines);
+  EXPECT_EQ(got.machine_seconds, want.machine_seconds);
+  EXPECT_EQ(got.driver_seconds, want.driver_seconds);
+}
+
+/// Flips one byte in the middle of `path`.
+void CorruptFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(bytes.empty()) << path;
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Cuts `path` down to its first half.
+void TruncateFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+}
+
+TEST(CheckpointStoreTest, OpenRejectsBadArguments) {
+  EXPECT_FALSE(CheckpointStore::Open("", 3).ok());
+  EXPECT_FALSE(CheckpointStore::Open(UniqueDir("badretention"), 0).ok());
+}
+
+TEST(CheckpointStoreTest, EmptyStoreHasNoSnapshot) {
+  const std::string dir = UniqueDir("empty");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->ListSequences().empty());
+  EXPECT_EQ(store->LoadNewestValid().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, WriteRoundTripsFullState) {
+  const std::string dir = UniqueDir("roundtrip");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  const CheckpointState want = MakeState(0);
+  auto seq = store->Write(want);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq.value(), 1);
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectStatesEqual(got.value(), want);
+}
+
+TEST(CheckpointStoreTest, LoadsTheNewestSnapshot) {
+  const std::string dir = UniqueDir("newest");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  const std::vector<std::int64_t> sequences = store->ListSequences();
+  ASSERT_EQ(sequences.size(), 2u);
+  EXPECT_EQ(sequences[0], 1);
+  EXPECT_EQ(sequences[1], 2);
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), MakeState(2));
+}
+
+TEST(CheckpointStoreTest, RetentionPrunesOldest) {
+  const std::string dir = UniqueDir("retention");
+  auto store = CheckpointStore::Open(dir, 2);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  ASSERT_TRUE(store->Write(MakeState(3)).ok());
+  const std::vector<std::int64_t> sequences = store->ListSequences();
+  ASSERT_EQ(sequences.size(), 2u);
+  EXPECT_EQ(sequences[0], 2);
+  EXPECT_EQ(sequences[1], 3);
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), MakeState(3));
+}
+
+TEST(CheckpointStoreTest, ReopenContinuesTheSequence) {
+  const std::string dir = UniqueDir("reopen");
+  {
+    auto store = CheckpointStore::Open(dir, 3);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  }
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  auto seq = store->Write(MakeState(2));
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 2);
+}
+
+TEST(CheckpointStoreTest, CorruptNewestManifestFallsBack) {
+  const std::string dir = UniqueDir("corrupt_manifest");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  CorruptFile(dir + "/ckpt-2/MANIFEST");
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectStatesEqual(got.value(), MakeState(1));
+}
+
+TEST(CheckpointStoreTest, TruncatedManifestFallsBack) {
+  const std::string dir = UniqueDir("truncated_manifest");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  TruncateFile(dir + "/ckpt-2/MANIFEST");
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), MakeState(1));
+}
+
+TEST(CheckpointStoreTest, CorruptBlobFallsBack) {
+  const std::string dir = UniqueDir("corrupt_blob");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  CorruptFile(dir + "/ckpt-2/factors.bin");
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), MakeState(1));
+}
+
+TEST(CheckpointStoreTest, MissingBlobFallsBack) {
+  const std::string dir = UniqueDir("missing_blob");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  ASSERT_EQ(std::remove((dir + "/ckpt-2/dist.bin").c_str()), 0);
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), MakeState(1));
+}
+
+TEST(CheckpointStoreTest, EverySnapshotCorruptIsNotFound) {
+  const std::string dir = UniqueDir("all_corrupt");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  ASSERT_TRUE(store->Write(MakeState(2)).ok());
+  CorruptFile(dir + "/ckpt-1/MANIFEST");
+  CorruptFile(dir + "/ckpt-2/run.bin");
+  EXPECT_EQ(store->LoadNewestValid().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, UnpublishedTmpDirIsIgnoredAndReplaced) {
+  const std::string dir = UniqueDir("tmp_leftover");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeState(1)).ok());
+  // Fake the leftovers of a writer killed mid-write: a stale tmp dir for the next
+  // sequence. It must not show up as a snapshot, and the next Write must
+  // replace it cleanly.
+  ASSERT_EQ(::mkdir((dir + "/ckpt-2.tmp").c_str(), 0755), 0);
+  {
+    std::ofstream stale(dir + "/ckpt-2.tmp/MANIFEST", std::ios::binary);
+    stale << "half-written garbage";
+  }
+  EXPECT_EQ(store->ListSequences().size(), 1u);
+  auto seq = store->Write(MakeState(2));
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq.value(), 2);
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), MakeState(2));
+}
+
+TEST(CheckpointStoreTest, ZeroDimensionMatricesRoundTrip) {
+  // A checkpoint taken before `best` exists carries default-constructed
+  // matrices; they must survive the roundtrip as empty.
+  const std::string dir = UniqueDir("empty_matrices");
+  auto store = CheckpointStore::Open(dir, 1);
+  ASSERT_TRUE(store.ok());
+  CheckpointState s = MakeState(0);
+  s.has_best = false;
+  s.best_a = BitMatrix();
+  s.best_b = BitMatrix();
+  s.best_c = BitMatrix();
+  s.fault_delivery_counters.clear();
+  s.dead_machines.clear();
+  ASSERT_TRUE(store->Write(s).ok());
+  auto got = store->LoadNewestValid();
+  ASSERT_TRUE(got.ok());
+  ExpectStatesEqual(got.value(), s);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "dbtf/dbtf.h"
 #include "dbtf/session.h"
 #include "dist/fault.h"
@@ -346,6 +351,299 @@ TEST(DeltaBroadcast, ImprovesVirtualMakespanWhenBandwidthBound) {
   EXPECT_LT(delta_run->driver_seconds, full_run->driver_seconds)
       << "fewer broadcast bytes must mean less simulated network time";
   EXPECT_LT(delta_run->virtual_seconds, full_run->virtual_seconds);
+}
+
+// --- Checkpoint/resume ------------------------------------------------------
+
+std::string CkptDir(const std::string& name) {
+  static int counter = 0;
+  const std::string dir = ::testing::TempDir() + "/engine_ckpt_" + name + "_" +
+                          std::to_string(counter++);
+  // The names repeat across test-binary runs; leftovers from a previous run
+  // would be loaded as resumable snapshots, so start from a clean slate.
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+DbtfConfig CheckpointedConfig(const std::string& dir) {
+  DbtfConfig config = SmallConfig();
+  config.checkpoint_dir = dir;
+  config.checkpoint_every_columns = 1;
+  return config;
+}
+
+/// Checkpointing must be invisible in the result: same factors, errors,
+/// cache stats, and ledger as a run without it — only snapshots appear on
+/// disk.
+TEST(Resume, CheckpointingIsInvisibleInTheResult) {
+  const PlantedTensor p = MakePlanted(24, 4, 54);
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string dir = CkptDir("invisible");
+  auto checkpointed = Dbtf::Factorize(p.tensor, CheckpointedConfig(dir));
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+
+  ExpectSameFactorsAndErrors(*checkpointed, *baseline);
+  ExpectSameComm(checkpointed->comm, baseline->comm);
+  EXPECT_EQ(checkpointed->cache_entries, baseline->cache_entries);
+  EXPECT_EQ(checkpointed->cache_bytes, baseline->cache_bytes);
+  EXPECT_EQ(checkpointed->resumed_from_iteration, 0);
+  // Cadence 1 writes one snapshot per completed column: L sets x 3 modes x R
+  // columns in iteration 1, then 3 x R per later iteration.
+  const DbtfConfig config = SmallConfig();
+  const std::int64_t columns =
+      config.rank * 3 *
+      (config.num_initial_sets + (checkpointed->iterations_run - 1));
+  EXPECT_EQ(checkpointed->checkpoints_written, columns);
+
+  auto store = CheckpointStore::Open(dir, config.checkpoint_retention);
+  ASSERT_TRUE(store.ok());
+  const std::vector<std::int64_t> sequences = store->ListSequences();
+  EXPECT_EQ(sequences.size(),
+            static_cast<std::size_t>(config.checkpoint_retention));
+  EXPECT_EQ(sequences.back(), columns);
+}
+
+/// The tentpole acceptance criterion: kill the run at assorted column
+/// boundaries (mid-mode, mode boundary, set boundary, a later iteration),
+/// resume in a fresh session, and get a bitwise-identical result — factors,
+/// error trajectory, cache stats, and the full communication ledger.
+TEST(Resume, HaltAndResumeMatchesUninterruptedBitwise) {
+  const PlantedTensor p = MakePlanted(24, 4, 55);
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (const std::int64_t halt_at : {1, 4, 7, 12, 24, 30}) {
+    const std::string dir = CkptDir("halt");
+    DbtfConfig interrupted = CheckpointedConfig(dir);
+    interrupted.halt_after_columns = halt_at;
+    auto killed = Dbtf::Factorize(p.tensor, interrupted);
+    ASSERT_FALSE(killed.ok()) << "halt at " << halt_at << " never fired";
+    EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+
+    DbtfConfig resume = CheckpointedConfig(dir);
+    resume.resume = true;
+    auto resumed = Dbtf::Factorize(p.tensor, resume);
+    ASSERT_TRUE(resumed.ok())
+        << "halt at " << halt_at << ": " << resumed.status().ToString();
+    ExpectSameFactorsAndErrors(*resumed, *baseline);
+    ExpectSameComm(resumed->comm, baseline->comm);
+    EXPECT_EQ(resumed->cache_entries, baseline->cache_entries);
+    EXPECT_EQ(resumed->cache_bytes, baseline->cache_bytes);
+    EXPECT_EQ(resumed->iterations_run, baseline->iterations_run);
+    EXPECT_EQ(resumed->converged, baseline->converged);
+    EXPECT_GE(resumed->resumed_from_iteration, 1) << "halt at " << halt_at;
+    // The count is cumulative across the lineage: the interrupted run wrote
+    // one snapshot per column up to the halt, and the resumed run continues.
+    EXPECT_GT(resumed->checkpoints_written, halt_at) << "halt at " << halt_at;
+  }
+}
+
+/// With the default cadence (one snapshot per completed mode update), a halt
+/// between snapshots resumes from an earlier column and replays the gap —
+/// exercising the finalize-a-completed-mode restore path (next_column ==
+/// rank) — still bitwise-identical.
+TEST(Resume, DefaultCadenceReplaysTheGapAfterTheNewestSnapshot) {
+  const PlantedTensor p = MakePlanted(24, 4, 56);
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string dir = CkptDir("cadence");
+  DbtfConfig interrupted = SmallConfig();
+  interrupted.checkpoint_dir = dir;  // checkpoint_every_columns stays 0
+  interrupted.halt_after_columns = 6;  // newest snapshot is at column 4
+  auto killed = Dbtf::Factorize(p.tensor, interrupted);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+
+  DbtfConfig resume = SmallConfig();
+  resume.checkpoint_dir = dir;
+  resume.resume = true;
+  auto resumed = Dbtf::Factorize(p.tensor, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameFactorsAndErrors(*resumed, *baseline);
+  ExpectSameComm(resumed->comm, baseline->comm);
+  EXPECT_GE(resumed->resumed_from_iteration, 1);
+}
+
+/// Resume composes with fault injection: the restored delivery counters and
+/// dead set let the resumed run replay the plan's schedule exactly, whether
+/// the crash fires before the halt (restore a dead machine) or after the
+/// resume (replay the pending fault). Factors, errors, and the recovery
+/// ledger match the uninterrupted faulty run.
+TEST(Resume, ReplaysTheFaultScheduleAcrossTheCut) {
+  const PlantedTensor p = MakePlanted(24, 4, 57);
+  DbtfConfig faulty = SmallConfig();
+  auto plan = FaultPlan::Parse("1:dispatch:crash@4,0:collect:transient@3x2");
+  ASSERT_TRUE(plan.ok());
+  faulty.cluster.fault_plan = *plan;
+  auto baseline = Dbtf::Factorize(p.tensor, faulty);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->recovery.machines_lost, 1);
+
+  // halt 2: both faults still pending at the cut; halt 13: machine 1 is
+  // already dead and its partitions live on the survivor.
+  for (const std::int64_t halt_at : {2, 13}) {
+    const std::string dir = CkptDir("faulty");
+    DbtfConfig interrupted = faulty;
+    interrupted.checkpoint_dir = dir;
+    interrupted.checkpoint_every_columns = 1;
+    interrupted.halt_after_columns = halt_at;
+    auto killed = Dbtf::Factorize(p.tensor, interrupted);
+    ASSERT_FALSE(killed.ok()) << "halt at " << halt_at << " never fired";
+    EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+
+    DbtfConfig resume = faulty;
+    resume.checkpoint_dir = dir;
+    resume.checkpoint_every_columns = 1;
+    resume.resume = true;
+    auto resumed = Dbtf::Factorize(p.tensor, resume);
+    ASSERT_TRUE(resumed.ok())
+        << "halt at " << halt_at << ": " << resumed.status().ToString();
+    ExpectSameFactorsAndErrors(*resumed, *baseline);
+    EXPECT_EQ(resumed->recovery.failed_deliveries,
+              baseline->recovery.failed_deliveries)
+        << "halt at " << halt_at;
+    EXPECT_EQ(resumed->recovery.retries, baseline->recovery.retries);
+    EXPECT_EQ(resumed->recovery.machines_lost,
+              baseline->recovery.machines_lost);
+    EXPECT_EQ(resumed->recovery.reprovisions, baseline->recovery.reprovisions);
+    EXPECT_EQ(resumed->recovery.reshipped_bytes,
+              baseline->recovery.reshipped_bytes);
+  }
+}
+
+/// Resume with the full-broadcast ablation: the shadows still checkpoint and
+/// restore (they track factor content either way), and the resumed run
+/// matches bitwise including the ledger.
+TEST(Resume, WorksWithDeltaBroadcastDisabled) {
+  const PlantedTensor p = MakePlanted(24, 4, 58);
+  DbtfConfig full = SmallConfig();
+  full.enable_delta_broadcast = false;
+  auto baseline = Dbtf::Factorize(p.tensor, full);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string dir = CkptDir("fullbcast");
+  DbtfConfig interrupted = full;
+  interrupted.checkpoint_dir = dir;
+  interrupted.checkpoint_every_columns = 1;
+  interrupted.halt_after_columns = 5;
+  auto killed = Dbtf::Factorize(p.tensor, interrupted);
+  ASSERT_FALSE(killed.ok());
+
+  DbtfConfig resume = full;
+  resume.checkpoint_dir = dir;
+  resume.resume = true;
+  auto resumed = Dbtf::Factorize(p.tensor, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameFactorsAndErrors(*resumed, *baseline);
+  ExpectSameComm(resumed->comm, baseline->comm);
+}
+
+/// Resuming on the same session object (workers still hold the factor
+/// content at matching generations) takes the generation-skip path of worker
+/// rehydration and must land on the same result as a fresh-process resume.
+TEST(Resume, SameSessionResumeMatchesFreshSessionResume) {
+  const PlantedTensor p = MakePlanted(24, 4, 59);
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string dir = CkptDir("samesession");
+  DbtfConfig interrupted = CheckpointedConfig(dir);
+  interrupted.halt_after_columns = 9;
+
+  auto session = Session::Create(p.tensor, interrupted);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto killed = (*session)->Factorize(interrupted);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+
+  DbtfConfig resume = CheckpointedConfig(dir);
+  resume.resume = true;
+  auto resumed = (*session)->Factorize(resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameFactorsAndErrors(*resumed, *baseline);
+  ExpectSameComm(resumed->comm, baseline->comm);
+  EXPECT_GE(resumed->resumed_from_iteration, 1);
+}
+
+/// Corrupting the newest snapshot must not sink the resume: the store falls
+/// back to the next-newest valid one, the run replays the extra columns, and
+/// the result is still bitwise-identical.
+TEST(Resume, CorruptNewestSnapshotFallsBackEndToEnd) {
+  const PlantedTensor p = MakePlanted(24, 4, 60);
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string dir = CkptDir("corrupt");
+  DbtfConfig interrupted = CheckpointedConfig(dir);
+  interrupted.halt_after_columns = 7;
+  auto killed = Dbtf::Factorize(p.tensor, interrupted);
+  ASSERT_FALSE(killed.ok());
+
+  auto store = CheckpointStore::Open(dir, interrupted.checkpoint_retention);
+  ASSERT_TRUE(store.ok());
+  const std::vector<std::int64_t> sequences = store->ListSequences();
+  ASSERT_GE(sequences.size(), 2u);
+  const std::string manifest =
+      dir + "/ckpt-" + std::to_string(sequences.back()) + "/MANIFEST";
+  std::string bytes;
+  {
+    std::ifstream in(manifest, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << manifest;
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  DbtfConfig resume = CheckpointedConfig(dir);
+  resume.resume = true;
+  auto resumed = Dbtf::Factorize(p.tensor, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameFactorsAndErrors(*resumed, *baseline);
+  ExpectSameComm(resumed->comm, baseline->comm);
+}
+
+/// A snapshot binds to its run: resuming with a different semantic
+/// configuration or a different tensor is refused up front.
+TEST(Resume, RejectsMismatchedConfigOrTensor) {
+  const PlantedTensor p = MakePlanted(24, 4, 61);
+  const std::string dir = CkptDir("mismatch");
+  DbtfConfig interrupted = CheckpointedConfig(dir);
+  interrupted.halt_after_columns = 3;
+  ASSERT_FALSE(Dbtf::Factorize(p.tensor, interrupted).ok());
+
+  DbtfConfig resume = CheckpointedConfig(dir);
+  resume.resume = true;
+  resume.seed = 99;  // a different trajectory entirely
+  EXPECT_EQ(Dbtf::Factorize(p.tensor, resume).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  resume.seed = interrupted.seed;
+  const PlantedTensor other = MakePlanted(24, 4, 62);
+  EXPECT_EQ(Dbtf::Factorize(other.tensor, resume).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Operational knobs (cadence, halts) are not part of the identity.
+  resume.checkpoint_every_columns = 2;
+  auto ok = Dbtf::Factorize(p.tensor, resume);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+/// Resume against an empty checkpoint directory is a clean kNotFound, not a
+/// silent fresh start.
+TEST(Resume, WithoutSnapshotsIsNotFound) {
+  const PlantedTensor p = MakePlanted(24, 4, 63);
+  DbtfConfig resume = CheckpointedConfig(CkptDir("empty"));
+  resume.resume = true;
+  EXPECT_EQ(Dbtf::Factorize(p.tensor, resume).status().code(),
+            StatusCode::kNotFound);
 }
 
 /// The rank scan runs every candidate on one resident session.

@@ -1,0 +1,150 @@
+#include "common/serde.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace dbtf {
+namespace {
+
+TEST(Crc32Test, MatchesIeeeTestVector) {
+  // The canonical CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, SensitiveToEveryByte) {
+  const std::string a = "checkpoint";
+  std::string b = a;
+  b[3] ^= 0x01;
+  EXPECT_NE(Crc32(a.data(), a.size()), Crc32(b.data(), b.size()));
+}
+
+TEST(Fnv1a64Test, DistinguishesContent) {
+  const std::string a = "config-a";
+  const std::string b = "config-b";
+  EXPECT_NE(Fnv1a64(a.data(), a.size()), Fnv1a64(b.data(), b.size()));
+  EXPECT_EQ(Fnv1a64(a.data(), a.size()), Fnv1a64(a.data(), a.size()));
+}
+
+TEST(Fnv1a64Test, EmptyInputIsOffsetBasis) {
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ull);
+}
+
+TEST(SerdeTest, RoundTripsEveryType) {
+  ByteWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI64(-42);
+  w.WriteI64(std::numeric_limits<std::int64_t>::min());
+  w.WriteDouble(3.141592653589793);
+  w.WriteString("factor");
+  w.WriteString("");  // empty strings round-trip too
+
+  ByteReader r(w.bytes());
+  ASSERT_TRUE(r.ReadU8().ok());
+  ByteReader r2(w.bytes());
+  EXPECT_EQ(r2.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r2.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r2.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r2.ReadI64().value(), -42);
+  EXPECT_EQ(r2.ReadI64().value(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r2.ReadDouble().value(), 3.141592653589793);
+  EXPECT_EQ(r2.ReadString().value(), "factor");
+  EXPECT_EQ(r2.ReadString().value(), "");
+  EXPECT_TRUE(r2.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, LittleEndianOnTheWire) {
+  ByteWriter w;
+  w.WriteU32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[1], 0x03);
+  EXPECT_EQ(w.bytes()[2], 0x02);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(SerdeTest, RawBytesRoundTrip) {
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  ByteWriter w;
+  w.WriteBytes(payload, sizeof(payload));
+  ByteReader r(w.bytes());
+  std::uint8_t out[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(r.ReadBytes(out, sizeof(out)).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, TruncationFailsEveryReader) {
+  ByteWriter w;
+  w.WriteU64(7);
+  // Chop one byte off; every multi-byte read past the end must fail with
+  // kIoError instead of reading out of bounds.
+  ByteReader r(w.bytes().data(), w.size() - 1);
+  EXPECT_EQ(r.ReadU64().status().code(), StatusCode::kIoError);
+
+  ByteReader empty(w.bytes().data(), 0);
+  EXPECT_EQ(empty.ReadU8().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(empty.ReadU32().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(empty.ReadI64().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(empty.ReadDouble().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(empty.ReadString().status().code(), StatusCode::kIoError);
+  std::uint8_t sink = 0;
+  EXPECT_EQ(empty.ReadBytes(&sink, 1).code(), StatusCode::kIoError);
+}
+
+TEST(SerdeTest, StringLengthBeyondBufferIsRejected) {
+  // A length prefix claiming more bytes than remain must fail before any
+  // allocation, not over-read.
+  ByteWriter w;
+  w.WriteU64(1000);  // claims a 1000-byte string...
+  w.WriteU8('x');    // ...but only one byte follows
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kIoError);
+}
+
+TEST(SerdeTest, TrailingBytesAreRejected) {
+  ByteWriter w;
+  w.WriteU32(5);
+  w.WriteU8(0xFF);  // one stray byte after the parsed prefix
+  ByteReader r(w.bytes());
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_EQ(r.ExpectEnd().code(), StatusCode::kIoError);
+  ASSERT_TRUE(r.ReadU8().ok());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, WriterCrcTracksContent) {
+  ByteWriter w;
+  EXPECT_EQ(w.Crc(), 0u);
+  w.WriteString("123456789");
+  // The string is length-prefixed, so the CRC covers prefix + payload.
+  EXPECT_EQ(w.Crc(), Crc32(w.bytes().data(), w.size()));
+  const std::uint32_t before = w.Crc();
+  w.WriteU8(0);
+  EXPECT_NE(w.Crc(), before);
+}
+
+TEST(SerdeTest, OffsetAndRemainingTrackReads) {
+  ByteWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.offset(), 0u);
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_EQ(r.offset(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace dbtf

@@ -30,6 +30,12 @@ the driver/worker runtime (see DESIGN.md, "Correctness tooling"):
                       the RecoveryLedger is mutated (Record*) only by
                       Cluster's charging layer (src/dist/cluster.cc), so
                       every retry/re-provision is counted exactly once.
+  filesystem-write    durable state leaves the process only through the two
+                      sanctioned seams: the checkpoint store (src/ckpt/) and
+                      the text tensor/matrix codecs (src/tensor/io.cc).
+                      std::ofstream, fopen, and rename anywhere else would
+                      create files outside the atomic-write discipline
+                      (tmp + fsync + rename) that crash recovery relies on.
   async-seam          asynchrony is expressed only through dist/async.h
                       (Future/Promise/Mailbox): std::promise, std::future,
                       std::packaged_task, and std::async appear nowhere
@@ -72,6 +78,10 @@ UNAVAILABLE_RE = re.compile(r"\bStatus::Unavailable\s*\(")
 RECOVERY_RECORD_RE = re.compile(
     r"(?:\.|->)\s*Record(?:FailedDelivery|Retry|MachineLost|Reprovision|"
     r"Stall)\s*\(")
+# Filesystem writes (and the rename that publishes them) are confined to the
+# checkpoint store and the tensor text codecs; see `filesystem-write` above.
+FILESYSTEM_WRITE_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:ofstream\b|fopen\s*\(|rename\s*\()")
 ASYNC_PRIMITIVE_RE = re.compile(
     r"\bstd::(?:promise|future|shared_future|packaged_task|async)\b")
 CONDVAR_RE = re.compile(r"\bstd::condition_variable(?:_any)?\b")
@@ -110,6 +120,11 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
     allow_recovery_mutation = rel == "dist/cluster.cc"
     # dist/async.h is the async seam; the rest of src/dist/ implements it
     # (thread pool, mailboxes, routing). common/mutex.h wraps the condvar.
+    # The checkpoint store owns the atomic-write discipline; the tensor text
+    # codecs are the only other sanctioned writers (CLI output goes through
+    # them).
+    allow_filesystem_write = (rel.startswith("ckpt/")
+                              or rel in ("tensor/io.cc", "tensor/io.h"))
     allow_async_primitive = rel.startswith("dist/")
     allow_condvar = rel.startswith("dist/") or rel == "common/mutex.h"
     # common/mutex.h wraps the underlying std::mutex; comm_stats.h defines
@@ -166,6 +181,13 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
                 "the RecoveryLedger is charged only by Cluster "
                 "(src/dist/cluster.cc) so every retry and re-provision is "
                 "counted exactly once"))
+        if not allow_filesystem_write and FILESYSTEM_WRITE_RE.search(line):
+            findings.append((
+                lineno, "filesystem-write",
+                "filesystem writes are confined to the checkpoint store "
+                "(src/ckpt/) and the tensor text codecs (src/tensor/io.cc); "
+                "durable state written elsewhere escapes the atomic "
+                "tmp+fsync+rename discipline"))
         if not allow_async_primitive and ASYNC_PRIMITIVE_RE.search(line):
             findings.append((
                 lineno, "async-seam",

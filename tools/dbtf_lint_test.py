@@ -52,6 +52,12 @@ class FixtureTest(unittest.TestCase):
         # Two sleeps plus one ad-hoc Status::Unavailable construction.
         self.assertEqual(len(diagnostics), 3)
 
+    def test_filesystem_write_fixture_trips(self):
+        diagnostics = self.lint("filesystem_write")
+        self.assertEqual(rules_in(diagnostics), {"filesystem-write"})
+        # One ofstream, one fopen, and one publishing rename.
+        self.assertEqual(len(diagnostics), 3)
+
     def test_recovery_stats_mutation_fixture_trips(self):
         diagnostics = self.lint("recovery_stats_mutation")
         self.assertEqual(rules_in(diagnostics), {"recovery-stats-mutation"})

@@ -1,0 +1,14 @@
+// Fixture: durable state written outside the sanctioned seams (src/ckpt/
+// and src/tensor/io.cc), escaping the atomic tmp+fsync+rename discipline.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void DumpFactors(const std::string& path) {
+  std::ofstream out(path);  // violation: ad-hoc file write in driver code
+  out << "A\n";
+  std::FILE* f = std::fopen((path + ".bin").c_str(), "wb");  // violation
+  if (f != nullptr) std::fclose(f);
+  // violation: publishing a file by rename outside the checkpoint store
+  std::rename((path + ".tmp").c_str(), path.c_str());
+}
