@@ -10,6 +10,14 @@
 // by side. With --json <path>, the full per-run breakdown (virtual time
 // split into machine/driver shares, ledger bytes and events) is written as
 // a machine-readable report; CI uploads it as the BENCH_runtime artifact.
+//
+// --transport=socket reruns the same sweep with one OS process per machine
+// (the SocketTransport), so the report pairs the MODELED makespan
+// (virtual_seconds: max per-machine compute plus the network model) with a
+// MEASURED multi-process makespan (wall_seconds: real processes, real
+// frame I/O). The factors and ledgers are bitwise identical across
+// transports, so any modeled-vs-measured gap is transport overhead, not a
+// different computation. CI commits this report as BENCH_transport.json.
 
 #include <cstdio>
 #include <string>
@@ -17,6 +25,7 @@
 
 #include "common/flags.h"
 #include "dbtf/dbtf.h"
+#include "dist/transport/transport.h"
 #include "generator/generator.h"
 #include "harness/harness.h"
 
@@ -32,25 +41,35 @@ struct RunRecord {
 
 /// Hand-rolled JSON writer: the report is a flat list of numeric records, so
 /// a printf per field keeps the benchmark dependency-free.
-bool WriteJson(const std::string& path, const std::vector<RunRecord>& runs) {
+bool WriteJson(const std::string& path, TransportKind kind,
+               const BenchOptions& options,
+               const std::vector<RunRecord>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"fig7_machines\",\n  \"runs\": [\n");
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"fig7_machines\",\n"
+               "  \"transport\": \"%s\",\n"
+               "  \"scale\": %lld,\n  \"max_iterations\": %d,\n"
+               "  \"runs\": [\n",
+               TransportKindName(kind),
+               static_cast<long long>(options.scale), options.max_iterations);
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunRecord& run = runs[i];
     const DbtfResult& r = run.result;
     std::fprintf(
         f,
         "    {\"machines\": %d, \"delta_broadcast\": %s,\n"
+        "     \"modeled_seconds\": %.9f, \"measured_seconds\": %.9f,\n"
         "     \"virtual_seconds\": %.9f, \"machine_seconds\": %.9f,\n"
         "     \"driver_seconds\": %.9f, \"wall_seconds\": %.9f,\n"
         "     \"broadcast_bytes\": %lld, \"broadcast_events\": %lld,\n"
         "     \"collect_bytes\": %lld, \"collect_events\": %lld,\n"
         "     \"shuffle_bytes\": %lld, \"final_error\": %lld}%s\n",
         run.machines, run.delta_broadcast ? "true" : "false",
+        r.virtual_seconds, r.wall_seconds,
         r.virtual_seconds, r.machine_seconds, r.driver_seconds,
         r.wall_seconds, static_cast<long long>(r.comm.broadcast_bytes),
         static_cast<long long>(r.comm.broadcast_events),
@@ -69,9 +88,17 @@ bool WriteJson(const std::string& path, const std::vector<RunRecord>& runs) {
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const std::string json_path = flags.GetString("json", "");
+  const std::string transport_name = flags.GetString("transport", "inproc");
   if (const Status st = flags.Finish(); !st.ok()) {
-    std::fprintf(stderr, "%s\nusage: bench_fig7_machines [--json PATH]\n",
+    std::fprintf(stderr,
+                 "%s\nusage: bench_fig7_machines [--json PATH] "
+                 "[--transport=inproc|socket]\n",
                  st.ToString().c_str());
+    return 2;
+  }
+  const auto transport = ParseTransportKind(transport_name);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "%s\n", transport.status().ToString().c_str());
     return 2;
   }
 
@@ -95,9 +122,10 @@ int Main(int argc, char** argv) {
   auto planted = GeneratePlanted(spec);
   if (!planted.ok()) return 1;
   const SparseTensor& tensor = planted->tensor;
-  std::printf("tensor: %lld^3, nnz=%lld (planted rank 10)\n",
+  std::printf("tensor: %lld^3, nnz=%lld (planted rank 10), transport=%s\n",
               static_cast<long long>(dim),
-              static_cast<long long>(tensor.NumNonZeros()));
+              static_cast<long long>(tensor.NumNonZeros()),
+              TransportKindName(*transport));
 
   TablePrinter table({"machines", "delta", "virtual time", "T4/TM",
                       "bcast MB", "wall time"});
@@ -112,6 +140,7 @@ int Main(int argc, char** argv) {
       // real cluster, where N is chosen once per dataset).
       config.num_partitions = 32;
       config.cluster.num_machines = machines;
+      config.cluster.transport.kind = *transport;
       config.enable_delta_broadcast = delta;
       auto result = Dbtf::Factorize(tensor, config);
       if (!result.ok()) {
@@ -142,7 +171,9 @@ int Main(int argc, char** argv) {
   std::printf(
       "paper shape: near-linear scaling; 2.2x speedup going from 4 to 16 "
       "machines.\n");
-  if (!json_path.empty() && !WriteJson(json_path, runs)) return 1;
+  if (!json_path.empty() && !WriteJson(json_path, *transport, options, runs)) {
+    return 1;
+  }
   return 0;
 }
 

@@ -6,6 +6,7 @@
 #include "bcpals/bcp_als.h"
 #include "common/timer.h"
 #include "dbtf/dbtf.h"
+#include "dist/transport/transport.h"
 #include "eval/metrics.h"
 #include "generator/generator.h"
 #include "generator/workload.h"
@@ -165,6 +166,19 @@ Status RunFactorize(FlagParser* flags) {
     DBTF_ASSIGN_OR_RETURN(const bool no_delta,
                           flags->GetBool("no-delta-broadcast", false));
     config.enable_delta_broadcast = !no_delta;
+    // Transport seam: in-process workers (default) or one dbtf-worker OS
+    // process per machine over local sockets. Validation happens inside
+    // Cluster::Create via ClusterConfig::Validate.
+    const std::string transport = flags->GetString("transport", "inproc");
+    DBTF_ASSIGN_OR_RETURN(config.cluster.transport.kind,
+                          ParseTransportKind(transport));
+    config.cluster.transport.socket_dir = flags->GetString("socket-dir", "");
+    config.cluster.transport.worker_binary =
+        flags->GetString("worker-binary", "");
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t socket_workers,
+                          flags->GetInt64("socket-workers", 0));
+    config.cluster.transport.socket_workers =
+        static_cast<int>(socket_workers);
     // Fault injection: an explicit plan wins over a seeded random one; the
     // seeded form injects a few transient faults plus one machine crash,
     // reproducibly for a given seed.
@@ -203,6 +217,8 @@ Status RunFactorize(FlagParser* flags) {
                               result.wall_seconds);
     std::printf("virtual time   : %.3fs on %d machines\n",
                 result.virtual_seconds, config.cluster.num_machines);
+    std::printf("transport      : %s\n",
+                TransportKindName(config.cluster.transport.kind));
     std::printf("network        : %s\n", result.comm.ToString().c_str());
     std::printf("cache tables   : %lld entries, %lld bytes (peak)\n",
                 static_cast<long long>(result.cache_entries),
@@ -396,6 +412,11 @@ std::string UsageText() {
       "              --output-prefix PFX --time-budget-seconds S]\n"
       "             dbtf: [--initial-sets L --partitions N --machines M\n"
       "                    --cache-group-size V --max-retries K\n"
+      "                    --transport=inproc|socket (socket runs one\n"
+      "                    dbtf-worker process per machine; factors and\n"
+      "                    ledgers are bitwise identical across transports)\n"
+      "                    --socket-dir DIR --worker-binary PATH\n"
+      "                    --socket-workers M (must equal --machines)\n"
       "                    --no-delta-broadcast (ship full operand matrices\n"
       "                    every update instead of changed columns)\n"
       "                    --fault-seed S | --fault-plan PLAN\n"

@@ -6,9 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
-// The engine is the routing call-site layer: the one driver translation unit
-// allowed to see the Worker message handlers (tools/dbtf_lint.py).
-#include "dist/worker.h"
+#include "dist/messages.h"
 
 namespace dbtf {
 namespace {
@@ -111,7 +109,7 @@ void FactorBroadcastState::PlanSlot(int slot_index, const BitMatrix& current,
   if (ship_full) {
     d.full = true;
     d.base_generation = 0;
-    d.dense = &current;
+    d.dense = current;
     d.columns.clear();
     d.column_bits.clear();
   }
@@ -204,9 +202,11 @@ Result<UpdateFactorStats> RunFactorUpdate(
   const FactorDelta broadcast =
       bstate->Plan(roles, mode, rows, mf, ms, config);
   const auto send_broadcast = [cluster, &broadcast]() {
-    return cluster->BroadcastToWorkers(
-        broadcast.WireBytes(),
-        [&broadcast](Worker& w) { return w.Handle(broadcast); });
+    // The routing layer copies the message into the fan-out and charges
+    // broadcast.WireBytes() per machine at enqueue; re-sends of a committed
+    // plan are idempotent at the workers (generation match), so recovery
+    // can re-invoke this closure freely.
+    return cluster->BroadcastFactors(broadcast);
   };
 
   // Runs `op`, recovering from retryable routing failures: `recover`
@@ -249,7 +249,6 @@ Result<UpdateFactorStats> RunFactorUpdate(
 
   UpdateFactorStats stats = resume != nullptr ? resume->carried
                                               : UpdateFactorStats{};
-  CollectErrors::CacheMetrics cache_metrics;
 
   // Snapshot of the factor's row masks; the workers see it through each
   // column's task closure, updated with the driver's previous decisions.
@@ -258,50 +257,46 @@ Result<UpdateFactorStats> RunFactorUpdate(
     row_masks[static_cast<std::size_t>(r)] = factor->RowMask64(r);
   }
 
-  std::vector<std::int64_t> totals0(static_cast<std::size_t>(rows));
-  std::vector<std::int64_t> totals1(static_cast<std::size_t>(rows));
+  CollectErrorsResponse errors;
   for (std::int64_t c = start_column; c < rank; ++c) {
     // One column is the recovery retry unit: dispatch + collect, with the
-    // driver accumulators (and the piggybacked cache metrics) zeroed at the
-    // start of every attempt so a partially collected failed attempt leaves
-    // no residue behind.
+    // merged response rebuilt from scratch on every attempt so a partially
+    // collected failed attempt leaves no residue behind.
     //
     // Dispatch and collect are enqueued back-to-back on the machines'
-    // serial mailboxes: each machine runs its compute task then its gather,
-    // in order, without the driver waiting for the slowest machine between
-    // the two steps — a fast machine's gather overlaps a slow machine's
-    // compute. The accumulators are zeroed *before* either enqueue (the
-    // first gather can start while this thread is still posting), and both
-    // futures are awaited before the attempt returns, so a failed attempt
-    // never leaves tasks racing a retry.
+    // serial mailboxes: each machine runs its compute task then its
+    // collect, in order, without the driver waiting for the slowest machine
+    // between the two steps — a fast machine's collect overlaps a slow
+    // machine's compute. The fused fan-out is awaited before the attempt
+    // returns, so a failed attempt never leaves tasks racing a retry.
     const auto run_column = [&]() -> Status {
-      std::fill(totals0.begin(), totals0.end(), 0);
-      std::fill(totals1.begin(), totals1.end(), 0);
-      if (c == 0) cache_metrics = CollectErrors::CacheMetrics();
+      errors = CollectErrorsResponse();
 
       RunUpdateColumn run;
       run.mode = mode;
       run.column = c;
-      run.row_masks = row_masks.data();
+      run.row_masks = row_masks;
       run.rows = rows;
-      CollectErrors collect;
+      CollectErrorsRequest collect;
       collect.mode = mode;
-      collect.totals0 = totals0.data();
-      collect.totals1 = totals1.data();
       collect.rows = rows;
       // Cache metrics piggyback on the first collect's responses.
-      collect.stats = (c == 0) ? &cache_metrics : nullptr;
+      collect.want_stats = (c == 0);
 
-      Future<Unit> dispatched = cluster->AsyncDispatchToWorkers(
-          [run](Worker& w) { return w.Handle(run); });
-      Future<Unit> collected = cluster->AsyncCollectFromWorkers(
-          [collect](Worker& w) { return w.Handle(collect); });
-      const Status dispatch_status = dispatched.Get().status();
-      const Status collect_status = collected.Get().status();
-      DBTF_RETURN_IF_ERROR(dispatch_status);
-      return collect_status;
+      // The fused primitive takes one registry snapshot for both halves, so
+      // a machine crashing mid-column yields the same ledger no matter how
+      // threads (or the transport) interleave with the crash.
+      DBTF_RETURN_IF_ERROR(cluster->RunColumn(std::move(run), collect, &errors));
+      if (static_cast<std::int64_t>(errors.totals0.size()) != rows ||
+          static_cast<std::int64_t>(errors.totals1.size()) != rows) {
+        return Status::Internal(
+            "collected error totals do not cover the unfolding rows");
+      }
+      return Status::OK();
     };
     DBTF_RETURN_IF_ERROR(with_recovery(run_column, /*rebroadcast=*/true));
+    const std::vector<std::int64_t>& totals0 = errors.totals0;
+    const std::vector<std::int64_t>& totals1 = errors.totals1;
 
     // Decide each entry of column c; ties prefer 0 (the sparser factor).
     const std::uint64_t bit = std::uint64_t{1} << static_cast<unsigned>(c);
@@ -323,8 +318,8 @@ Result<UpdateFactorStats> RunFactorUpdate(
     // and (b) a resumed update (which skips column 0) keeps the carried
     // values instead of zeroing them.
     if (c == 0) {
-      stats.cache_entries = cache_metrics.cache_entries;
-      stats.cache_bytes = cache_metrics.cache_bytes;
+      stats.cache_entries = errors.cache_entries;
+      stats.cache_bytes = errors.cache_bytes;
     }
     if (on_column != nullptr) {
       // The hook observes the update at a column boundary: sync the decided

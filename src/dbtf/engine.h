@@ -13,10 +13,11 @@
 
 namespace dbtf {
 
-// The broadcast payload type lives in dist/worker.h; only engine.cc (the
-// routing call-site layer) may include that header, so it is forward-
-// declared here and returned through declarations only.
-struct FactorDelta;
+// The broadcast payload type (FactorDelta) lives in dist/messages.h — the
+// typed wire schema every driver<->worker byte crosses — and arrives here
+// via dist/cluster.h. Worker internals stay invisible: the engine routes
+// value messages through Cluster's typed methods and never names a Worker
+// member (tools/dbtf_lint.py enforces the boundary).
 
 /// Statistics of one distributed factor update.
 struct UpdateFactorStats {
@@ -64,8 +65,8 @@ class FactorBroadcastState {
   FactorBroadcastState& operator=(const FactorBroadcastState&) = delete;
 
   /// Plans the operand payloads of one factor update. The returned message
-  /// keeps pointers to `mf`/`ms` (full-matrix payloads), which must stay
-  /// alive and unchanged for the duration of the update.
+  /// owns its content (full-matrix payloads are copied), so it can be
+  /// re-sent by the recovery path or serialized onto a wire at any time.
   FactorDelta Plan(const FactorRoles& roles, Mode mode, std::int64_t rows,
                    const BitMatrix& mf, const BitMatrix& ms,
                    const DbtfConfig& config);

@@ -65,6 +65,10 @@ std::uint64_t FingerprintConfig(const DbtfConfig& config) {
   w.WriteDouble(config.cluster.retry.backoff_seconds);
   w.WriteDouble(config.cluster.retry.backoff_multiplier);
   w.WriteDouble(config.cluster.retry.message_deadline_seconds);
+  // config.cluster.transport is deliberately absent: the transport is an
+  // operational choice with no effect on results, so a checkpoint written
+  // under --transport=inproc must resume under --transport=socket (and vice
+  // versa) without tripping the fingerprint check.
   return Fnv1a64(w.bytes().data(), w.size());
 }
 

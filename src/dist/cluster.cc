@@ -36,6 +36,7 @@ Status ClusterConfig::Validate() const {
         "network costs must be non-negative and finite");
   }
   DBTF_RETURN_IF_ERROR(retry.Validate());
+  DBTF_RETURN_IF_ERROR(transport.Validate(num_machines));
   return fault_plan.Validate(num_machines);
 }
 
@@ -74,20 +75,33 @@ void Cluster::RunTasks(std::int64_t n,
 }
 
 Status Cluster::AttachWorker(int machine, Worker* worker) {
-  return AttachWorkerImpl(machine, worker, nullptr);
+  return AttachWorkerImpl(machine, worker, nullptr, nullptr);
 }
 
 Status Cluster::AttachWorker(int machine, std::shared_ptr<Worker> worker) {
   Worker* raw = worker.get();
-  return AttachWorkerImpl(machine, raw, std::move(worker));
+  return AttachWorkerImpl(machine, raw, std::move(worker), nullptr);
+}
+
+Status Cluster::AttachEndpoint(int machine,
+                               std::shared_ptr<WorkerEndpoint> endpoint) {
+  if (endpoint == nullptr) {
+    return Status::InvalidArgument("cannot attach a null endpoint");
+  }
+  // An endpoint fronting an in-process worker also serves the legacy
+  // WorkerFn routing; a remote endpoint leaves `worker` null and only the
+  // typed routing methods can reach it.
+  Worker* worker = endpoint->local_worker();
+  return AttachWorkerImpl(machine, worker, nullptr, std::move(endpoint));
 }
 
 Status Cluster::AttachWorkerImpl(int machine, Worker* worker,
-                                 std::shared_ptr<Worker> owned) {
+                                 std::shared_ptr<Worker> owned,
+                                 std::shared_ptr<WorkerEndpoint> endpoint) {
   if (machine < 0 || machine >= config_.num_machines) {
     return Status::InvalidArgument("machine index out of range");
   }
-  if (worker == nullptr) {
+  if (worker == nullptr && endpoint == nullptr) {
     return Status::InvalidArgument("cannot attach a null worker");
   }
   MutexLock lock(mu_);
@@ -102,7 +116,8 @@ Status Cluster::AttachWorkerImpl(int machine, Worker* worker,
           "a worker is already attached to this machine");
     }
   }
-  workers_.push_back(AttachedWorker{machine, worker, std::move(owned)});
+  workers_.push_back(
+      AttachedWorker{machine, worker, std::move(owned), std::move(endpoint)});
   return Status::OK();
 }
 
@@ -120,6 +135,14 @@ Worker* Cluster::AttachedWorkerOn(int machine) const {
   MutexLock lock(mu_);
   for (const AttachedWorker& w : workers_) {
     if (w.machine == machine) return w.worker;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<WorkerEndpoint> Cluster::EndpointOn(int machine) const {
+  MutexLock lock(mu_);
+  for (const AttachedWorker& w : workers_) {
+    if (w.machine == machine) return w.endpoint;
   }
   return nullptr;
 }
@@ -149,6 +172,23 @@ Result<Unit> ToUnitResult(const Status& status) {
   return status;
 }
 
+/// Legacy WorkerFn routing against an endpoint that has no in-process
+/// worker (socket transport): a usage error, not a transport failure.
+Status NoInProcessWorkerError(int machine) {
+  return Status::FailedPrecondition(
+      "machine " + std::to_string(machine) +
+      " has no in-process worker (socket transport); use the typed routing "
+      "methods");
+}
+
+/// Typed routing against a legacy attach that never produced an endpoint.
+Status NoEndpointError(int machine) {
+  return Status::FailedPrecondition(
+      "machine " + std::to_string(machine) +
+      " has no transport endpoint; attach via AttachEndpoint or the "
+      "provisioning seam");
+}
+
 }  // namespace
 
 /// Shared state of one async broadcast/dispatch fan-out. Each machine's
@@ -158,19 +198,20 @@ Result<Unit> ToUnitResult(const Status& status) {
 /// cluster-owned workers alive until every delivery has drained.
 struct Cluster::RouteOp {
   std::vector<AttachedWorker> workers;
-  WorkerFn fn;
+  RouteFn fn;
   std::vector<Status> statuses;
   std::atomic<int> remaining{0};
   Promise<Unit> promise;
 };
 
 /// Shared state of one async collect fan-out. The gathers mutate the
-/// driver's accumulators, so they are serialized under `reduce_mu_` — the
-/// mailbox-parallel equivalent of the old sequential driver-side reduce
-/// (int64 sums commute, so the reduce order does not affect the result).
+/// driver's accumulators, so those mutations are serialized under
+/// `reduce_mu_` — the mailbox-parallel equivalent of the old sequential
+/// driver-side reduce (int64 sums commute, so the reduce order does not
+/// affect the result).
 struct Cluster::CollectOp {
   std::vector<AttachedWorker> workers;
-  WorkerGatherFn gather;
+  GatherFn gather;
   std::vector<Status> statuses;
   std::atomic<int> remaining{0};
   Promise<Unit> promise;
@@ -178,16 +219,169 @@ struct Cluster::CollectOp {
   std::int64_t total_bytes_ DBTF_GUARDED_BY(reduce_mu_) = 0;
 };
 
+/// Shared state of one fused dispatch+collect fan-out (AsyncRunColumn). The
+/// statuses vector holds the dispatch outcomes in [0, n) and the collect
+/// outcomes in [n, 2n), so CombineStatuses surfaces dispatch failures ahead
+/// of collect failures of the same severity — the same selection the engine
+/// made when it awaited the two futures in that order.
+struct Cluster::ColumnOp {
+  std::vector<AttachedWorker> workers;
+  std::shared_ptr<const RunUpdateColumn> run;
+  std::shared_ptr<const CollectErrorsRequest> request;
+  CollectErrorsResponse* response = nullptr;
+  std::vector<Status> statuses;
+  std::atomic<int> remaining{0};
+  Promise<Unit> promise;
+  Mutex reduce_mu_;
+  std::int64_t total_bytes_ DBTF_GUARDED_BY(reduce_mu_) = 0;
+};
+
+Cluster::RouteFn Cluster::AdaptWorkerFn(const WorkerFn& fn) {
+  return [this, fn](const AttachedWorker& w) {
+    if (w.worker == nullptr) return NoInProcessWorkerError(w.machine);
+    ThreadCpuTimer timer;
+    const Status status = fn(*w.worker);
+    ChargeCompute(w.machine, timer.ElapsedSeconds());
+    return status;
+  };
+}
+
 Future<Unit> Cluster::AsyncBroadcastToWorkers(std::int64_t wire_bytes,
                                               const WorkerFn& deliver) {
   // Lemma 7 charging happens at enqueue, exactly once per broadcast, whether
   // or not any delivery later fails (the bytes left the driver either way).
   ChargeBroadcast(wire_bytes);
-  return AsyncRouteToWorkers(MessageKind::kBroadcast, deliver);
+  return AsyncRouteToWorkers(MessageKind::kBroadcast, AdaptWorkerFn(deliver));
 }
 
 Future<Unit> Cluster::AsyncDispatchToWorkers(const WorkerFn& fn) {
-  return AsyncRouteToWorkers(MessageKind::kDispatch, fn);
+  return AsyncRouteToWorkers(MessageKind::kDispatch, AdaptWorkerFn(fn));
+}
+
+Future<Unit> Cluster::AsyncBroadcastFactors(FactorDelta msg) {
+  // The op owns the payload: every machine's delivery reads the same const
+  // message, and the last one to drain releases it.
+  auto shared = std::make_shared<const FactorDelta>(std::move(msg));
+  ChargeBroadcast(shared->WireBytes());
+  return AsyncRouteToWorkers(
+      MessageKind::kBroadcast, [this, shared](const AttachedWorker& w) {
+        if (w.endpoint == nullptr) return NoEndpointError(w.machine);
+        double seconds = 0.0;
+        const Status status = w.endpoint->Deliver(*shared, &seconds);
+        ChargeCompute(w.machine, seconds);
+        return status;
+      });
+}
+
+Future<Unit> Cluster::AsyncDispatchColumn(RunUpdateColumn msg) {
+  auto shared = std::make_shared<const RunUpdateColumn>(std::move(msg));
+  return AsyncRouteToWorkers(
+      MessageKind::kDispatch, [this, shared](const AttachedWorker& w) {
+        if (w.endpoint == nullptr) return NoEndpointError(w.machine);
+        double seconds = 0.0;
+        const Status status = w.endpoint->Deliver(*shared, &seconds);
+        ChargeCompute(w.machine, seconds);
+        return status;
+      });
+}
+
+Future<Unit> Cluster::AsyncCollectErrors(const CollectErrorsRequest& msg,
+                                         CollectErrorsResponse* response) {
+  auto shared = std::make_shared<const CollectErrorsRequest>(msg);
+  return AsyncGatherFromWorkers(
+      [this, shared, response](const AttachedWorker& w,
+                               Mutex& reduce_mu) -> Result<std::int64_t> {
+        if (w.endpoint == nullptr) return NoEndpointError(w.machine);
+        // The endpoint call runs outside the reduce lock — collects from
+        // different machines overlap; only the merge is serialized.
+        CollectErrorsResponse local;
+        double seconds = 0.0;
+        const Status status = w.endpoint->Collect(*shared, &local, &seconds);
+        ChargeCompute(w.machine, seconds);
+        if (!status.ok()) return status;
+        MutexLock lock(reduce_mu);
+        response->MergeFrom(local);
+        return local.wire_bytes;
+      });
+}
+
+Future<Unit> Cluster::AsyncRunColumn(RunUpdateColumn run,
+                                     const CollectErrorsRequest& req,
+                                     CollectErrorsResponse* response) {
+  auto op = std::make_shared<ColumnOp>();
+  op->workers = WorkerSnapshot();
+  if (op->workers.empty()) {
+    op->promise.Set(NoWorkersError(DeadMachines()));
+    return op->promise.future();
+  }
+  op->run = std::make_shared<const RunUpdateColumn>(std::move(run));
+  op->request = std::make_shared<const CollectErrorsRequest>(req);
+  op->response = response;
+  const std::size_t n = op->workers.size();
+  op->statuses.assign(2 * n, Status::OK());
+  op->remaining.store(static_cast<int>(2 * n), std::memory_order_relaxed);
+  Future<Unit> future = op->promise.future();
+
+  const auto finish_one = [this](const std::shared_ptr<ColumnOp>& op) {
+    if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    const std::size_t n = op->workers.size();
+    bool collected = true;
+    for (std::size_t i = n; i < 2 * n; ++i) {
+      collected = collected && op->statuses[i].ok();
+    }
+    if (collected) {
+      // One collect event for the whole fan-out (Lemma 7), charged only
+      // when every machine's collect succeeded — independent of the
+      // dispatch outcomes, exactly as with separate fan-outs.
+      MutexLock lock(op->reduce_mu_);
+      ChargeCollect(op->total_bytes_);
+    }
+    op->promise.Set(ToUnitResult(CombineStatuses(op->statuses)));
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int machine = op->workers[i].machine;
+    Mailbox& mailbox = *mailboxes_[static_cast<std::size_t>(machine)];
+    // Dispatch first, collect second, back-to-back on the machine's serial
+    // mailbox: per-(machine, kind) injector counters advance exactly as
+    // they did when the engine enqueued two separate fan-outs.
+    mailbox.Post([this, op, i, finish_one] {
+      const AttachedWorker& w = op->workers[i];
+      op->statuses[i] =
+          DeliverWithRetry(w.machine, MessageKind::kDispatch, [this, op, &w]() {
+            if (w.endpoint == nullptr) return NoEndpointError(w.machine);
+            double seconds = 0.0;
+            const Status status = w.endpoint->Deliver(*op->run, &seconds);
+            ChargeCompute(w.machine, seconds);
+            return status;
+          });
+      finish_one(op);
+    });
+    mailbox.Post([this, op, i, n, finish_one] {
+      const AttachedWorker& w = op->workers[i];
+      op->statuses[n + i] =
+          DeliverWithRetry(w.machine, MessageKind::kCollect, [this, op, &w]() {
+            if (w.endpoint == nullptr) return NoEndpointError(w.machine);
+            CollectErrorsResponse local;
+            double seconds = 0.0;
+            const Status status =
+                w.endpoint->Collect(*op->request, &local, &seconds);
+            ChargeCompute(w.machine, seconds);
+            if (!status.ok()) return status;
+            MutexLock lock(op->reduce_mu_);
+            op->response->MergeFrom(local);
+            op->total_bytes_ += local.wire_bytes;
+            return Status::OK();
+          });
+      finish_one(op);
+    });
+  }
+  return future;
+}
+
+Status Cluster::RunColumn(RunUpdateColumn run, const CollectErrorsRequest& req,
+                          CollectErrorsResponse* response) {
+  return AsyncRunColumn(std::move(run), req, response).Get().status();
 }
 
 Status Cluster::BroadcastToWorkers(std::int64_t wire_bytes,
@@ -203,6 +397,19 @@ Status Cluster::CollectFromWorkers(const WorkerGatherFn& gather) {
   return AsyncCollectFromWorkers(gather).Get().status();
 }
 
+Status Cluster::BroadcastFactors(FactorDelta msg) {
+  return AsyncBroadcastFactors(std::move(msg)).Get().status();
+}
+
+Status Cluster::DispatchColumn(RunUpdateColumn msg) {
+  return AsyncDispatchColumn(std::move(msg)).Get().status();
+}
+
+Status Cluster::CollectErrors(const CollectErrorsRequest& msg,
+                              CollectErrorsResponse* response) {
+  return AsyncCollectErrors(msg, response).Get().status();
+}
+
 Status Cluster::CombineStatuses(const std::vector<Status>& statuses) {
   for (const Status& status : statuses) {
     if (!status.ok() && !IsRetryable(status.code())) return status;
@@ -213,15 +420,14 @@ Status Cluster::CombineStatuses(const std::vector<Status>& statuses) {
   return Status::OK();
 }
 
-Future<Unit> Cluster::AsyncRouteToWorkers(MessageKind kind,
-                                          const WorkerFn& fn) {
+Future<Unit> Cluster::AsyncRouteToWorkers(MessageKind kind, RouteFn fn) {
   auto op = std::make_shared<RouteOp>();
   op->workers = WorkerSnapshot();
   if (op->workers.empty()) {
     op->promise.Set(NoWorkersError(DeadMachines()));
     return op->promise.future();
   }
-  op->fn = fn;
+  op->fn = std::move(fn);
   op->statuses.assign(op->workers.size(), Status::OK());
   op->remaining.store(static_cast<int>(op->workers.size()),
                       std::memory_order_relaxed);
@@ -232,12 +438,8 @@ Future<Unit> Cluster::AsyncRouteToWorkers(MessageKind kind,
     const int machine = op->workers[i].machine;
     mailboxes_[static_cast<std::size_t>(machine)]->Post([this, op, kind, i] {
       const AttachedWorker& w = op->workers[i];
-      op->statuses[i] = DeliverWithRetry(w.machine, kind, [this, op, &w]() {
-        ThreadCpuTimer timer;
-        const Status status = op->fn(*w.worker);
-        ChargeCompute(w.machine, timer.ElapsedSeconds());
-        return status;
-      });
+      op->statuses[i] =
+          DeliverWithRetry(w.machine, kind, [op, &w]() { return op->fn(w); });
       if (op->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         op->promise.Set(ToUnitResult(CombineStatuses(op->statuses)));
       }
@@ -247,13 +449,26 @@ Future<Unit> Cluster::AsyncRouteToWorkers(MessageKind kind,
 }
 
 Future<Unit> Cluster::AsyncCollectFromWorkers(const WorkerGatherFn& gather) {
+  // The legacy gather both reads the worker and mutates the driver's
+  // accumulators, so the whole callback runs under the reduce lock — the
+  // exact behavior of the old sequential driver-side reduce.
+  return AsyncGatherFromWorkers(
+      [gather](const AttachedWorker& w,
+               Mutex& reduce_mu) -> Result<std::int64_t> {
+        if (w.worker == nullptr) return NoInProcessWorkerError(w.machine);
+        MutexLock lock(reduce_mu);
+        return gather(*w.worker);
+      });
+}
+
+Future<Unit> Cluster::AsyncGatherFromWorkers(GatherFn gather) {
   auto op = std::make_shared<CollectOp>();
   op->workers = WorkerSnapshot();
   if (op->workers.empty()) {
     op->promise.Set(NoWorkersError(DeadMachines()));
     return op->promise.future();
   }
-  op->gather = gather;
+  op->gather = std::move(gather);
   op->statuses.assign(op->workers.size(), Status::OK());
   op->remaining.store(static_cast<int>(op->workers.size()),
                       std::memory_order_relaxed);
@@ -264,11 +479,11 @@ Future<Unit> Cluster::AsyncCollectFromWorkers(const WorkerGatherFn& gather) {
       const AttachedWorker& w = op->workers[i];
       op->statuses[i] =
           DeliverWithRetry(w.machine, MessageKind::kCollect, [op, &w]() {
-            // The gather only mutates the driver's accumulators on success,
-            // so a retried gather never double-counts.
-            MutexLock lock(op->reduce_mu_);
-            const Result<std::int64_t> bytes = op->gather(*w.worker);
+            // The gather only credits the byte total on success, so a
+            // retried gather never double-counts.
+            const Result<std::int64_t> bytes = op->gather(w, op->reduce_mu_);
             if (!bytes.ok()) return bytes.status();
+            MutexLock lock(op->reduce_mu_);
             op->total_bytes_ += *bytes;
             return Status::OK();
           });
@@ -323,6 +538,16 @@ Status Cluster::DeliverWithRetry(int machine, MessageKind kind,
       if (status.ok()) status = outcome.status;
     }
     if (status.ok()) status = attempt();
+    if (status.code() == StatusCode::kIoError) {
+      // A transport failure (dead worker process, closed socket, corrupt
+      // frame) is indistinguishable from a crashed machine: mark it lost so
+      // routing skips it and the driver's recovery path re-provisions its
+      // partitions, exactly as for an injected crash.
+      MarkMachineLost(machine);
+      recovery_.RecordFailedDelivery();
+      return Status::Unavailable("machine " + std::to_string(machine) +
+                                 " lost: " + status.ToString());
+    }
     if (status.ok() || !IsRetryable(status.code())) return status;
     recovery_.RecordFailedDelivery();
     last = status;

@@ -12,8 +12,10 @@
 #include "dist/async.h"
 #include "dist/comm_stats.h"
 #include "dist/fault.h"
+#include "dist/messages.h"
 #include "dist/placement.h"
 #include "dist/thread_pool.h"
+#include "dist/transport/transport.h"
 
 namespace dbtf {
 
@@ -43,6 +45,12 @@ struct ClusterConfig {
   /// are active even without a fault plan, but only matter when a handler
   /// (or the injector) returns a retryable code.
   RetryPolicy retry;
+
+  /// Where worker endpoints live: in this process (the bitwise oracle and
+  /// sanitizer target) or one dbtf-worker OS process per machine over local
+  /// sockets. Operational only — excluded from checkpoint fingerprints, so
+  /// a checkpoint taken under one transport resumes under the other.
+  TransportOptions transport;
 
   Status Validate() const;
 };
@@ -111,6 +119,15 @@ class Cluster {
   Status AttachWorker(int machine, std::shared_ptr<Worker> worker)
       DBTF_EXCLUDES(mu_);
 
+  /// Attaches a transport endpoint as machine `machine`'s message target.
+  /// This is the seam every driver<->worker byte crosses: typed routing
+  /// delivers wire messages through the endpoint's virtual interface, so the
+  /// same call sites drive an in-process Worker or a dbtf-worker OS process.
+  /// When the endpoint fronts an in-process worker (local_worker() non-null)
+  /// the legacy WorkerFn routing keeps working over it too.
+  Status AttachEndpoint(int machine, std::shared_ptr<WorkerEndpoint> endpoint)
+      DBTF_EXCLUDES(mu_);
+
   /// Detaches every worker (e.g. when a session is torn down), dropping the
   /// cluster's ownership of workers attached via the owning overload.
   void DetachWorkers() DBTF_EXCLUDES(mu_);
@@ -123,6 +140,12 @@ class Cluster {
   /// the routing methods instead — tools/dbtf_lint.py enforces that no
   /// driver translation unit can even name a Worker member.
   Worker* AttachedWorkerOn(int machine) const DBTF_EXCLUDES(mu_);
+
+  /// Transport endpoint attached to `machine`, or null. For the
+  /// provisioning/recovery seam (dist/provision.h), which stores partitions
+  /// and queries residency point-to-point rather than by fan-out.
+  std::shared_ptr<WorkerEndpoint> EndpointOn(int machine) const
+      DBTF_EXCLUDES(mu_);
 
   // --- Message routing (the only driver <-> worker data path) --------------
   //
@@ -153,12 +176,66 @@ class Cluster {
   // deterministically: fatal (non-retryable) codes outrank retryable ones,
   // ties break by snapshot (attach) order — never by thread interleaving.
 
+  // The typed variants below are the only data path the engine uses: each
+  // takes a wire message from dist/messages.h by value (the fan-out owns its
+  // payload — no lifetime coupling to the caller) and delivers it through
+  // each machine's transport endpoint. Wire sizes come from the message's
+  // own WireBytes(), so the ledger charges identical quantities no matter
+  // which transport carries the bytes; worker compute is charged from the
+  // endpoint-reported handler CPU seconds for the same reason. A transport
+  // failure (kIoError: dead worker process, corrupt frame) marks the machine
+  // lost and surfaces as kUnavailable, exactly like an injected crash.
+
+  /// Asynchronously broadcasts a factor update: charges msg.WireBytes() per
+  /// machine at enqueue (Lemma 7), then delivers through every endpoint.
+  Future<Unit> AsyncBroadcastFactors(FactorDelta msg) DBTF_EXCLUDES(mu_);
+
+  /// Asynchronously dispatches one column-update command to every endpoint.
+  /// Commands ride the task scheduler, which the paper's analysis prices at
+  /// zero wire bytes; only the handler CPU is charged.
+  Future<Unit> AsyncDispatchColumn(RunUpdateColumn msg) DBTF_EXCLUDES(mu_);
+
+  /// Asynchronously collects per-column error counts: every endpoint's
+  /// response is merged into `*response` (int64 sums commute, so merge order
+  /// cannot affect the result), and the summed response wire bytes are
+  /// charged as one collect event (Lemma 7) once all machines succeed.
+  /// `*response` must outlive the future and is valid only on success.
+  Future<Unit> AsyncCollectErrors(const CollectErrorsRequest& msg,
+                                  CollectErrorsResponse* response)
+      DBTF_EXCLUDES(mu_);
+
+  /// Asynchronously runs one column step: dispatches `run` and collects
+  /// `req`'s error totals in a single fan-out over ONE registry snapshot,
+  /// with each machine's dispatch and collect posted back-to-back on its
+  /// serial mailbox (a fast machine's collect overlaps a slow machine's
+  /// compute). The single snapshot is what keeps the ledger deterministic
+  /// when a machine crashes mid-column: with separate fan-outs, whether the
+  /// collect still saw the machine would depend on thread timing — and hence
+  /// on the transport. Dispatch failures outrank collect failures of the
+  /// same severity; the collect bytes are charged only when every machine's
+  /// collect succeeded. `*response` must outlive the future and is valid
+  /// only on success.
+  Future<Unit> AsyncRunColumn(RunUpdateColumn run,
+                              const CollectErrorsRequest& req,
+                              CollectErrorsResponse* response)
+      DBTF_EXCLUDES(mu_);
+
+  /// Blocking shims over the typed async variants (enqueue + Get()).
+  Status BroadcastFactors(FactorDelta msg) DBTF_EXCLUDES(mu_);
+  Status DispatchColumn(RunUpdateColumn msg) DBTF_EXCLUDES(mu_);
+  Status CollectErrors(const CollectErrorsRequest& msg,
+                       CollectErrorsResponse* response) DBTF_EXCLUDES(mu_);
+  Status RunColumn(RunUpdateColumn run, const CollectErrorsRequest& req,
+                   CollectErrorsResponse* response) DBTF_EXCLUDES(mu_);
+
   /// Asynchronously routes one driver->worker broadcast: charges
   /// `wire_bytes` to every machine on the ledger (Lemma 7) at enqueue, then
   /// delivers to each attached worker through its mailbox, charging each
   /// delivery's CPU time to the receiving machine's virtual clock. `deliver`
   /// is copied; everything it references must outlive the returned future's
-  /// completion (await the future before releasing the payload).
+  /// completion (await the future before releasing the payload). Requires
+  /// in-process workers (endpoints with a non-null local_worker()); the
+  /// typed variants above work over any transport.
   Future<Unit> AsyncBroadcastToWorkers(std::int64_t wire_bytes,
                                        const WorkerFn& deliver)
       DBTF_EXCLUDES(mu_);
@@ -282,16 +359,35 @@ class Cluster {
 
   struct AttachedWorker {
     int machine;
+    /// In-process worker, when the endpoint has one (null over the socket
+    /// transport — worker state then lives in another OS process, and only
+    /// the typed routing methods can reach it).
     Worker* worker;
-    /// Set when the cluster owns the endpoint. Copies of this struct (in
+    /// Set when the cluster owns the worker. Copies of this struct (in
     /// routing snapshots) share ownership, which is what keeps an owned
     /// worker alive while a handler still runs on it.
     std::shared_ptr<Worker> owned;
+    /// Transport endpoint for typed routing; snapshots share ownership so a
+    /// delivery in flight keeps the endpoint (and its worker process) alive
+    /// across a concurrent detach.
+    std::shared_ptr<WorkerEndpoint> endpoint;
   };
 
-  /// Shared attach path of both AttachWorker overloads.
+  /// Per-endpoint delivery of one typed fan-out (runs on the machine's
+  /// mailbox, possibly several times under retry).
+  using RouteFn = std::function<Status(const AttachedWorker&)>;
+  /// Per-endpoint gather of one typed collect: returns the wire bytes the
+  /// machine's payload occupied; merges into driver accumulators under
+  /// `reduce_mu` (and only on success, so a retried gather never
+  /// double-counts).
+  using GatherFn =
+      std::function<Result<std::int64_t>(const AttachedWorker&, Mutex&)>;
+
+  /// Shared attach path of AttachWorker / AttachEndpoint.
   Status AttachWorkerImpl(int machine, Worker* worker,
-                          std::shared_ptr<Worker> owned) DBTF_EXCLUDES(mu_);
+                          std::shared_ptr<Worker> owned,
+                          std::shared_ptr<WorkerEndpoint> endpoint)
+      DBTF_EXCLUDES(mu_);
 
   /// Snapshot of the attached workers, for lock-free iteration on the pool.
   /// The snapshot shares ownership of cluster-owned workers, so they outlive
@@ -300,13 +396,24 @@ class Cluster {
 
   struct RouteOp;    // shared state of one async broadcast/dispatch fan-out
   struct CollectOp;  // shared state of one async collect fan-out
+  struct ColumnOp;   // shared state of one fused dispatch+collect fan-out
 
-  /// Shared fan-out path of the async broadcast and dispatch variants: posts
-  /// one delivery of `fn` per attached worker onto that machine's mailbox,
-  /// each through the retry policy; the last delivery to finish resolves the
-  /// future with CombineStatuses over all per-machine outcomes.
-  Future<Unit> AsyncRouteToWorkers(MessageKind kind, const WorkerFn& fn)
+  /// Shared fan-out path of every broadcast/dispatch variant (typed or
+  /// legacy): posts one delivery of `fn` per attached worker onto that
+  /// machine's mailbox, each through the retry policy; the last delivery to
+  /// finish resolves the future with CombineStatuses over all per-machine
+  /// outcomes.
+  Future<Unit> AsyncRouteToWorkers(MessageKind kind, RouteFn fn)
       DBTF_EXCLUDES(mu_);
+
+  /// Shared fan-out path of every collect variant: like AsyncRouteToWorkers,
+  /// plus the summed gathered bytes are charged as one collect event when
+  /// (and only when) every machine succeeded.
+  Future<Unit> AsyncGatherFromWorkers(GatherFn gather) DBTF_EXCLUDES(mu_);
+
+  /// Adapts a legacy in-process WorkerFn into a RouteFn that times the
+  /// handler and charges its CPU to the machine's virtual clock.
+  RouteFn AdaptWorkerFn(const WorkerFn& fn);
 
   /// Deterministic error selection over a fan-out's per-machine statuses:
   /// fatal codes outrank retryable ones, ties break by snapshot (attach)

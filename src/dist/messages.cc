@@ -1,0 +1,50 @@
+#include "dist/messages.h"
+
+namespace dbtf {
+
+std::int64_t MatrixDelta::WireBytes() const {
+  if (full) {
+    return rows * ((cols + 63) / 64) *
+           static_cast<std::int64_t>(sizeof(BitWord));
+  }
+  // Per changed column: an 8-byte column index plus the packed column bits.
+  const std::int64_t words_per_column = (rows + 63) / 64;
+  return static_cast<std::int64_t>(columns.size()) *
+         (static_cast<std::int64_t>(sizeof(std::int64_t)) +
+          words_per_column * static_cast<std::int64_t>(sizeof(BitWord)));
+}
+
+std::int64_t FactorDelta::WireBytes() const {
+  std::int64_t bytes = 0;
+  for (const MatrixDelta& d : updates) bytes += d.WireBytes();
+  return bytes;
+}
+
+void CollectErrorsResponse::MergeFrom(const CollectErrorsResponse& other) {
+  if (totals0.size() < other.totals0.size()) {
+    totals0.resize(other.totals0.size(), 0);
+  }
+  if (totals1.size() < other.totals1.size()) {
+    totals1.resize(other.totals1.size(), 0);
+  }
+  for (std::size_t r = 0; r < other.totals0.size(); ++r) {
+    totals0[r] += other.totals0[r];
+  }
+  for (std::size_t r = 0; r < other.totals1.size(); ++r) {
+    totals1[r] += other.totals1[r];
+  }
+  wire_bytes += other.wire_bytes;
+  cache_entries += other.cache_entries;
+  cache_bytes += other.cache_bytes;
+}
+
+std::int64_t StorePartitionRequest::WireBytes() const {
+  std::int64_t bytes = 0;
+  for (const PartitionBlock& block : partition.blocks) {
+    bytes += block.rows.rows() * block.rows.words_per_row() *
+             static_cast<std::int64_t>(sizeof(BitWord));
+  }
+  return bytes;
+}
+
+}  // namespace dbtf

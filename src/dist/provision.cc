@@ -4,13 +4,38 @@
 #include <utility>
 
 #include "dist/cluster.h"
+#include "dist/transport/inproc.h"
+#include "dist/transport/transport.h"
 #include "dist/worker.h"
 
 namespace dbtf {
 
 Status ProvisionWorkers(Cluster& cluster) {
+  // The transport seam: everything above this call is transport-agnostic.
+  // The transport object itself need not outlive provisioning — endpoints
+  // carry whatever shared state (socket directory, worker binary) they need.
+  const TransportOptions& options = cluster.config().transport;
+  std::shared_ptr<Transport> transport;
+  switch (options.kind) {
+    case TransportKind::kInProcess:
+      transport = CreateInProcessTransport();
+      break;
+    case TransportKind::kSocket: {
+      Result<std::shared_ptr<Transport>> created =
+          CreateSocketTransport(options, cluster.num_machines());
+      if (!created.ok()) return created.status();
+      transport = *std::move(created);
+      break;
+    }
+  }
+  if (transport == nullptr) {
+    return Status::InvalidArgument("unknown transport kind");
+  }
   for (int m = 0; m < cluster.num_machines(); ++m) {
-    Status attached = cluster.AttachWorker(m, std::make_shared<Worker>(m));
+    Result<std::shared_ptr<WorkerEndpoint>> endpoint =
+        transport->StartEndpoint(m);
+    Status attached = endpoint.ok() ? cluster.AttachEndpoint(m, *endpoint)
+                                    : endpoint.status();
     if (!attached.ok()) {
       cluster.DetachWorkers();
       return attached;
@@ -21,14 +46,15 @@ Status ProvisionWorkers(Cluster& cluster) {
 
 namespace {
 
-Result<Worker*> ResidentWorker(Cluster& cluster, std::int64_t index) {
+Result<std::shared_ptr<WorkerEndpoint>> ResidentEndpoint(Cluster& cluster,
+                                                         std::int64_t index) {
   const int owner = cluster.OwnerOf(index);
-  Worker* worker = cluster.AttachedWorkerOn(owner);
-  if (worker == nullptr) {
+  std::shared_ptr<WorkerEndpoint> endpoint = cluster.EndpointOn(owner);
+  if (endpoint == nullptr) {
     return Status::FailedPrecondition(
         "no worker endpoint attached to the partition's machine");
   }
-  return worker;
+  return endpoint;
 }
 
 /// Packed bytes of one partition's block rows — what re-shipping it costs on
@@ -42,18 +68,39 @@ std::int64_t PartitionPackedBytes(const Partition& partition) {
   return bytes;
 }
 
+/// Ships one partition to `endpoint` as a typed store message.
+Status StoreOnEndpoint(WorkerEndpoint& endpoint, Mode mode,
+                       std::int64_t index, Partition partition,
+                       const UnfoldShape& shape) {
+  StorePartitionRequest msg;
+  msg.mode = mode;
+  msg.index = index;
+  msg.shape = shape;
+  msg.partition = std::move(partition);
+  return endpoint.Store(std::move(msg), nullptr);
+}
+
 }  // namespace
 
 Status StorePartition(Cluster& cluster, Mode mode, std::int64_t index,
                       Partition partition, const UnfoldShape& shape) {
-  DBTF_ASSIGN_OR_RETURN(Worker* worker, ResidentWorker(cluster, index));
-  worker->AdoptPartition(mode, index, std::move(partition), shape);
-  return Status::OK();
+  DBTF_ASSIGN_OR_RETURN(std::shared_ptr<WorkerEndpoint> endpoint,
+                        ResidentEndpoint(cluster, index));
+  return StoreOnEndpoint(*endpoint, mode, index, std::move(partition), shape);
 }
 
 Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
                      const Partition* partition, const UnfoldShape& shape) {
-  DBTF_ASSIGN_OR_RETURN(Worker* worker, ResidentWorker(cluster, index));
+  DBTF_ASSIGN_OR_RETURN(std::shared_ptr<WorkerEndpoint> endpoint,
+                        ResidentEndpoint(cluster, index));
+  // Borrowing shares a driver-side pointer, which cannot cross a process
+  // boundary; callers that lend must run the in-process transport.
+  Worker* worker = endpoint->local_worker();
+  if (worker == nullptr) {
+    return Status::FailedPrecondition(
+        "LendPartition requires an in-process worker; the socket transport "
+        "must use StorePartition");
+  }
   worker->BorrowPartition(mode, index, partition, shape);
   return Status::OK();
 }
@@ -75,9 +122,26 @@ Status RestoreCoverageCore(Cluster& cluster,
     std::vector<bool> resident(static_cast<std::size_t>(spec.num_partitions),
                                false);
     for (int m = 0; m < machines; ++m) {
-      Worker* worker = cluster.AttachedWorkerOn(m);
-      if (worker == nullptr) continue;
-      for (const std::int64_t p : worker->LocalPartitionIndexes(spec.mode)) {
+      std::shared_ptr<WorkerEndpoint> endpoint = cluster.EndpointOn(m);
+      if (endpoint == nullptr) continue;
+      Result<std::vector<std::int64_t>> queried =
+          endpoint->ListPartitions(spec.mode, nullptr);
+      if (!queried.ok()) {
+        // kIoError means the worker process died since it was attached
+        // (e.g. SIGKILLed while a checkpointed run was down). Treat it like
+        // a crashed machine discovered during restore: detach it, count its
+        // partitions as lost, and rebuild them onto survivors below. The
+        // loss is uncharged here — routed deliveries are where losses are
+        // priced, and a restore re-creates state the interrupted run
+        // already paid for.
+        if (queried.status().code() != StatusCode::kIoError) {
+          return queried.status();
+        }
+        cluster.RestoreDeadMachine(m);
+        continue;
+      }
+      const std::vector<std::int64_t> local = *std::move(queried);
+      for (const std::int64_t p : local) {
         if (p >= 0 && p < spec.num_partitions) {
           resident[static_cast<std::size_t>(p)] = true;
         }
@@ -101,20 +165,31 @@ Status RestoreCoverageCore(Cluster& cluster,
       // First surviving machine in ring order after the original owner —
       // deterministic, and it spreads adopted partitions across survivors.
       const int owner = cluster.OwnerOf(p);
-      Worker* target = nullptr;
-      int target_machine = -1;
-      for (int step = 1; step <= machines && target == nullptr; ++step) {
-        target_machine = (owner + step) % machines;
-        target = cluster.AttachedWorkerOn(target_machine);
+      const Partition& partition = partitions[static_cast<std::size_t>(p)];
+      const std::int64_t bytes = PartitionPackedBytes(partition);
+      bool stored = false;
+      for (int step = 1; step <= machines && !stored; ++step) {
+        const int target_machine = (owner + step) % machines;
+        std::shared_ptr<WorkerEndpoint> target =
+            cluster.EndpointOn(target_machine);
+        if (target == nullptr) continue;
+        // The copy keeps the partition available for the next ring step
+        // when this target's worker process turns out to be dead too.
+        const Status status =
+            StoreOnEndpoint(*target, spec.mode, p, partition, spec.shape);
+        if (status.ok()) {
+          stored = true;
+          if (charge) cluster.ChargeReprovision(target_machine, bytes);
+        } else if (status.code() == StatusCode::kIoError) {
+          cluster.RestoreDeadMachine(target_machine);
+        } else {
+          return status;
+        }
       }
-      if (target == nullptr) {
+      if (!stored) {
         return Status::FailedPrecondition(
             "no surviving machine to adopt the lost partitions");
       }
-      Partition& partition = partitions[static_cast<std::size_t>(p)];
-      const std::int64_t bytes = PartitionPackedBytes(partition);
-      target->AdoptPartition(spec.mode, p, std::move(partition), spec.shape);
-      if (charge) cluster.ChargeReprovision(target_machine, bytes);
     }
   }
   return Status::OK();
@@ -154,7 +229,7 @@ Status RestoreWorkerFactors(Cluster& cluster,
     d.slot = slot.slot;
     d.generation = slot.generation;
     d.full = true;
-    d.dense = slot.content;
+    d.dense = *slot.content;
     d.rows = slot.content->rows();
     d.cols = slot.content->cols();
     msg.updates.push_back(std::move(d));
@@ -164,9 +239,15 @@ Status RestoreWorkerFactors(Cluster& cluster,
   // charged, so neither the comm ledger nor the fault injector's delivery
   // counters may advance here.
   for (int m = 0; m < cluster.num_machines(); ++m) {
-    Worker* worker = cluster.AttachedWorkerOn(m);
-    if (worker == nullptr) continue;
-    DBTF_RETURN_IF_ERROR(worker->Handle(msg));
+    std::shared_ptr<WorkerEndpoint> endpoint = cluster.EndpointOn(m);
+    if (endpoint == nullptr) continue;
+    const Status status = endpoint->Deliver(msg, nullptr);
+    if (status.ok()) continue;
+    // A dead worker process (kIoError) is detached, same as in the coverage
+    // rebuild above; its replacement partitions live on survivors that did
+    // receive the factors.
+    if (status.code() != StatusCode::kIoError) return status;
+    cluster.RestoreDeadMachine(m);
   }
   return Status::OK();
 }

@@ -22,10 +22,11 @@ class Cluster;
 /// tools/dbtf_lint.py enforces the boundary — outside src/dist/ only
 /// src/dbtf/engine.cc (the routing call sites) may include dist/worker.h.
 
-/// Creates one cluster-owned Worker per machine and attaches each as that
-/// machine's message endpoint. On failure every already-attached worker is
-/// detached, leaving the cluster idle. Fails if any machine already has an
-/// endpoint.
+/// Creates one worker endpoint per machine over the transport named in the
+/// cluster config (in-process Workers, or one dbtf-worker OS process per
+/// machine over local sockets) and attaches each as that machine's message
+/// endpoint. On failure every already-attached worker is detached, leaving
+/// the cluster idle. Fails if any machine already has an endpoint.
 Status ProvisionWorkers(Cluster& cluster);
 
 /// Moves `partition` (index `index` of the mode-`mode` unfolding, shape
@@ -37,7 +38,8 @@ Status StorePartition(Cluster& cluster, Mode mode, std::int64_t index,
 
 /// Like StorePartition, but the resident worker only borrows `partition`;
 /// the caller keeps ownership and must keep it alive until the workers are
-/// detached.
+/// detached. Borrowing shares a driver-side pointer, so it requires the
+/// in-process transport; over sockets it fails with kFailedPrecondition.
 Status LendPartition(Cluster& cluster, Mode mode, std::int64_t index,
                      const Partition* partition, const UnfoldShape& shape);
 

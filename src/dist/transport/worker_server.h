@@ -1,0 +1,26 @@
+#ifndef DBTF_DIST_TRANSPORT_WORKER_SERVER_H_
+#define DBTF_DIST_TRANSPORT_WORKER_SERVER_H_
+
+#include "common/status.h"
+
+namespace dbtf {
+
+// Request loop of the dbtf-worker daemon: owns one Worker for the simulated
+// machine and serves framed wire requests off an already-connected socket.
+// Each handler runs under the thread-CPU clock and the measured seconds ride
+// back in the reply envelope, so the driver's virtual machine clocks charge
+// identical quantities over either transport.
+//
+// Loop exit: clean EOF (driver closed the connection) or a kShutdown frame
+// returns OK; a transport failure (short read, corrupt frame, dead driver)
+// returns kIoError. A frame that *parses* but carries a malformed message is
+// answered with the decode error in the reply envelope and the loop
+// continues — a bad message must not take the worker down.
+
+/// Serves requests for `machine` on the connected stream socket `fd` until
+/// shutdown or EOF. Does not close `fd`.
+Status RunWorkerServer(int fd, int machine);
+
+}  // namespace dbtf
+
+#endif  // DBTF_DIST_TRANSPORT_WORKER_SERVER_H_

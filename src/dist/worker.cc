@@ -56,24 +56,6 @@ std::int64_t BlockError(const PartitionBlock& block, std::int64_t row,
 
 }  // namespace
 
-std::int64_t MatrixDelta::WireBytes() const {
-  if (full) {
-    return rows * ((cols + 63) / 64) *
-           static_cast<std::int64_t>(sizeof(BitWord));
-  }
-  // Per changed column: an 8-byte column index plus the packed column bits.
-  const std::int64_t words_per_column = (rows + 63) / 64;
-  return static_cast<std::int64_t>(columns.size()) *
-         (static_cast<std::int64_t>(sizeof(std::int64_t)) +
-          words_per_column * static_cast<std::int64_t>(sizeof(BitWord)));
-}
-
-std::int64_t FactorDelta::WireBytes() const {
-  std::int64_t bytes = 0;
-  for (const MatrixDelta& d : updates) bytes += d.WireBytes();
-  return bytes;
-}
-
 void Worker::AdoptPartition(Mode mode, std::int64_t index, Partition partition,
                             const UnfoldShape& shape) {
   CheckPartitionInvariants(partition, shape);
@@ -134,11 +116,10 @@ Status Worker::ApplyMatrixDelta(const MatrixDelta& d) {
   // rebroadcast) is a no-op.
   if (cf.valid && cf.generation == d.generation) return Status::OK();
   if (d.full) {
-    DBTF_CHECK(d.dense != nullptr);
-    if (d.dense->rows() != d.rows || d.dense->cols() != d.cols) {
+    if (d.dense.rows() != d.rows || d.dense.cols() != d.cols) {
       return Status::Internal("full factor payload does not match its shape");
     }
-    cf.matrix = *d.dense;
+    cf.matrix = d.dense;
     cf.generation = d.generation;
     cf.valid = true;
     return Status::OK();
@@ -240,7 +221,8 @@ Status Worker::Handle(const FactorDelta& msg) {
 
 Status Worker::Handle(const RunUpdateColumn& msg) {
   ModeState& st = state(msg.mode);
-  if (msg.rows != st.rows) {
+  if (msg.rows != st.rows ||
+      static_cast<std::int64_t>(msg.row_masks.size()) != msg.rows) {
     return Status::FailedPrecondition(
         "RunUpdateColumn does not match the broadcast factor shape");
   }
@@ -282,27 +264,35 @@ Status Worker::Handle(const RunUpdateColumn& msg) {
   return Status::OK();
 }
 
-Result<std::int64_t> Worker::Handle(const CollectErrors& msg) {
-  ModeState& st = state(msg.mode);
+Status Worker::Handle(const CollectErrorsRequest& msg,
+                      CollectErrorsResponse* response) {
+  DBTF_CHECK(response != nullptr);
+  const ModeState& st = state(msg.mode);
   if (msg.rows != st.rows) {
     return Status::FailedPrecondition(
         "CollectErrors does not match the broadcast factor shape");
   }
+  response->totals0.assign(static_cast<std::size_t>(st.rows), 0);
+  response->totals1.assign(static_cast<std::size_t>(st.rows), 0);
+  response->wire_bytes = 0;
+  response->cache_entries = 0;
+  response->cache_bytes = 0;
   for (const LocalPartition& lp : st.partitions) {
     for (std::int64_t r = 0; r < st.rows; ++r) {
-      msg.totals0[static_cast<std::size_t>(r)] +=
+      response->totals0[static_cast<std::size_t>(r)] +=
           lp.err0[static_cast<std::size_t>(r)];
-      msg.totals1[static_cast<std::size_t>(r)] +=
+      response->totals1[static_cast<std::size_t>(r)] +=
           lp.err1[static_cast<std::size_t>(r)];
     }
-    if (msg.stats != nullptr && lp.cache != nullptr) {
-      msg.stats->cache_entries += lp.cache->total_entries();
-      msg.stats->cache_bytes += lp.cache->memory_bytes();
+    if (msg.want_stats && lp.cache != nullptr) {
+      response->cache_entries += lp.cache->total_entries();
+      response->cache_bytes += lp.cache->memory_bytes();
     }
   }
   // The driver collects 2 errors per row from every partition (Lemma 7).
-  return NumLocalPartitions(msg.mode) * st.rows * 2 *
-         static_cast<std::int64_t>(sizeof(std::int64_t));
+  response->wire_bytes = NumLocalPartitions(msg.mode) * st.rows * 2 *
+                         static_cast<std::int64_t>(sizeof(std::int64_t));
+  return Status::OK();
 }
 
 }  // namespace dbtf

@@ -10,100 +10,11 @@
 #include "common/status.h"
 #include "dbtf/cache_table.h"
 #include "dbtf/partition.h"
+#include "dist/messages.h"
 #include "tensor/bit_matrix.h"
 #include "tensor/unfold.h"
 
 namespace dbtf {
-
-// Typed messages of the driver/worker runtime. Every payload that crosses
-// the driver/worker boundary is one of these structs, and each one is routed
-// through exactly one Cluster primitive, so the Lemma 6–7 ledger charging
-// happens at the routing layer instead of at call sites:
-//
-//   FactorDelta     -> Cluster::BroadcastToWorkers (charged per machine)
-//   RunUpdateColumn -> Cluster::DispatchToWorkers  (task closure; priced at
-//                      zero, as the paper's shuffle analysis prices task
-//                      dispatch)
-//   CollectErrors   -> Cluster::CollectFromWorkers (charged once, total)
-
-/// One factor matrix crossing the wire, either as a full replacement or as
-/// the set of columns that changed since the generation the workers already
-/// hold. Generations are globally unique (drawn from one process-wide
-/// counter on the driver), so an equality match is proof that the worker's
-/// cached copy is byte-identical to the driver's — including across
-/// Factorize runs on session-resident workers.
-struct MatrixDelta {
-  int slot = 0;  ///< worker-side cache slot (factor index, 0..2)
-  std::uint64_t generation = 0;       ///< content identity after applying
-  std::uint64_t base_generation = 0;  ///< column deltas: required base
-  bool full = true;         ///< full replacement vs changed-column delta
-  const BitMatrix* dense = nullptr;  ///< full payload; driver-owned, valid
-                                     ///< only during the delivering call
-  std::int64_t rows = 0;             ///< target shape (checked on apply)
-  std::int64_t cols = 0;
-  std::vector<std::int64_t> columns;  ///< changed column indexes (delta)
-  std::vector<std::vector<BitWord>> column_bits;  ///< packed bits per column
-
-  /// Packed bytes one machine receives: the full matrix, or per changed
-  /// column an 8-byte index plus the packed column bits.
-  std::int64_t WireBytes() const;
-};
-
-/// Broadcast payload of one factor update (Lemma 7). Instead of shipping
-/// three full matrices every update, the driver ships only the stale
-/// Khatri-Rao operands — full on first contact, changed columns afterwards —
-/// tagged with generation counters. Workers keep the operand matrices
-/// resident (`Worker::factors_`) and rebuild derived state (M_f row masks,
-/// M_s^T cache tables) only when the cached operand's generation moves. The
-/// factor under update itself never crosses the wire: workers only need its
-/// row count, and the per-column row masks ride each RunUpdateColumn task.
-///
-/// The message is idempotent: re-delivery (recovery rebroadcast, retry after
-/// a transient fault) applies nothing when generations already match, and a
-/// worker holding an unexpected base generation rejects the delta with
-/// kFailedPrecondition instead of corrupting its cache.
-struct FactorDelta {
-  Mode mode;              ///< which unfolding's factor is being updated
-  std::int64_t rows = 0;  ///< rows of the factor being updated
-  int mf_slot = 0;        ///< slot of M_f (shape.blocks x R operand)
-  int ms_slot = 0;        ///< slot of M_s (within x R caching unit)
-  int cache_group_size = 1;    ///< V of Lemma 2
-  bool enable_caching = true;  ///< ablation: false recomputes every summation
-  std::vector<MatrixDelta> updates;  ///< operand payloads, possibly empty
-
-  /// Packed bytes of all shipped updates: what one machine receives.
-  std::int64_t WireBytes() const;
-};
-
-/// Driver -> workers: score both candidate values of one factor column.
-/// `row_masks` is the driver's current view of the factor rows — the
-/// broadcast copy plus the decisions of previous columns, which ride the
-/// task closure exactly as Spark ships updated driver state with each task.
-struct RunUpdateColumn {
-  Mode mode;
-  std::int64_t column;             ///< c in [0, R)
-  const std::uint64_t* row_masks;  ///< `rows` current factor row masks
-  std::int64_t rows;
-};
-
-/// Workers -> driver: per-row error sums for both candidate values of the
-/// column last scored via RunUpdateColumn. Each worker adds the errors of
-/// its local partitions into the driver's accumulators; the wire cost is two
-/// 64-bit counters per row per partition (Lemma 7's collect term). When
-/// `stats` is non-null the worker also piggybacks its cache-table metrics on
-/// the response, the way Spark ships task metrics with task results (the
-/// few bytes of metrics are not part of the paper's ledger).
-struct CollectErrors {
-  Mode mode;
-  std::int64_t* totals0;  ///< driver accumulator, `rows` entries
-  std::int64_t* totals1;  ///< driver accumulator, `rows` entries
-  std::int64_t rows;
-  struct CacheMetrics {
-    std::int64_t cache_entries = 0;
-    std::int64_t cache_bytes = 0;
-  };
-  CacheMetrics* stats = nullptr;  ///< optional piggybacked task metrics
-};
 
 /// One simulated machine of the distributed runtime.
 ///
@@ -114,14 +25,15 @@ struct CollectErrors {
 /// touches partition or cache state directly — that is what enforces the
 /// paper's claim that only factor matrices cross the wire (Lemmas 6–7).
 ///
-/// Message handlers are invoked by Cluster routing: Handle(FactorDelta) and
-/// Handle(RunUpdateColumn) run on the pool (one task per worker, CPU charged
-/// to this worker's machine), Handle(CollectErrors) runs under the collect
-/// reduce mutex. A worker's handlers are never invoked concurrently with
-/// each other — each machine's messages drain through a serial Mailbox
-/// (dist/async.h), one task at a time in enqueue order — which is why Worker
-/// deliberately has no mutex: adding one would paper over a routing bug
-/// instead of surfacing it under TSan.
+/// Message handlers are invoked through the machine's transport endpoint
+/// (dist/transport/): in-process by InProcessTransport on the pool, or
+/// inside a dedicated worker process by the dbtf-worker server loop. Either
+/// way a worker's handlers are never invoked concurrently with each other —
+/// each machine's messages drain through a serial Mailbox (dist/async.h)
+/// driver-side, one delivery at a time in enqueue order, and the socket
+/// server loop is single-threaded — which is why Worker deliberately has no
+/// mutex: adding one would paper over a routing bug instead of surfacing it
+/// under TSan.
 class Worker {
  public:
   explicit Worker(int machine) : machine_(machine) {}
@@ -166,7 +78,7 @@ class Worker {
   /// term, restricted to this machine).
   std::int64_t LocalPartitionBytes() const;
 
-  // --- Message handlers (call via Cluster routing only) --------------------
+  // --- Message handlers (call via the transport endpoint only) -------------
 
   /// Receives a broadcast factor delta: applies each operand update to the
   /// resident factor cache (full copy or changed columns, generation-
@@ -181,9 +93,10 @@ class Worker {
   /// each local partition (Algorithm 4's inner sweep).
   Status Handle(const RunUpdateColumn& msg);
 
-  /// Adds this worker's per-partition errors into the driver's accumulators
-  /// and returns the wire bytes of the response.
-  Result<std::int64_t> Handle(const CollectErrors& msg);
+  /// Fills `response` with this worker's per-partition error sums (plus
+  /// cache metrics when requested) and the response's wire-byte cost.
+  Status Handle(const CollectErrorsRequest& msg,
+                CollectErrorsResponse* response);
 
  private:
   struct LocalPartition {

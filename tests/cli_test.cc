@@ -140,6 +140,59 @@ TEST_F(CliPipeline, FactorizeValidation) {
       RunCommand(RunFactorize, {in_flag.c_str(), "--rank=nonsense"}).ok());
 }
 
+TEST_F(CliPipeline, FactorizeTransportValidation) {
+  const std::string in_flag = "--input=" + tensor_path_;
+  const std::string out_flag = "--output-prefix=" + factors_prefix_;
+  // An unknown transport name is rejected by ParseTransportKind, not
+  // silently mapped onto a default.
+  EXPECT_FALSE(RunCommand(RunFactorize,
+                          {in_flag.c_str(), "--rank=3", "--max-iterations=2",
+                           "--transport=carrier-pigeon", out_flag.c_str()})
+                   .ok());
+  // A socket directory too long for sun_path fails cluster validation.
+  const std::string long_dir =
+      "--socket-dir=/tmp/" + std::string(150, 'x');
+  EXPECT_FALSE(RunCommand(RunFactorize,
+                          {in_flag.c_str(), "--rank=3", "--max-iterations=2",
+                           "--transport=socket", long_dir.c_str(),
+                           out_flag.c_str()})
+                   .ok());
+  // A worker count that does not match the machine count is a mis-specified
+  // deployment, rejected before any process is spawned.
+  EXPECT_FALSE(RunCommand(RunFactorize,
+                          {in_flag.c_str(), "--rank=3", "--max-iterations=2",
+                           "--transport=socket", "--machines=2",
+                           "--socket-workers=3", out_flag.c_str()})
+                   .ok());
+}
+
+TEST_F(CliPipeline, FactorizeOverSocketTransportMatchesInproc) {
+  const std::string in_flag = "--input=" + tensor_path_;
+  const std::string inproc_prefix = TempPath("cli_factors_inproc");
+  const std::string socket_prefix = TempPath("cli_factors_socket");
+  const std::string inproc_out = "--output-prefix=" + inproc_prefix;
+  const std::string socket_out = "--output-prefix=" + socket_prefix;
+  ASSERT_TRUE(RunCommand(RunFactorize,
+                         {in_flag.c_str(), "--rank=3", "--max-iterations=4",
+                          "--machines=2", "--transport=inproc",
+                          inproc_out.c_str()})
+                  .ok());
+  ASSERT_TRUE(RunCommand(RunFactorize,
+                         {in_flag.c_str(), "--rank=3", "--max-iterations=4",
+                          "--machines=2", "--transport=socket",
+                          socket_out.c_str()})
+                  .ok());
+  for (const char* suffix : {".A.txt", ".B.txt", ".C.txt"}) {
+    auto inproc = ReadMatrixText(inproc_prefix + suffix);
+    auto socket = ReadMatrixText(socket_prefix + suffix);
+    ASSERT_TRUE(inproc.ok());
+    ASSERT_TRUE(socket.ok());
+    EXPECT_EQ(*inproc, *socket) << suffix;
+    std::remove((inproc_prefix + suffix).c_str());
+    std::remove((socket_prefix + suffix).c_str());
+  }
+}
+
 TEST_F(CliPipeline, EvalValidation) {
   const std::string in_flag = "--input=" + tensor_path_;
   EXPECT_FALSE(RunCommand(RunEval, {in_flag.c_str()}).ok())

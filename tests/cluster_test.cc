@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <limits>
+#include <string>
 
 #include "dist/placement.h"
 #include "dist/worker.h"
@@ -53,6 +54,39 @@ TEST(ClusterConfig, Validation) {
   // Both knobs bad at once must still be rejected (whichever is checked
   // first), not cancel out in some combined cost expression.
   config.network_bandwidth_bytes_per_second = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ClusterConfig, ValidationCoversTransportOptions) {
+  // The transport options validate as part of ClusterConfig::Validate, so a
+  // mis-specified deployment dies at Cluster::Create, not at first delivery.
+  ClusterConfig config = SmallConfig();
+  config.transport.kind = TransportKind::kSocket;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // Worker-count mismatch: socket_workers must be 0 (one per machine) or
+  // exactly num_machines.
+  config.transport.socket_workers = config.num_machines + 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.transport.socket_workers = -2;
+  EXPECT_FALSE(config.Validate().ok());
+  config.transport.socket_workers = config.num_machines;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // Socket paths live in sun_path (~108 bytes); a directory that cannot
+  // hold "<dir>/worker-<m>.sock" is rejected up front.
+  config = SmallConfig();
+  config.transport.kind = TransportKind::kSocket;
+  config.transport.socket_dir = "/tmp/" + std::string(120, 'p');
+  EXPECT_FALSE(config.Validate().ok());
+  config.transport.socket_dir = "/tmp/short";
+  EXPECT_TRUE(config.Validate().ok());
+
+  // The in-process transport ignores socket tuning but still rejects a
+  // nonsensical worker count (the config is wrong, whatever the transport).
+  config = SmallConfig();
+  config.transport.kind = TransportKind::kInProcess;
+  config.transport.socket_workers = -1;
   EXPECT_FALSE(config.Validate().ok());
 }
 

@@ -646,6 +646,96 @@ TEST(Resume, WithoutSnapshotsIsNotFound) {
             StatusCode::kNotFound);
 }
 
+// --- Transport equivalence --------------------------------------------------
+//
+// The transport-seam acceptance criterion: the socket transport (one
+// dbtf-worker OS process per machine, wire-serialized messages) and the
+// in-process transport produce bitwise-identical factors, error
+// trajectories, and comm + recovery ledgers. The ledgers match by
+// construction — both transports charge the same WireBytes() of the same
+// messages at the same routing layer — and these tests pin that construction
+// down end to end.
+
+void ExpectSameRecovery(const RecoveryStats& got, const RecoveryStats& want) {
+  EXPECT_EQ(got.failed_deliveries, want.failed_deliveries);
+  EXPECT_EQ(got.retries, want.retries);
+  EXPECT_EQ(got.machines_lost, want.machines_lost);
+  EXPECT_EQ(got.reprovisions, want.reprovisions);
+  EXPECT_EQ(got.reshipped_bytes, want.reshipped_bytes);
+  EXPECT_EQ(got.recovery_seconds, want.recovery_seconds);
+}
+
+void ExpectTransportEquivalent(const DbtfConfig& base) {
+  DbtfConfig inproc = base;
+  inproc.cluster.transport.kind = TransportKind::kInProcess;
+  DbtfConfig socket = base;
+  socket.cluster.transport.kind = TransportKind::kSocket;
+
+  const PlantedTensor p = MakePlanted(24, 4, 71);
+  auto oracle = Dbtf::Factorize(p.tensor, inproc);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  auto remote = Dbtf::Factorize(p.tensor, socket);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  ExpectSameFactorsAndErrors(*remote, *oracle);
+  ExpectSameComm(remote->comm, oracle->comm);
+  ExpectSameRecovery(remote->recovery, oracle->recovery);
+  EXPECT_EQ(remote->iterations_run, oracle->iterations_run);
+  EXPECT_EQ(remote->converged, oracle->converged);
+  EXPECT_EQ(remote->cache_entries, oracle->cache_entries);
+  EXPECT_EQ(remote->cache_bytes, oracle->cache_bytes);
+}
+
+TEST(TransportEquivalence, SocketMatchesInprocWithDeltaBroadcasts) {
+  DbtfConfig config = SmallConfig();
+  config.enable_delta_broadcast = true;
+  ExpectTransportEquivalent(config);
+}
+
+TEST(TransportEquivalence, SocketMatchesInprocWithFullBroadcasts) {
+  DbtfConfig config = SmallConfig();
+  config.enable_delta_broadcast = false;
+  ExpectTransportEquivalent(config);
+}
+
+/// Under a deterministic fault plan (transient faults plus a permanent
+/// crash) both transports take the identical retry/recovery path: the
+/// injector runs driver-side before the endpoint is touched, so the same
+/// deliveries fail on the same attempt no matter which transport would have
+/// carried them.
+TEST(TransportEquivalence, SocketMatchesInprocUnderAFaultPlan) {
+  DbtfConfig config = SmallConfig();
+  auto plan = FaultPlan::Parse("0:broadcast:transient@2,1:dispatch:crash@4");
+  ASSERT_TRUE(plan.ok());
+  config.cluster.fault_plan = *plan;
+  ExpectTransportEquivalent(config);
+}
+
+/// The transport is excluded from the checkpoint's config fingerprint on
+/// purpose: a snapshot written under one transport resumes under the other,
+/// bitwise.
+TEST(TransportEquivalence, CheckpointsResumeAcrossTransports) {
+  const PlantedTensor p = MakePlanted(24, 4, 72);
+  auto baseline = Dbtf::Factorize(p.tensor, SmallConfig());
+  ASSERT_TRUE(baseline.ok());
+
+  const std::string dir = CkptDir("cross_transport");
+  DbtfConfig interrupted = CheckpointedConfig(dir);
+  interrupted.cluster.transport.kind = TransportKind::kInProcess;
+  interrupted.halt_after_columns = 7;
+  ASSERT_EQ(Dbtf::Factorize(p.tensor, interrupted).status().code(),
+            StatusCode::kResourceExhausted);
+
+  DbtfConfig resume = CheckpointedConfig(dir);
+  resume.cluster.transport.kind = TransportKind::kSocket;
+  resume.resume = true;
+  auto resumed = Dbtf::Factorize(p.tensor, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameFactorsAndErrors(*resumed, *baseline);
+  ExpectSameComm(resumed->comm, baseline->comm);
+  EXPECT_GE(resumed->resumed_from_iteration, 1);
+}
+
 /// The rank scan runs every candidate on one resident session.
 TEST(RankSelection, SharesOnePartitionedSession) {
   const PlantedTensor p = MakePlanted(24, 3, 46);

@@ -3,11 +3,17 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/status.h"
+#include "dbtf/partition.h"
+#include "dist/messages.h"
+#include "dist/transport/wire.h"
+#include "tensor/bit_matrix.h"
+#include "test_util.h"
 
 namespace dbtf {
 namespace {
@@ -144,6 +150,273 @@ TEST(SerdeTest, OffsetAndRemainingTrackReads) {
   ASSERT_TRUE(r.ReadU32().ok());
   EXPECT_EQ(r.offset(), 4u);
   EXPECT_EQ(r.remaining(), 4u);
+}
+
+// --- Wire-message codecs (dist/transport/wire.h) ----------------------------
+//
+// Property-style coverage of every WireMessage kind: encode -> decode ->
+// encode must be byte-stable (the codecs are exact inverses), every strict
+// prefix of an encoding must be rejected with a Status (truncation is never
+// UB — the bytes arrive from another process), and frame-level corruption
+// must be caught by the CRC trailer.
+
+/// Encodes, decodes, re-encodes, and asserts byte-stability. The decoder
+/// must also consume the buffer exactly (no trailing bytes, nothing short).
+template <typename T, typename Encode, typename Decode>
+void ExpectWireRoundTrip(const T& msg, const Encode& encode,
+                         const Decode& decode) {
+  ByteWriter first;
+  encode(msg, &first);
+  ByteReader reader(first.bytes());
+  auto decoded = decode(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(reader.ExpectEnd().ok());
+  ByteWriter second;
+  encode(*decoded, &second);
+  EXPECT_EQ(first.bytes(), second.bytes());
+}
+
+/// Every strict prefix of `bytes` must fail to decode — with a Status, not
+/// UB (run under ASan/UBSan in CI, this is the no-overread proof).
+template <typename Decode>
+void ExpectEveryTruncationRejected(const std::vector<std::uint8_t>& bytes,
+                                   const Decode& decode) {
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    ByteReader reader(bytes.data(), cut);
+    auto decoded = decode(&reader);
+    // Either a read ran off the shortened buffer, or the decoder finished
+    // early without consuming what the full encoding contains.
+    const bool rejected = !decoded.ok() || !reader.ExpectEnd().ok();
+    EXPECT_TRUE(rejected) << "prefix of " << cut << " of " << bytes.size()
+                          << " bytes decoded cleanly";
+  }
+}
+
+BitMatrix TestMatrix(std::int64_t rows, std::int64_t cols,
+                     std::uint64_t seed) {
+  BitMatrix m(rows, cols);
+  std::uint64_t state = seed;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      m.Set(r, c, (state >> 62) & 1);
+    }
+  }
+  return m;
+}
+
+FactorDelta TestFactorDelta() {
+  FactorDelta msg;
+  msg.mode = Mode::kTwo;
+  msg.rows = 24;
+  msg.mf_slot = 2;
+  msg.ms_slot = 1;
+  msg.cache_group_size = 7;
+  msg.enable_caching = false;
+  MatrixDelta full;
+  full.slot = 2;
+  full.generation = 41;
+  full.full = true;
+  full.dense = TestMatrix(12, 5, 3);
+  full.rows = 12;
+  full.cols = 5;
+  msg.updates.push_back(std::move(full));
+  MatrixDelta delta;
+  delta.slot = 1;
+  delta.generation = 42;
+  delta.base_generation = 40;
+  delta.full = false;
+  delta.rows = 70;  // two BitWords per column
+  delta.cols = 4;
+  delta.columns = {0, 3};
+  delta.column_bits = {{0x00000000000000FFull, 0x1Full},
+                       {0xAAAAAAAAAAAAAAAAull, 0x2Aull}};
+  msg.updates.push_back(std::move(delta));
+  return msg;
+}
+
+StorePartitionRequest TestStoreRequest() {
+  using dbtf::testing::RandomTensor;
+  const SparseTensor t = RandomTensor(12, 10, 8, 0.3, 99);
+  auto unfolding = PartitionedUnfolding::Build(t, Mode::kOne, 2);
+  StorePartitionRequest msg;
+  msg.mode = Mode::kOne;
+  msg.index = 1;
+  msg.shape = unfolding->shape();
+  std::vector<Partition> parts = std::move(*unfolding).ReleasePartitions();
+  msg.partition = std::move(parts[parts.size() > 1 ? 1 : 0]);
+  return msg;
+}
+
+TEST(WireCodec, FactorDeltaRoundTripsByteStable) {
+  ExpectWireRoundTrip(TestFactorDelta(), EncodeFactorDelta, DecodeFactorDelta);
+}
+
+TEST(WireCodec, FactorDeltaTruncationRejected) {
+  ByteWriter w;
+  EncodeFactorDelta(TestFactorDelta(), &w);
+  ExpectEveryTruncationRejected(w.bytes(), DecodeFactorDelta);
+}
+
+TEST(WireCodec, RunUpdateColumnRoundTripsByteStable) {
+  RunUpdateColumn msg;
+  msg.mode = Mode::kThree;
+  msg.column = 5;
+  msg.rows = 3;
+  msg.row_masks = {0x1ull, 0xFFFFull, 0x8000000000000001ull};
+  ExpectWireRoundTrip(msg, EncodeRunUpdateColumn, DecodeRunUpdateColumn);
+  ByteWriter w;
+  EncodeRunUpdateColumn(msg, &w);
+  ExpectEveryTruncationRejected(w.bytes(), DecodeRunUpdateColumn);
+}
+
+TEST(WireCodec, CollectErrorsRequestRoundTripsByteStable) {
+  CollectErrorsRequest msg;
+  msg.mode = Mode::kTwo;
+  msg.rows = 17;
+  msg.want_stats = true;
+  ExpectWireRoundTrip(msg, EncodeCollectErrorsRequest,
+                      DecodeCollectErrorsRequest);
+  ByteWriter w;
+  EncodeCollectErrorsRequest(msg, &w);
+  ExpectEveryTruncationRejected(w.bytes(), DecodeCollectErrorsRequest);
+}
+
+TEST(WireCodec, CollectErrorsResponseRoundTripsByteStable) {
+  CollectErrorsResponse msg;
+  msg.totals0 = {0, 5, 123456789};
+  msg.totals1 = {9, 0, 42};
+  msg.wire_bytes = 4096;
+  msg.cache_entries = 17;
+  msg.cache_bytes = 2048;
+  ExpectWireRoundTrip(msg, EncodeCollectErrorsResponse,
+                      DecodeCollectErrorsResponse);
+  ByteWriter w;
+  EncodeCollectErrorsResponse(msg, &w);
+  ExpectEveryTruncationRejected(w.bytes(), DecodeCollectErrorsResponse);
+}
+
+TEST(WireCodec, StorePartitionRequestRoundTripsByteStable) {
+  const StorePartitionRequest msg = TestStoreRequest();
+  ExpectWireRoundTrip(msg, EncodeStorePartitionRequest,
+                      DecodeStorePartitionRequest);
+  ByteWriter w;
+  EncodeStorePartitionRequest(msg, &w);
+  ExpectEveryTruncationRejected(w.bytes(), DecodeStorePartitionRequest);
+}
+
+TEST(WireCodec, ListPartitionsRoundTripsByteStable) {
+  {
+    ByteWriter first;
+    EncodeListPartitionsRequest(Mode::kThree, &first);
+    ByteReader reader(first.bytes());
+    auto mode = DecodeListPartitionsRequest(&reader);
+    ASSERT_TRUE(mode.ok());
+    ASSERT_TRUE(reader.ExpectEnd().ok());
+    ByteWriter second;
+    EncodeListPartitionsRequest(*mode, &second);
+    EXPECT_EQ(first.bytes(), second.bytes());
+    ExpectEveryTruncationRejected(first.bytes(), DecodeListPartitionsRequest);
+  }
+  {
+    const std::vector<std::int64_t> indexes = {0, 7, 3};
+    ByteWriter first;
+    EncodeListPartitionsResponse(indexes, &first);
+    ByteReader reader(first.bytes());
+    auto decoded = DecodeListPartitionsResponse(&reader);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(reader.ExpectEnd().ok());
+    EXPECT_EQ(*decoded, indexes);
+    ExpectEveryTruncationRejected(first.bytes(), DecodeListPartitionsResponse);
+  }
+}
+
+TEST(WireCodec, ReplyRoundTripsByteStable) {
+  WireReply reply;
+  reply.status = Status::FailedPrecondition("stale base generation");
+  reply.compute_seconds = 0.125;
+  reply.body = {1, 2, 3, 0xFF, 0};
+  ExpectWireRoundTrip(reply, EncodeReply, DecodeReply);
+  ByteWriter w;
+  EncodeReply(reply, &w);
+  ExpectEveryTruncationRejected(w.bytes(), DecodeReply);
+}
+
+TEST(WireCodec, InvalidModeIsRejectedNotUb) {
+  ByteWriter w;
+  w.WriteU8(9);  // Mode is 1..3 on the wire
+  ByteReader reader(w.bytes());
+  EXPECT_FALSE(DecodeListPartitionsRequest(&reader).ok());
+}
+
+TEST(WireFrameTest, FrameRoundTripsAndRejectsDamage) {
+  ByteWriter payload;
+  EncodeRunUpdateColumn(
+      RunUpdateColumn{Mode::kOne, 2, {0xF0ull, 0x0Full}, 2}, &payload);
+  const std::vector<std::uint8_t> frame =
+      EncodeFrame(WireKind::kRunUpdateColumn, payload);
+  ASSERT_GE(frame.size(), kFrameHeaderBytes + kFrameCrcBytes);
+
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, WireKind::kRunUpdateColumn);
+  EXPECT_EQ(decoded->payload, payload.bytes());
+
+  // Every single-bit flip anywhere in the frame is rejected: header damage
+  // fails the magic/version/kind/length checks, payload damage fails the
+  // CRC, CRC damage fails the comparison.
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    std::vector<std::uint8_t> damaged = frame;
+    damaged[byte] ^= 0x40;
+    auto result = DecodeFrame(damaged);
+    EXPECT_FALSE(result.ok()) << "bit flip in byte " << byte << " accepted";
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+    }
+  }
+
+  // Truncation at every length is a clean kIoError, never an overread.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<std::uint8_t> short_frame(frame.begin(),
+                                          frame.begin() + cut);
+    EXPECT_FALSE(DecodeFrame(short_frame).ok());
+  }
+}
+
+TEST(WireFrameTest, ShutdownFrameIsEmptyPayload) {
+  ByteWriter empty;
+  const std::vector<std::uint8_t> frame =
+      EncodeFrame(WireKind::kShutdown, empty);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, WireKind::kShutdown);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+/// A padding-bit violation in a dense matrix payload is data corruption the
+/// CRC cannot see (it was encoded that way); the decoder must reject it
+/// rather than import a matrix whose popcounts lie.
+TEST(WireCodec, PaddingBitViolationRejected) {
+  MatrixDelta d;
+  d.slot = 0;
+  d.generation = 1;
+  d.full = true;
+  d.dense = TestMatrix(3, 5, 11);  // 5 cols -> 59 padding bits per word
+  d.rows = 3;
+  d.cols = 5;
+  FactorDelta msg;
+  msg.mode = Mode::kOne;
+  msg.rows = 3;
+  msg.updates.push_back(std::move(d));
+  ByteWriter w;
+  EncodeFactorDelta(msg, &w);
+  // The matrix words are the trailing cols-bit groups; flip a high bit in
+  // the last row word (belongs to padding, not to any column).
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes[bytes.size() - 1] ^= 0x80;  // top byte of the final little-endian word
+  ByteReader reader(bytes);
+  auto decoded = DecodeFactorDelta(&reader);
+  EXPECT_FALSE(decoded.ok());
 }
 
 }  // namespace

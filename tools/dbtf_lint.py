@@ -36,6 +36,13 @@ the driver/worker runtime (see DESIGN.md, "Correctness tooling"):
                       std::ofstream, fopen, and rename anywhere else would
                       create files outside the atomic-write discipline
                       (tmp + fsync + rename) that crash recovery relies on.
+  transport-syscalls  raw process and socket syscalls (socket/bind/listen/
+                      accept/connect, fork/exec/waitpid/kill, mkdtemp,
+                      send/recv) appear only in src/dist/transport/, where
+                      the SocketTransport owns process lifecycles and frame
+                      I/O. Anywhere else they would spawn workers or move
+                      bytes outside the Transport seam, invisible to the
+                      CommStats ledger and the fault injector.
   async-seam          asynchrony is expressed only through dist/async.h
                       (Future/Promise/Mailbox): std::promise, std::future,
                       std::packaged_task, and std::async appear nowhere
@@ -82,6 +89,14 @@ RECOVERY_RECORD_RE = re.compile(
 # checkpoint store and the tensor text codecs; see `filesystem-write` above.
 FILESYSTEM_WRITE_RE = re.compile(
     r"(?<![\w:])(?:std::)?(?:ofstream\b|fopen\s*\(|rename\s*\()")
+# Raw process/socket syscalls belong to the SocketTransport. The lookbehind
+# keeps qualified names like std::bind out; string literals are blanked
+# before matching (usage text mentions "socket (" legitimately).
+TRANSPORT_SYSCALL_RE = re.compile(
+    r"(?<![\w:])(?:socket|socketpair|bind|listen|accept|connect|setsockopt|"
+    r"send|sendmsg|recv|recvmsg|fork|vfork|exec[vl][pe]*|waitpid|kill|"
+    r"mkdtemp)\s*\(")
+STRING_LITERAL_RE = re.compile(r'"(?:\\.|[^"\\])*"')
 ASYNC_PRIMITIVE_RE = re.compile(
     r"\bstd::(?:promise|future|shared_future|packaged_task|async)\b")
 CONDVAR_RE = re.compile(r"\bstd::condition_variable(?:_any)?\b")
@@ -125,6 +140,7 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
     # them).
     allow_filesystem_write = (rel.startswith("ckpt/")
                               or rel in ("tensor/io.cc", "tensor/io.h"))
+    allow_transport_syscall = rel.startswith("dist/transport/")
     allow_async_primitive = rel.startswith("dist/")
     allow_condvar = rel.startswith("dist/") or rel == "common/mutex.h"
     # common/mutex.h wraps the underlying std::mutex; comm_stats.h defines
@@ -188,6 +204,15 @@ def check_file(rel: str, text: str) -> list[tuple[int, str, str]]:
                 "(src/ckpt/) and the tensor text codecs (src/tensor/io.cc); "
                 "durable state written elsewhere escapes the atomic "
                 "tmp+fsync+rename discipline"))
+        if (not allow_transport_syscall
+                and TRANSPORT_SYSCALL_RE.search(STRING_LITERAL_RE.sub('""',
+                                                                      line))):
+            findings.append((
+                lineno, "transport-syscalls",
+                "raw process/socket syscalls live only in "
+                "src/dist/transport/ (the SocketTransport owns process "
+                "lifecycles and frame I/O); route work through the "
+                "Transport seam"))
         if not allow_async_primitive and ASYNC_PRIMITIVE_RE.search(line):
             findings.append((
                 lineno, "async-seam",

@@ -63,6 +63,13 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(rules_in(diagnostics), {"recovery-stats-mutation"})
         self.assertEqual(len(diagnostics), 2)
 
+    def test_transport_syscalls_fixture_trips(self):
+        diagnostics = self.lint("transport_syscalls")
+        self.assertEqual(rules_in(diagnostics), {"transport-syscalls"})
+        # socket, bind, listen, fork, execv, kill, waitpid — one finding per
+        # line; the "socket (" usage string and std::bind stay clean.
+        self.assertEqual(len(diagnostics), 7)
+
     def test_async_seam_fixture_trips(self):
         diagnostics = self.lint("async_seam")
         self.assertEqual(rules_in(diagnostics), {"async-seam"})

@@ -1,0 +1,23 @@
+// Fixture: raw process/socket syscalls outside src/dist/transport/ trip the
+// transport-syscalls rule. The string literal and std::bind must not.
+
+namespace dbtf {
+
+inline const char* kUsage = "socket (socket runs one process per machine)";
+
+int LaunchSidecar(const char* path) {
+  int fd = socket(1, 1, 0);
+  bool bound = fd >= 0 && bind(fd, nullptr, 0) == 0;
+  if (bound && listen(fd, 4) == 0) {
+    int pid = fork();
+    if (pid == 0) execv(path, nullptr);
+    kill(pid, 9);
+    waitpid(pid, nullptr, 0);
+  }
+  auto deferred = std::bind(&LaunchSidecar, path);
+  (void)deferred;
+  (void)kUsage;
+  return fd;
+}
+
+}  // namespace dbtf
