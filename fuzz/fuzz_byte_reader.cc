@@ -1,0 +1,50 @@
+// Fuzz target: the ByteReader primitives (src/common/serde.cc) under an
+// adversarial op stream. The input's first half is interpreted as a
+// sequence of read operations, the rest is the buffer being read — so the
+// fuzzer explores interleavings of typed reads, raw reads, and end checks
+// against arbitrary buffer contents and truncation points. Every operation
+// must fail with a Status on underflow, never read out of bounds (ASan
+// enforces "never").
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  // First byte picks the split between op stream and payload.
+  const std::size_t ops_len = 1 + data[0] % (size - 1);
+  const std::uint8_t* ops = data + 1;
+  const std::uint8_t* payload = data + 1 + (ops_len - 1);
+  const std::size_t payload_len = size - 1 - (ops_len - 1);
+
+  dbtf::ByteReader reader(payload, payload_len);
+  for (std::size_t i = 0; i + 1 < ops_len; ++i) {
+    switch (ops[i] % 8) {
+      case 0: (void)reader.ReadU8(); break;
+      case 1: (void)reader.ReadU32(); break;
+      case 2: (void)reader.ReadU64(); break;
+      case 3: (void)reader.ReadI64(); break;
+      case 4: (void)reader.ReadDouble(); break;
+      case 5: (void)reader.ReadString(); break;
+      case 6: {
+        std::uint8_t sink[16];
+        (void)reader.ReadBytes(sink, ops[i] % sizeof(sink));
+        break;
+      }
+      case 7: {
+        (void)reader.ExpectEnd();
+        // remaining()/offset() must stay consistent with the buffer.
+        if (reader.offset() + reader.remaining() != payload_len) {
+          __builtin_trap();
+        }
+        break;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fuzz target: the checkpoint byte codecs (src/ckpt/format.cc) — the
+// manifest parser and the four state-blob parsers — over bytes as they
+// would be read back from a (possibly corrupt or torn) snapshot directory.
+// Each parser guards with a magic/CRC, so most inputs bounce off cheaply;
+// what matters is that hostile counts, sizes, and truncations always fail
+// with a Status and never with an allocation blow-up or OOB access.
+//
+// When ParseManifest accepts an input, the harness re-serializes the parsed
+// manifest and parses the re-serialization, aborting on failure or on an
+// entry-list mismatch: serialize -> parse must be the identity on valid
+// manifests.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/format.h"
+#include "common/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace fmt = dbtf::ckpt_format;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+
+  auto manifest = fmt::ParseManifest(bytes);
+  if (manifest.ok()) {
+    const std::vector<std::uint8_t> again =
+        fmt::SerializeManifest(manifest.value());
+    auto reparsed = fmt::ParseManifest(again);
+    if (!reparsed.ok() ||
+        reparsed.value().sequence != manifest.value().sequence ||
+        reparsed.value().entries.size() != manifest.value().entries.size()) {
+      std::abort();
+    }
+  }
+
+  dbtf::CheckpointState state;
+  (void)fmt::ParseRun(bytes, &state);
+  (void)fmt::ParseFactors(bytes, &state);
+  (void)fmt::ParseBcast(bytes, &state);
+  (void)fmt::ParseDist(bytes, &state);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fallback driver for toolchains without libFuzzer (-fsanitize=fuzzer is a
+// clang feature; the default GCC build links this instead). Replays every
+// input file named on the command line — the committed corpus and crash
+// regressions — through LLVMFuzzerTestOneInput, which is exactly what a
+// libFuzzer binary does with file arguments. No coverage feedback, but the
+// regression surface (every past finding must stay fixed) is identical, so
+// the fuzz_*_replay ctest cases run in both build modes.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool ReplayFile(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path);
+    return false;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  const bool read_failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_failed) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path);
+    return false;
+  }
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!ReplayFile(argv[i])) return 1;
+    ++replayed;
+  }
+  std::fprintf(stderr, "replay: %d input(s) OK\n", replayed);
+  return 0;
+}

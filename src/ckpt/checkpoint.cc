@@ -1,5 +1,7 @@
 #include "ckpt/checkpoint.h"
 
+#include "ckpt/format.h"
+
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -18,17 +20,8 @@
 namespace dbtf {
 namespace {
 
-// "DBTK" little-endian, followed by the format version. Bump the version on
-// any layout change; readers reject unknown versions (and fall back).
-constexpr std::uint32_t kManifestMagic = 0x4B544244U;
-constexpr std::uint32_t kFormatVersion = 1;
-
-constexpr const char* kManifestName = "MANIFEST";
-constexpr const char* kRunBlob = "run.bin";
-constexpr const char* kFactorsBlob = "factors.bin";
-constexpr const char* kBcastBlob = "bcast.bin";
-constexpr const char* kDistBlob = "dist.bin";
-
+// Byte-level layout (magic, version, blob codecs) lives in ckpt/format.h;
+// this file owns the POSIX plumbing and the snapshot directory protocol.
 constexpr const char* kSnapshotPrefix = "ckpt-";
 constexpr const char* kTmpSuffix = ".tmp";
 
@@ -91,8 +84,9 @@ Result<std::vector<std::uint8_t>> ReadFileFully(const std::string& path) {
     bytes.insert(bytes.end(), buffer, buffer + n);
   }
   const bool failed = std::ferror(file) != 0;
-  std::fclose(file);
+  const bool close_failed = std::fclose(file) != 0;
   if (failed) return Status::IoError(ErrnoMessage("fread", path));
+  if (close_failed) return Status::IoError(ErrnoMessage("fclose", path));
   return bytes;
 }
 
@@ -131,292 +125,44 @@ std::string SnapshotDirName(const std::string& root, std::int64_t sequence) {
   return root + "/" + kSnapshotPrefix + std::to_string(sequence);
 }
 
-// --- State (de)serialization ------------------------------------------------
-
-void WriteMatrix(ByteWriter& w, const BitMatrix& m) {
-  w.WriteI64(m.rows());
-  w.WriteI64(m.cols());
-  for (std::int64_t r = 0; r < m.rows(); ++r) {
-    const BitWord* row = m.RowData(r);
-    for (std::int64_t k = 0; k < m.words_per_row(); ++k) {
-      w.WriteU64(row[k]);
-    }
-  }
-}
-
-Result<BitMatrix> ReadMatrix(ByteReader& r) {
-  DBTF_ASSIGN_OR_RETURN(const std::int64_t rows, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(const std::int64_t cols, r.ReadI64());
-  const std::int64_t words = rows * ((cols + 63) / 64);
-  if (rows < 0 || cols < 0 ||
-      static_cast<std::uint64_t>(words) * sizeof(BitWord) > r.remaining()) {
-    return Status::IoError("checkpoint: matrix larger than its blob");
-  }
-  DBTF_ASSIGN_OR_RETURN(BitMatrix m, BitMatrix::Create(rows, cols));
-  for (std::int64_t row = 0; row < rows; ++row) {
-    BitWord* data = m.MutableRowData(row);
-    for (std::int64_t k = 0; k < m.words_per_row(); ++k) {
-      DBTF_ASSIGN_OR_RETURN(data[k], r.ReadU64());
-    }
-  }
-  return m;
-}
-
-void WriteI64Vector(ByteWriter& w, const std::vector<std::int64_t>& values) {
-  w.WriteU64(values.size());
-  for (const std::int64_t value : values) w.WriteI64(value);
-}
-
-Result<std::vector<std::int64_t>> ReadI64Vector(ByteReader& r) {
-  DBTF_ASSIGN_OR_RETURN(const std::uint64_t count, r.ReadU64());
-  if (count * 8 > r.remaining()) {
-    return Status::IoError("checkpoint: vector larger than its blob");
-  }
-  std::vector<std::int64_t> values(static_cast<std::size_t>(count));
-  for (std::int64_t& value : values) {
-    DBTF_ASSIGN_OR_RETURN(value, r.ReadI64());
-  }
-  return values;
-}
-
-std::vector<std::uint8_t> SerializeRun(const CheckpointState& state) {
-  ByteWriter w;
-  w.WriteU64(state.config_fingerprint);
-  w.WriteU64(state.tensor_fingerprint);
-  w.WriteI64(state.iteration);
-  w.WriteI64(state.set_index);
-  w.WriteI64(state.mode_index);
-  w.WriteI64(state.next_column);
-  w.WriteI64(state.columns_done);
-  for (const std::uint64_t word : state.rng_state) w.WriteU64(word);
-  w.WriteI64(state.update_cache_entries);
-  w.WriteI64(state.update_cache_bytes);
-  w.WriteI64(state.update_cells_changed);
-  w.WriteI64(state.update_final_error);
-  w.WriteI64(state.iter_error);
-  w.WriteI64(state.iter_cells_changed);
-  w.WriteI64(state.iter_cache_entries);
-  w.WriteI64(state.iter_cache_bytes);
-  WriteI64Vector(w, state.iteration_errors);
-  w.WriteI64(state.cells_changed);
-  w.WriteI64(state.cache_entries);
-  w.WriteI64(state.cache_bytes);
-  w.WriteI64(state.checkpoints_written);
-  return w.bytes();
-}
-
-Status ParseRun(const std::vector<std::uint8_t>& bytes,
-                CheckpointState* state) {
-  ByteReader r(bytes);
-  DBTF_ASSIGN_OR_RETURN(state->config_fingerprint, r.ReadU64());
-  DBTF_ASSIGN_OR_RETURN(state->tensor_fingerprint, r.ReadU64());
-  DBTF_ASSIGN_OR_RETURN(state->iteration, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->set_index, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->mode_index, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->next_column, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->columns_done, r.ReadI64());
-  for (std::uint64_t& word : state->rng_state) {
-    DBTF_ASSIGN_OR_RETURN(word, r.ReadU64());
-  }
-  DBTF_ASSIGN_OR_RETURN(state->update_cache_entries, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->update_cache_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->update_cells_changed, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->update_final_error, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->iter_error, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->iter_cells_changed, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->iter_cache_entries, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->iter_cache_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->iteration_errors, ReadI64Vector(r));
-  DBTF_ASSIGN_OR_RETURN(state->cells_changed, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->cache_entries, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->cache_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->checkpoints_written, r.ReadI64());
-  return r.ExpectEnd();
-}
-
-std::vector<std::uint8_t> SerializeFactors(const CheckpointState& state) {
-  ByteWriter w;
-  WriteMatrix(w, state.a);
-  WriteMatrix(w, state.b);
-  WriteMatrix(w, state.c);
-  w.WriteU8(state.has_best ? 1 : 0);
-  WriteMatrix(w, state.best_a);
-  WriteMatrix(w, state.best_b);
-  WriteMatrix(w, state.best_c);
-  w.WriteI64(state.best_error);
-  return w.bytes();
-}
-
-Status ParseFactors(const std::vector<std::uint8_t>& bytes,
-                    CheckpointState* state) {
-  ByteReader r(bytes);
-  DBTF_ASSIGN_OR_RETURN(state->a, ReadMatrix(r));
-  DBTF_ASSIGN_OR_RETURN(state->b, ReadMatrix(r));
-  DBTF_ASSIGN_OR_RETURN(state->c, ReadMatrix(r));
-  DBTF_ASSIGN_OR_RETURN(const std::uint8_t has_best, r.ReadU8());
-  if (has_best > 1) return Status::IoError("checkpoint: bad has_best flag");
-  state->has_best = has_best != 0;
-  DBTF_ASSIGN_OR_RETURN(state->best_a, ReadMatrix(r));
-  DBTF_ASSIGN_OR_RETURN(state->best_b, ReadMatrix(r));
-  DBTF_ASSIGN_OR_RETURN(state->best_c, ReadMatrix(r));
-  DBTF_ASSIGN_OR_RETURN(state->best_error, r.ReadI64());
-  return r.ExpectEnd();
-}
-
-std::vector<std::uint8_t> SerializeBcast(const CheckpointState& state) {
-  ByteWriter w;
-  for (const FactorShadowSnapshot& shadow : state.shadows) {
-    w.WriteU8(shadow.initialized ? 1 : 0);
-    w.WriteU64(shadow.generation);
-    WriteMatrix(w, shadow.content);
-  }
-  return w.bytes();
-}
-
-Status ParseBcast(const std::vector<std::uint8_t>& bytes,
-                  CheckpointState* state) {
-  ByteReader r(bytes);
-  for (FactorShadowSnapshot& shadow : state->shadows) {
-    DBTF_ASSIGN_OR_RETURN(const std::uint8_t initialized, r.ReadU8());
-    if (initialized > 1) {
-      return Status::IoError("checkpoint: bad shadow flag");
-    }
-    shadow.initialized = initialized != 0;
-    DBTF_ASSIGN_OR_RETURN(shadow.generation, r.ReadU64());
-    DBTF_ASSIGN_OR_RETURN(shadow.content, ReadMatrix(r));
-  }
-  return r.ExpectEnd();
-}
-
-std::vector<std::uint8_t> SerializeDist(const CheckpointState& state) {
-  ByteWriter w;
-  w.WriteI64(state.comm.shuffle_bytes);
-  w.WriteI64(state.comm.broadcast_bytes);
-  w.WriteI64(state.comm.collect_bytes);
-  w.WriteI64(state.comm.shuffle_events);
-  w.WriteI64(state.comm.broadcast_events);
-  w.WriteI64(state.comm.collect_events);
-  w.WriteI64(state.recovery.failed_deliveries);
-  w.WriteI64(state.recovery.retries);
-  w.WriteI64(state.recovery.machines_lost);
-  w.WriteI64(state.recovery.reprovisions);
-  w.WriteI64(state.recovery.reshipped_bytes);
-  w.WriteDouble(state.recovery.recovery_seconds);
-  WriteI64Vector(w, state.fault_delivery_counters);
-  w.WriteU64(state.dead_machines.size());
-  for (const int machine : state.dead_machines) {
-    w.WriteI64(machine);
-  }
-  w.WriteU64(state.machine_seconds.size());
-  for (const double seconds : state.machine_seconds) {
-    w.WriteDouble(seconds);
-  }
-  w.WriteDouble(state.driver_seconds);
-  return w.bytes();
-}
-
-Status ParseDist(const std::vector<std::uint8_t>& bytes,
-                 CheckpointState* state) {
-  ByteReader r(bytes);
-  DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->comm.collect_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_events, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_events, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->comm.collect_events, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->recovery.failed_deliveries, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->recovery.retries, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->recovery.machines_lost, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->recovery.reprovisions, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->recovery.reshipped_bytes, r.ReadI64());
-  DBTF_ASSIGN_OR_RETURN(state->recovery.recovery_seconds, r.ReadDouble());
-  DBTF_ASSIGN_OR_RETURN(state->fault_delivery_counters, ReadI64Vector(r));
-  DBTF_ASSIGN_OR_RETURN(const std::uint64_t dead_count, r.ReadU64());
-  if (dead_count * 8 > r.remaining()) {
-    return Status::IoError("checkpoint: dead-machine list larger than blob");
-  }
-  state->dead_machines.resize(static_cast<std::size_t>(dead_count));
-  for (int& machine : state->dead_machines) {
-    DBTF_ASSIGN_OR_RETURN(const std::int64_t value, r.ReadI64());
-    machine = static_cast<int>(value);
-  }
-  DBTF_ASSIGN_OR_RETURN(const std::uint64_t clock_count, r.ReadU64());
-  if (clock_count * 8 > r.remaining()) {
-    return Status::IoError("checkpoint: clock list larger than blob");
-  }
-  state->machine_seconds.resize(static_cast<std::size_t>(clock_count));
-  for (double& seconds : state->machine_seconds) {
-    DBTF_ASSIGN_OR_RETURN(seconds, r.ReadDouble());
-  }
-  DBTF_ASSIGN_OR_RETURN(state->driver_seconds, r.ReadDouble());
-  return r.ExpectEnd();
-}
-
-struct Blob {
-  const char* name;
-  std::vector<std::uint8_t> bytes;
-};
-
 /// Validates and loads one published snapshot directory end-to-end: the
-/// manifest's trailing CRC and magic/version, then each listed blob's size
-/// and CRC, then the blob parses (each of which must consume its blob
-/// exactly).
+/// manifest (CRC, magic, version — ckpt_format::ParseManifest), then each
+/// listed blob's size and CRC against the manifest entry, then the blob
+/// parses (each of which must consume its blob exactly).
 Result<CheckpointState> LoadSnapshot(const std::string& snapshot_dir) {
+  namespace fmt = ckpt_format;
   DBTF_ASSIGN_OR_RETURN(
-      const std::vector<std::uint8_t> manifest,
-      ReadFileFully(snapshot_dir + "/" + kManifestName));
-  if (manifest.size() < 4) {
-    return Status::IoError("checkpoint: manifest truncated");
-  }
-  const std::size_t body_size = manifest.size() - 4;
-  ByteReader trailer(manifest.data() + body_size, 4);
-  DBTF_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, trailer.ReadU32());
-  if (Crc32(manifest.data(), body_size) != stored_crc) {
-    return Status::IoError("checkpoint: manifest CRC mismatch");
-  }
-
-  ByteReader r(manifest.data(), body_size);
-  DBTF_ASSIGN_OR_RETURN(const std::uint32_t magic, r.ReadU32());
-  if (magic != kManifestMagic) {
-    return Status::IoError("checkpoint: bad manifest magic");
-  }
-  DBTF_ASSIGN_OR_RETURN(const std::uint32_t version, r.ReadU32());
-  if (version != kFormatVersion) {
-    return Status::IoError("checkpoint: unsupported format version");
-  }
-  DBTF_ASSIGN_OR_RETURN(const std::int64_t sequence, r.ReadI64());
-  (void)sequence;  // informational; the directory name is authoritative
-  DBTF_ASSIGN_OR_RETURN(const std::uint64_t blob_count, r.ReadU64());
+      const std::vector<std::uint8_t> manifest_bytes,
+      ReadFileFully(snapshot_dir + "/" + fmt::kManifestName));
+  DBTF_ASSIGN_OR_RETURN(const fmt::Manifest manifest,
+                        fmt::ParseManifest(manifest_bytes));
 
   CheckpointState state;
   bool seen[4] = {false, false, false, false};
-  for (std::uint64_t i = 0; i < blob_count; ++i) {
-    DBTF_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
-    DBTF_ASSIGN_OR_RETURN(const std::uint64_t size, r.ReadU64());
-    DBTF_ASSIGN_OR_RETURN(const std::uint32_t crc, r.ReadU32());
+  for (const fmt::ManifestEntry& entry : manifest.entries) {
     DBTF_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
-                          ReadFileFully(snapshot_dir + "/" + name));
-    if (bytes.size() != size || Crc32(bytes.data(), bytes.size()) != crc) {
-      return Status::IoError("checkpoint: blob " + name +
+                          ReadFileFully(snapshot_dir + "/" + entry.name));
+    if (bytes.size() != entry.size ||
+        Crc32(bytes.data(), bytes.size()) != entry.crc) {
+      return Status::IoError("checkpoint: blob " + entry.name +
                              " failed size/CRC validation");
     }
-    if (name == kRunBlob) {
-      DBTF_RETURN_IF_ERROR(ParseRun(bytes, &state));
+    if (entry.name == fmt::kRunBlob) {
+      DBTF_RETURN_IF_ERROR(fmt::ParseRun(bytes, &state));
       seen[0] = true;
-    } else if (name == kFactorsBlob) {
-      DBTF_RETURN_IF_ERROR(ParseFactors(bytes, &state));
+    } else if (entry.name == fmt::kFactorsBlob) {
+      DBTF_RETURN_IF_ERROR(fmt::ParseFactors(bytes, &state));
       seen[1] = true;
-    } else if (name == kBcastBlob) {
-      DBTF_RETURN_IF_ERROR(ParseBcast(bytes, &state));
+    } else if (entry.name == fmt::kBcastBlob) {
+      DBTF_RETURN_IF_ERROR(fmt::ParseBcast(bytes, &state));
       seen[2] = true;
-    } else if (name == kDistBlob) {
-      DBTF_RETURN_IF_ERROR(ParseDist(bytes, &state));
+    } else if (entry.name == fmt::kDistBlob) {
+      DBTF_RETURN_IF_ERROR(fmt::ParseDist(bytes, &state));
       seen[3] = true;
     } else {
-      return Status::IoError("checkpoint: unknown blob " + name);
+      return Status::IoError("checkpoint: unknown blob " + entry.name);
     }
   }
-  DBTF_RETURN_IF_ERROR(r.ExpectEnd());
   for (const bool present : seen) {
     if (!present) {
       return Status::IoError("checkpoint: manifest is missing a blob");
@@ -465,30 +211,29 @@ Result<std::int64_t> CheckpointStore::Write(
   RemoveSnapshotDir(tmp_dir);  // stale leftovers of an interrupted writer
   DBTF_RETURN_IF_ERROR(EnsureDirectory(tmp_dir));
 
+  namespace fmt = ckpt_format;
+  struct Blob {
+    const char* name;
+    std::vector<std::uint8_t> bytes;
+  };
   const Blob blobs[] = {
-      {kRunBlob, SerializeRun(state)},
-      {kFactorsBlob, SerializeFactors(state)},
-      {kBcastBlob, SerializeBcast(state)},
-      {kDistBlob, SerializeDist(state)},
+      {fmt::kRunBlob, fmt::SerializeRun(state)},
+      {fmt::kFactorsBlob, fmt::SerializeFactors(state)},
+      {fmt::kBcastBlob, fmt::SerializeBcast(state)},
+      {fmt::kDistBlob, fmt::SerializeDist(state)},
   };
 
-  ByteWriter manifest;
-  manifest.WriteU32(kManifestMagic);
-  manifest.WriteU32(kFormatVersion);
-  manifest.WriteI64(sequence);
-  manifest.WriteU64(std::size(blobs));
+  fmt::Manifest manifest;
+  manifest.sequence = sequence;
   for (const Blob& blob : blobs) {
     DBTF_RETURN_IF_ERROR(
         WriteFileDurably(tmp_dir + "/" + blob.name, blob.bytes));
-    manifest.WriteString(blob.name);
-    manifest.WriteU64(blob.bytes.size());
-    manifest.WriteU32(Crc32(blob.bytes.data(), blob.bytes.size()));
+    manifest.entries.push_back(
+        {blob.name, blob.bytes.size(),
+         Crc32(blob.bytes.data(), blob.bytes.size())});
   }
-  ByteWriter sealed;
-  sealed.WriteBytes(manifest.bytes().data(), manifest.size());
-  sealed.WriteU32(manifest.Crc());
-  DBTF_RETURN_IF_ERROR(
-      WriteFileDurably(tmp_dir + "/" + kManifestName, sealed.bytes()));
+  DBTF_RETURN_IF_ERROR(WriteFileDurably(tmp_dir + "/" + fmt::kManifestName,
+                                        fmt::SerializeManifest(manifest)));
   // The manifest is written last, so a published snapshot always has one;
   // fsync the directory entries before publishing the whole snapshot with
   // one atomic rename, then persist the rename itself.

@@ -1,0 +1,317 @@
+#include "ckpt/format.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace dbtf {
+namespace ckpt_format {
+namespace {
+
+/// Largest name a manifest entry may carry. Blob names are short constants
+/// (run.bin & co.); anything bigger is corruption, not data.
+constexpr std::uint64_t kMaxEntryNameBytes = 256;
+
+void WriteMatrix(ByteWriter& w, const BitMatrix& m) {
+  w.WriteI64(m.rows());
+  w.WriteI64(m.cols());
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    const BitWord* row = m.RowData(r);
+    for (std::int64_t k = 0; k < m.words_per_row(); ++k) {
+      w.WriteU64(row[k]);
+    }
+  }
+}
+
+// Largest matrix dimension a blob may declare. Generous relative to any
+// real factor (2^32 rows) while keeping rows * words_per_row * 8 far from
+// u64 wrap-around; mirrors kMaxWireDim in dist/transport/wire.cc.
+constexpr std::int64_t kMaxMatrixDim = std::int64_t{1} << 32;
+
+Result<BitMatrix> ReadMatrix(ByteReader& r) {
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t rows, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t cols, r.ReadI64());
+  // The dimension cap keeps every later size computation inside u64 (and
+  // rejects absurd shapes outright); the byte bound is phrased as a division
+  // because rows * words_per_row * 8 on hostile shapes wraps around u64 —
+  // fuzz_ckpt_manifest found exactly that (wild write through a BitMatrix
+  // sized by the wrapped product; inputs pinned under fuzz/crashes/).
+  if (rows < 0 || cols < 0 || rows > kMaxMatrixDim || cols > kMaxMatrixDim) {
+    return Status::IoError("checkpoint: matrix shape out of range");
+  }
+  const std::uint64_t words_per_row =
+      (static_cast<std::uint64_t>(cols) + 63) / 64;
+  if (words_per_row > 0 &&
+      static_cast<std::uint64_t>(rows) >
+          r.remaining() / (words_per_row * sizeof(BitWord))) {
+    return Status::IoError("checkpoint: matrix larger than its blob");
+  }
+  DBTF_ASSIGN_OR_RETURN(BitMatrix m, BitMatrix::Create(rows, cols));
+  for (std::int64_t row = 0; row < rows; ++row) {
+    BitWord* data = m.MutableRowData(row);
+    for (std::int64_t k = 0; k < m.words_per_row(); ++k) {
+      DBTF_ASSIGN_OR_RETURN(data[k], r.ReadU64());
+    }
+  }
+  return m;
+}
+
+void WriteI64Vector(ByteWriter& w, const std::vector<std::int64_t>& values) {
+  w.WriteU64(values.size());
+  for (const std::int64_t value : values) w.WriteI64(value);
+}
+
+Result<std::vector<std::int64_t>> ReadI64Vector(ByteReader& r) {
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t count, r.ReadU64());
+  // Division, not multiplication: count * 8 wraps u64 on hostile counts.
+  if (count > r.remaining() / 8) {
+    return Status::IoError("checkpoint: vector larger than its blob");
+  }
+  std::vector<std::int64_t> values(static_cast<std::size_t>(count));
+  for (std::int64_t& value : values) {
+    DBTF_ASSIGN_OR_RETURN(value, r.ReadI64());
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SerializeManifest(const Manifest& manifest) {
+  ByteWriter body;
+  body.WriteU32(kManifestMagic);
+  body.WriteU32(kFormatVersion);
+  body.WriteI64(manifest.sequence);
+  body.WriteU64(manifest.entries.size());
+  for (const ManifestEntry& entry : manifest.entries) {
+    body.WriteString(entry.name);
+    body.WriteU64(entry.size);
+    body.WriteU32(entry.crc);
+  }
+  ByteWriter sealed;
+  sealed.WriteBytes(body.bytes().data(), body.size());
+  sealed.WriteU32(body.Crc());
+  return sealed.bytes();
+}
+
+Result<Manifest> ParseManifest(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4) {
+    return Status::IoError("checkpoint: manifest truncated");
+  }
+  const std::size_t body_size = bytes.size() - 4;
+  ByteReader trailer(bytes.data() + body_size, 4);
+  DBTF_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, trailer.ReadU32());
+  if (Crc32(bytes.data(), body_size) != stored_crc) {
+    return Status::IoError("checkpoint: manifest CRC mismatch");
+  }
+
+  ByteReader r(bytes.data(), body_size);
+  DBTF_ASSIGN_OR_RETURN(const std::uint32_t magic, r.ReadU32());
+  if (magic != kManifestMagic) {
+    return Status::IoError("checkpoint: bad manifest magic");
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::IoError("checkpoint: unsupported format version");
+  }
+  Manifest manifest;
+  DBTF_ASSIGN_OR_RETURN(manifest.sequence, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t entry_count, r.ReadU64());
+  // Each entry is at least a length-prefixed name (8) + size (8) + crc (4);
+  // bound the count by the remaining body before reserving anything. Divide
+  // rather than multiply: a hostile count times 20 wraps around u64 (found
+  // by fuzz_ckpt_manifest; the input is pinned under fuzz/crashes/).
+  if (entry_count > r.remaining() / (8 + 8 + 4)) {
+    return Status::IoError("checkpoint: manifest entry count truncated");
+  }
+  manifest.entries.reserve(static_cast<std::size_t>(entry_count));
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    ManifestEntry entry;
+    DBTF_ASSIGN_OR_RETURN(entry.name, r.ReadString());
+    if (entry.name.empty() || entry.name.size() > kMaxEntryNameBytes) {
+      return Status::IoError("checkpoint: manifest entry name out of range");
+    }
+    DBTF_ASSIGN_OR_RETURN(entry.size, r.ReadU64());
+    DBTF_ASSIGN_OR_RETURN(entry.crc, r.ReadU32());
+    manifest.entries.push_back(std::move(entry));
+  }
+  DBTF_RETURN_IF_ERROR(r.ExpectEnd());
+  return manifest;
+}
+
+std::vector<std::uint8_t> SerializeRun(const CheckpointState& state) {
+  ByteWriter w;
+  w.WriteU64(state.config_fingerprint);
+  w.WriteU64(state.tensor_fingerprint);
+  w.WriteI64(state.iteration);
+  w.WriteI64(state.set_index);
+  w.WriteI64(state.mode_index);
+  w.WriteI64(state.next_column);
+  w.WriteI64(state.columns_done);
+  for (const std::uint64_t word : state.rng_state) w.WriteU64(word);
+  w.WriteI64(state.update_cache_entries);
+  w.WriteI64(state.update_cache_bytes);
+  w.WriteI64(state.update_cells_changed);
+  w.WriteI64(state.update_final_error);
+  w.WriteI64(state.iter_error);
+  w.WriteI64(state.iter_cells_changed);
+  w.WriteI64(state.iter_cache_entries);
+  w.WriteI64(state.iter_cache_bytes);
+  WriteI64Vector(w, state.iteration_errors);
+  w.WriteI64(state.cells_changed);
+  w.WriteI64(state.cache_entries);
+  w.WriteI64(state.cache_bytes);
+  w.WriteI64(state.checkpoints_written);
+  return w.bytes();
+}
+
+Status ParseRun(const std::vector<std::uint8_t>& bytes,
+                CheckpointState* state) {
+  ByteReader r(bytes);
+  DBTF_ASSIGN_OR_RETURN(state->config_fingerprint, r.ReadU64());
+  DBTF_ASSIGN_OR_RETURN(state->tensor_fingerprint, r.ReadU64());
+  DBTF_ASSIGN_OR_RETURN(state->iteration, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->set_index, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->mode_index, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->next_column, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->columns_done, r.ReadI64());
+  for (std::uint64_t& word : state->rng_state) {
+    DBTF_ASSIGN_OR_RETURN(word, r.ReadU64());
+  }
+  DBTF_ASSIGN_OR_RETURN(state->update_cache_entries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->update_cache_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->update_cells_changed, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->update_final_error, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_error, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_cells_changed, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_cache_entries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iter_cache_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->iteration_errors, ReadI64Vector(r));
+  DBTF_ASSIGN_OR_RETURN(state->cells_changed, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->cache_entries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->cache_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->checkpoints_written, r.ReadI64());
+  return r.ExpectEnd();
+}
+
+std::vector<std::uint8_t> SerializeFactors(const CheckpointState& state) {
+  ByteWriter w;
+  WriteMatrix(w, state.a);
+  WriteMatrix(w, state.b);
+  WriteMatrix(w, state.c);
+  w.WriteU8(state.has_best ? 1 : 0);
+  WriteMatrix(w, state.best_a);
+  WriteMatrix(w, state.best_b);
+  WriteMatrix(w, state.best_c);
+  w.WriteI64(state.best_error);
+  return w.bytes();
+}
+
+Status ParseFactors(const std::vector<std::uint8_t>& bytes,
+                    CheckpointState* state) {
+  ByteReader r(bytes);
+  DBTF_ASSIGN_OR_RETURN(state->a, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->b, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->c, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(const std::uint8_t has_best, r.ReadU8());
+  if (has_best > 1) return Status::IoError("checkpoint: bad has_best flag");
+  state->has_best = has_best != 0;
+  DBTF_ASSIGN_OR_RETURN(state->best_a, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->best_b, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->best_c, ReadMatrix(r));
+  DBTF_ASSIGN_OR_RETURN(state->best_error, r.ReadI64());
+  return r.ExpectEnd();
+}
+
+std::vector<std::uint8_t> SerializeBcast(const CheckpointState& state) {
+  ByteWriter w;
+  for (const FactorShadowSnapshot& shadow : state.shadows) {
+    w.WriteU8(shadow.initialized ? 1 : 0);
+    w.WriteU64(shadow.generation);
+    WriteMatrix(w, shadow.content);
+  }
+  return w.bytes();
+}
+
+Status ParseBcast(const std::vector<std::uint8_t>& bytes,
+                  CheckpointState* state) {
+  ByteReader r(bytes);
+  for (FactorShadowSnapshot& shadow : state->shadows) {
+    DBTF_ASSIGN_OR_RETURN(const std::uint8_t initialized, r.ReadU8());
+    if (initialized > 1) {
+      return Status::IoError("checkpoint: bad shadow flag");
+    }
+    shadow.initialized = initialized != 0;
+    DBTF_ASSIGN_OR_RETURN(shadow.generation, r.ReadU64());
+    DBTF_ASSIGN_OR_RETURN(shadow.content, ReadMatrix(r));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<std::uint8_t> SerializeDist(const CheckpointState& state) {
+  ByteWriter w;
+  w.WriteI64(state.comm.shuffle_bytes);
+  w.WriteI64(state.comm.broadcast_bytes);
+  w.WriteI64(state.comm.collect_bytes);
+  w.WriteI64(state.comm.shuffle_events);
+  w.WriteI64(state.comm.broadcast_events);
+  w.WriteI64(state.comm.collect_events);
+  w.WriteI64(state.recovery.failed_deliveries);
+  w.WriteI64(state.recovery.retries);
+  w.WriteI64(state.recovery.machines_lost);
+  w.WriteI64(state.recovery.reprovisions);
+  w.WriteI64(state.recovery.reshipped_bytes);
+  w.WriteDouble(state.recovery.recovery_seconds);
+  WriteI64Vector(w, state.fault_delivery_counters);
+  w.WriteU64(state.dead_machines.size());
+  for (const int machine : state.dead_machines) {
+    w.WriteI64(machine);
+  }
+  w.WriteU64(state.machine_seconds.size());
+  for (const double seconds : state.machine_seconds) {
+    w.WriteDouble(seconds);
+  }
+  w.WriteDouble(state.driver_seconds);
+  return w.bytes();
+}
+
+Status ParseDist(const std::vector<std::uint8_t>& bytes,
+                 CheckpointState* state) {
+  ByteReader r(bytes);
+  DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.collect_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.collect_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.failed_deliveries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.retries, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.machines_lost, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.reprovisions, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.reshipped_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->recovery.recovery_seconds, r.ReadDouble());
+  DBTF_ASSIGN_OR_RETURN(state->fault_delivery_counters, ReadI64Vector(r));
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t dead_count, r.ReadU64());
+  if (dead_count > r.remaining() / 8) {
+    return Status::IoError("checkpoint: dead-machine list larger than blob");
+  }
+  state->dead_machines.resize(static_cast<std::size_t>(dead_count));
+  for (int& machine : state->dead_machines) {
+    DBTF_ASSIGN_OR_RETURN(const std::int64_t value, r.ReadI64());
+    machine = static_cast<int>(value);
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t clock_count, r.ReadU64());
+  if (clock_count > r.remaining() / 8) {
+    return Status::IoError("checkpoint: clock list larger than blob");
+  }
+  state->machine_seconds.resize(static_cast<std::size_t>(clock_count));
+  for (double& seconds : state->machine_seconds) {
+    DBTF_ASSIGN_OR_RETURN(seconds, r.ReadDouble());
+  }
+  DBTF_ASSIGN_OR_RETURN(state->driver_seconds, r.ReadDouble());
+  return r.ExpectEnd();
+}
+
+}  // namespace ckpt_format
+}  // namespace dbtf

@@ -440,7 +440,7 @@ int RunCli(int argc, const char* const* argv) {
   FlagParser flags(argc, argv);
   const std::vector<std::string>& positional = flags.positional();
   if (positional.empty() || positional[0] == "help") {
-    std::fputs(UsageText().c_str(), positional.empty() ? stderr : stdout);
+    (void)std::fputs(UsageText().c_str(), positional.empty() ? stderr : stdout);
     return positional.empty() ? 2 : 0;
   }
   const std::string& command = positional[0];
@@ -456,12 +456,12 @@ int RunCli(int argc, const char* const* argv) {
   } else if (command == "select-rank") {
     status = RunSelectRank(&flags);
   } else {
-    std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
-                 UsageText().c_str());
+    (void)std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+                       UsageText().c_str());
     return 2;
   }
   if (!status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    (void)std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
   return 0;

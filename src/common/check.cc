@@ -18,7 +18,7 @@ namespace internal_check {
     char msg[512];
     va_list args;
     va_start(args, fmt);
-    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    (void)std::vsnprintf(msg, sizeof(msg), fmt, args);  // truncation is fine
     va_end(args);
     internal_logging::LogMessage(LogLevel::kError, file, line,
                                  "CHECK failed: %s: %s", expr, msg);

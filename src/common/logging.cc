@@ -33,12 +33,14 @@ namespace internal_logging {
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
                 ...) {
   if (static_cast<int>(level) < g_log_level.load()) return;
-  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), file, line);
+  // Best-effort diagnostics: a failed write to stderr has no recovery path
+  // here, so the results are discarded explicitly (cert-err33-c).
+  (void)std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), file, line);
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  (void)std::vfprintf(stderr, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  (void)std::fputc('\n', stderr);
 }
 
 }  // namespace internal_logging

@@ -49,8 +49,8 @@ std::string Status::ToString() const {
 namespace internal_status {
 
 void DieOnBadResultAccess(const Status& status) {
-  std::fprintf(stderr, "Result<T>::value() called on error: %s\n",
-               status.ToString().c_str());
+  (void)std::fprintf(stderr, "Result<T>::value() called on error: %s\n",
+                     status.ToString().c_str());
   std::abort();
 }
 

@@ -33,7 +33,12 @@ bool IsRetryable(StatusCode code);
 
 /// Lightweight status object modeled after absl::Status / rocksdb::Status.
 /// A default-constructed Status is OK and carries no message.
-class Status {
+///
+/// [[nodiscard]]: a Status that is never looked at is a swallowed error —
+/// the compiler (and tools/dbtf_analyze.py's discarded-status rule) rejects
+/// call sites that drop one. Intentional drops must say so with
+/// DBTF_IGNORE_ERROR(expr).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -83,9 +88,10 @@ class Status {
 
 /// Either a value of type T or an error Status. Modeled after absl::StatusOr.
 /// Accessing value() on an error Result aborts the process, so callers must
-/// check ok() (or use DBTF_ASSIGN_OR_RETURN) first.
+/// check ok() (or use DBTF_ASSIGN_OR_RETURN) first. [[nodiscard]] for the
+/// same reason as Status: dropping one silently loses both value and error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error status keeps call sites
   /// terse: `return some_value;` / `return Status::InvalidArgument(...)`.
@@ -134,6 +140,11 @@ void Result<T>::AbortIfError() const {
 }
 
 }  // namespace dbtf
+
+/// Explicitly discards a Status/Result, with the discard visible at the call
+/// site. The only sanctioned way past [[nodiscard]] — best-effort cleanup
+/// paths where the operation's failure changes nothing for the caller.
+#define DBTF_IGNORE_ERROR(expr) static_cast<void>(expr)
 
 /// Propagates a non-OK Status from an expression to the caller.
 #define DBTF_RETURN_IF_ERROR(expr)                \

@@ -239,7 +239,9 @@ void EncodeInt64Vector(const std::vector<std::int64_t>& values,
 
 Result<std::vector<std::int64_t>> DecodeInt64Vector(ByteReader* reader) {
   DBTF_ASSIGN_OR_RETURN(const std::uint64_t count, reader->ReadU64());
-  if (count * 8 > reader->remaining()) {
+  // Division, not multiplication: count * 8 wraps u64 on hostile counts
+  // (found by fuzz_wire_frame; the input is pinned under fuzz/crashes/).
+  if (count > reader->remaining() / 8) {
     return Corrupt("int64 vector truncated");
   }
   std::vector<std::int64_t> values(static_cast<std::size_t>(count), 0);

@@ -33,21 +33,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--machine=", &machine_str)) continue;
     if (ParseFlag(argv[i], "--socket=", &socket_path)) continue;
-    std::fprintf(stderr, "dbtf-worker: unknown argument '%s'\n", argv[i]);
+    (void)std::fprintf(stderr, "dbtf-worker: unknown argument '%s'\n", argv[i]);
     return 2;
   }
   if (machine_str.empty() || socket_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: dbtf-worker --machine=<m> --socket=<path>\n"
-                 "Spawned by the dbtf driver's socket transport; not meant "
-                 "to be run by hand.\n");
+    (void)std::fprintf(stderr,
+                       "usage: dbtf-worker --machine=<m> --socket=<path>\n"
+                       "Spawned by the dbtf driver's socket transport; not "
+                       "meant to be run by hand.\n");
     return 2;
   }
   char* end = nullptr;
   const long machine = std::strtol(machine_str.c_str(), &end, 10);
   if (end == nullptr || *end != '\0' || machine < 0) {
-    std::fprintf(stderr, "dbtf-worker: bad --machine value '%s'\n",
-                 machine_str.c_str());
+    (void)std::fprintf(stderr, "dbtf-worker: bad --machine value '%s'\n",
+                       machine_str.c_str());
     return 2;
   }
 
@@ -55,22 +55,23 @@ int main(int argc, char** argv) {
   std::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
   if (socket_path.size() + 1 > sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "dbtf-worker: socket path too long: %s\n",
-                 socket_path.c_str());
+    (void)std::fprintf(stderr, "dbtf-worker: socket path too long: %s\n",
+                       socket_path.c_str());
     return 2;
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    std::fprintf(stderr, "dbtf-worker: socket: %s\n", std::strerror(errno));
+    (void)std::fprintf(stderr, "dbtf-worker: socket: %s\n",
+                       std::strerror(errno));
     return 1;
   }
   // The driver listens before it forks us, so a single connect suffices.
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    std::fprintf(stderr, "dbtf-worker: connect %s: %s\n", socket_path.c_str(),
-                 std::strerror(errno));
+    (void)std::fprintf(stderr, "dbtf-worker: connect %s: %s\n",
+                       socket_path.c_str(), std::strerror(errno));
     (void)::close(fd);
     return 1;
   }
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
       dbtf::RunWorkerServer(fd, static_cast<int>(machine));
   (void)::close(fd);
   if (!status.ok()) {
-    std::fprintf(stderr, "dbtf-worker: %s\n", status.ToString().c_str());
+    (void)std::fprintf(stderr, "dbtf-worker: %s\n", status.ToString().c_str());
     return 1;
   }
   return 0;

@@ -1,0 +1,18 @@
+// Fixture: one wire message whose codec pair covers every field.
+#ifndef FIXTURE_DIST_MESSAGES_H_
+#define FIXTURE_DIST_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbtf {
+
+struct FactorDelta {
+  int mode = 0;
+  std::int64_t rows = 0;
+  std::vector<std::uint64_t> updates;
+};
+
+}  // namespace dbtf
+
+#endif  // FIXTURE_DIST_MESSAGES_H_

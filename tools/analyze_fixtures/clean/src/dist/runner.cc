@@ -1,0 +1,19 @@
+// Fixture: every Status-returning call is consumed — checked, propagated,
+// or dropped explicitly — so discarded-status stays quiet.
+#include "common/status.h"
+
+namespace dbtf {
+
+Status Load();
+Status Store();
+
+Status Run() {
+  Status loaded = Load();
+  if (!loaded.ok()) return loaded;
+  DBTF_RETURN_IF_ERROR(Store());
+  DBTF_IGNORE_ERROR(Store());  // best-effort flush, drop deliberately
+  (void)Load();
+  return Status::OK();
+}
+
+}  // namespace dbtf

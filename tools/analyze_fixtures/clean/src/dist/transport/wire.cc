@@ -1,0 +1,23 @@
+// Fixture: encoder and decoder both reference every FactorDelta field.
+#include "dist/messages.h"
+
+namespace dbtf {
+
+std::vector<std::uint8_t> EncodeFactorDelta(const FactorDelta& msg) {
+  std::vector<std::uint8_t> bytes;
+  Append(&bytes, msg.mode);
+  Append(&bytes, msg.rows);
+  Append(&bytes, msg.updates);
+  return bytes;
+}
+
+bool DecodeFactorDelta(const std::vector<std::uint8_t>& bytes,
+                       FactorDelta* msg) {
+  Cursor r(bytes);
+  msg->mode = r.TakeInt();
+  msg->rows = r.TakeI64();
+  msg->updates = r.TakeWords();
+  return r.AtEnd();
+}
+
+}  // namespace dbtf

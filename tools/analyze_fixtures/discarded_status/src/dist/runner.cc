@@ -1,0 +1,26 @@
+// Fixture: two discarded Status results — a bare call statement and a
+// member-call chain — among correctly consumed ones. The discarded-status
+// rule must flag exactly the two drops.
+#include "common/status.h"
+
+namespace dbtf {
+
+Status Flush();
+
+class Store {
+ public:
+  Status Persist();
+};
+
+Status Run(Store& store) {
+  Flush();                    // BAD: Status discarded
+  store.Persist();            // BAD: Status discarded through a member call
+  DBTF_RETURN_IF_ERROR(Flush());
+  Status persisted = store.Persist();
+  if (!persisted.ok()) return persisted;
+  DBTF_IGNORE_ERROR(Flush());
+  (void)store.Persist();
+  return Status::OK();
+}
+
+}  // namespace dbtf

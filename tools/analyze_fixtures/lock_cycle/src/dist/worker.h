@@ -1,0 +1,39 @@
+// Fixture: Step acquires mu_a_ then mu_b_; Rebalance acquires mu_b_ then
+// calls Recount, which takes mu_a_ — an a->b->a cycle through the call
+// graph. The lock-order rule must report the cycle with both edges.
+#ifndef FIXTURE_DIST_WORKER_H_
+#define FIXTURE_DIST_WORKER_H_
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dbtf {
+
+class Worker {
+ public:
+  void Step() {
+    MutexLock outer(mu_a_);
+    MutexLock inner(mu_b_);
+    steps_ += 1;
+  }
+
+  void Rebalance() {
+    MutexLock lock(mu_b_);
+    Recount();
+  }
+
+ private:
+  void Recount() {
+    MutexLock lock(mu_a_);
+    recounts_ += 1;
+  }
+
+  Mutex mu_a_;
+  Mutex mu_b_;
+  int steps_ DBTF_GUARDED_BY(mu_b_) = 0;
+  int recounts_ DBTF_GUARDED_BY(mu_a_) = 0;
+};
+
+}  // namespace dbtf
+
+#endif  // FIXTURE_DIST_WORKER_H_

@@ -1,0 +1,30 @@
+// Fixture: total_ is mutated under MutexLock but carries no DBTF_GUARDED_BY
+// annotation; samples_ shows the annotated (clean) form. The guarded-by
+// rule must flag exactly total_.
+#ifndef FIXTURE_DIST_COUNTER_H_
+#define FIXTURE_DIST_COUNTER_H_
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dbtf {
+
+class Counter {
+ public:
+  void Add(int value) {
+    MutexLock lock(mu_);
+    total_ += value;
+    samples_.push_back(value);
+  }
+
+ private:
+  Mutex mu_;
+  int total_ = 0;
+  std::vector<int> samples_ DBTF_GUARDED_BY(mu_);
+};
+
+}  // namespace dbtf
+
+#endif  // FIXTURE_DIST_COUNTER_H_

@@ -1,0 +1,23 @@
+// Fixture: FactorDelta::rows is encoded but never decoded, and the second
+// message has no codecs at all. The wire-coverage rule must flag both.
+#ifndef FIXTURE_DIST_MESSAGES_H_
+#define FIXTURE_DIST_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbtf {
+
+struct FactorDelta {
+  int mode = 0;
+  std::int64_t rows = 0;
+  std::vector<std::uint64_t> updates;
+};
+
+struct ShutdownRequest {
+  int reason = 0;
+};
+
+}  // namespace dbtf
+
+#endif  // FIXTURE_DIST_MESSAGES_H_

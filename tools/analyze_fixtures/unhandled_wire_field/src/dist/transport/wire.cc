@@ -1,0 +1,23 @@
+// Fixture: DecodeFactorDelta forgot msg->rows; ShutdownRequest has no
+// codecs at all.
+#include "dist/messages.h"
+
+namespace dbtf {
+
+std::vector<std::uint8_t> EncodeFactorDelta(const FactorDelta& msg) {
+  std::vector<std::uint8_t> bytes;
+  Append(&bytes, msg.mode);
+  Append(&bytes, msg.rows);
+  Append(&bytes, msg.updates);
+  return bytes;
+}
+
+bool DecodeFactorDelta(const std::vector<std::uint8_t>& bytes,
+                       FactorDelta* msg) {
+  Cursor r(bytes);
+  msg->mode = r.TakeInt();
+  msg->updates = r.TakeWords();
+  return r.AtEnd();
+}
+
+}  // namespace dbtf

@@ -1,0 +1,20 @@
+// Fixture: CheckpointState::best_error is captured and restored by the
+// session but never serialized or parsed by a blob codec — a snapshot would
+// silently restore it to its default. The ckpt-coverage rule must flag the
+// field against both the Serialize* and the Parse* consumer.
+#ifndef FIXTURE_CKPT_CHECKPOINT_H_
+#define FIXTURE_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+
+namespace dbtf {
+
+struct CheckpointState {
+  std::uint64_t config_fingerprint = 0;
+  std::int64_t iteration = 0;
+  double best_error = 0.0;
+};
+
+}  // namespace dbtf
+
+#endif  // FIXTURE_CKPT_CHECKPOINT_H_

@@ -1,0 +1,31 @@
+// Fixture: the session covers every field — the gap is in the codecs.
+#include "ckpt/checkpoint.h"
+
+namespace dbtf {
+
+class Session {
+ public:
+  CheckpointState BuildCheckpoint() const;
+  void RestoreFromCheckpoint(const CheckpointState& ck);
+
+ private:
+  std::uint64_t fingerprint_ = 0;
+  std::int64_t iteration_ = 0;
+  double best_error_ = 0.0;
+};
+
+CheckpointState Session::BuildCheckpoint() const {
+  CheckpointState ck;
+  ck.config_fingerprint = fingerprint_;
+  ck.iteration = iteration_;
+  ck.best_error = best_error_;
+  return ck;
+}
+
+void Session::RestoreFromCheckpoint(const CheckpointState& ck) {
+  fingerprint_ = ck.config_fingerprint;
+  iteration_ = ck.iteration;
+  best_error_ = ck.best_error;
+}
+
+}  // namespace dbtf
