@@ -1,12 +1,27 @@
-// google-benchmark micro-benchmarks for the hot kernels of the library:
-// packed Boolean row summation (OR), error counting (XOR + popcount), cache
-// table construction and lookup, Boolean matrix product, and partitioning.
+// Micro-benchmarks for the hot kernels of the library.
+//
+// Two modes:
+//  * default: google-benchmark over every compiled Boolean kernel backend
+//    (portable / avx2 / avx512) plus the higher-level hot paths (cache table,
+//    Boolean product, partitioning, reconstruction error);
+//  * --json: self-timed per-backend kernel throughput written to stdout as
+//    the BENCH_kernels.json schema consumed by tools/bench_kernels_check.py.
+//    The gate asserts the dispatched backend is no slower than portable on
+//    popcount / xor_popcount and that ratios have not regressed vs the
+//    committed baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/random.h"
 #include "dbtf/cache_table.h"
 #include "dbtf/partition.h"
@@ -17,30 +32,74 @@
 namespace dbtf {
 namespace {
 
-void BM_OrInto(benchmark::State& state) {
-  const std::size_t words = static_cast<std::size_t>(state.range(0));
-  std::vector<BitWord> dst(words, 0x5555555555555555ULL);
-  std::vector<BitWord> src(words, 0x0F0F0F0F0F0F0F0FULL);
-  for (auto _ : state) {
-    OrInto(dst.data(), src.data(), words);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(words) * 8);
-}
-BENCHMARK(BM_OrInto)->Arg(4)->Arg(64)->Arg(1024);
+// ---------------------------------------------------------------------------
+// Per-backend kernel benchmarks (google-benchmark mode)
+// ---------------------------------------------------------------------------
 
-void BM_XorPopCount(benchmark::State& state) {
-  const std::size_t words = static_cast<std::size_t>(state.range(0));
-  std::vector<BitWord> a(words, 0x5555555555555555ULL);
-  std::vector<BitWord> b(words, 0x0F0F0F0F0F0F0F0FULL);
+struct KernelInputs {
+  explicit KernelInputs(std::size_t bits)
+      : bits(bits),
+        a(WordsForBits(bits), 0x5555555555555555ULL),
+        b(WordsForBits(bits), 0x0F0F0F0F0F0F0F0FULL),
+        dst(WordsForBits(bits), 0) {}
+
+  BitSpan A() const { return BitSpan(a.data(), bits); }
+  BitSpan B() const { return BitSpan(b.data(), bits); }
+  MutableBitSpan Dst() { return MutableBitSpan(dst.data(), bits); }
+
+  std::size_t bits;
+  std::vector<BitWord> a;
+  std::vector<BitWord> b;
+  std::vector<BitWord> dst;
+};
+
+void BM_Popcount(benchmark::State& state, const BoolKernels* k) {
+  KernelInputs in(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(XorPopCount(a.data(), b.data(), words));
+    benchmark::DoNotOptimize(k->popcount(in.A()));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(words) * 16);
+                          static_cast<std::int64_t>(in.A().words()) * 8);
 }
-BENCHMARK(BM_XorPopCount)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_XorPopcount(benchmark::State& state, const BoolKernels* k) {
+  KernelInputs in(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->xor_popcount(in.A(), in.B()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.A().words()) * 16);
+}
+
+void BM_OrInto(benchmark::State& state, const BoolKernels* k) {
+  KernelInputs in(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    k->or_into(in.Dst(), in.A());
+    benchmark::DoNotOptimize(in.dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.A().words()) * 16);
+}
+
+void RegisterBackendBenchmarks() {
+  for (const KernelBackend backend : SupportedKernelBackends()) {
+    const BoolKernels* k = KernelsFor(backend).value();
+    const std::string suffix = std::string("/") + k->name;
+    benchmark::RegisterBenchmark(("BM_Popcount" + suffix).c_str(),
+                                 BM_Popcount, k)
+        ->Arg(256)->Arg(4096)->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_XorPopcount" + suffix).c_str(),
+                                 BM_XorPopcount, k)
+        ->Arg(256)->Arg(4096)->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_OrInto" + suffix).c_str(),
+                                 BM_OrInto, k)
+        ->Arg(256)->Arg(4096)->Arg(65536);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Higher-level hot paths (use the dispatched backend)
+// ---------------------------------------------------------------------------
 
 void BM_CacheTableBuild(benchmark::State& state) {
   const int rank = static_cast<int>(state.range(0));
@@ -60,12 +119,13 @@ void BM_CacheTableLookup(benchmark::State& state) {
   auto cache = CacheTable::Build(ms_t, 15).value();
   std::vector<BitWord> scratch(
       static_cast<std::size_t>(ms_t.words_per_row()));
+  const MutableBitSpan scr(scratch.data(), scratch.size() * kBitsPerWord);
   std::uint64_t key = 1;
   const std::uint64_t mask = LowBitsMask(static_cast<std::size_t>(rank));
   for (auto _ : state) {
     key = (key * 2862933555777941757ULL + 3037000493ULL) & mask;
     benchmark::DoNotOptimize(
-        cache.Lookup(key, 0, ms_t.words_per_row(), scratch.data()));
+        cache.Lookup(key, 0, ms_t.words_per_row(), scr).data());
   }
 }
 BENCHMARK(BM_CacheTableLookup)->Arg(8)->Arg(15)->Arg(20)->Arg(40);
@@ -77,12 +137,13 @@ void BM_UncachedLookup(benchmark::State& state) {
   auto cache = CacheTable::Build(ms_t, 15, /*enabled=*/false).value();
   std::vector<BitWord> scratch(
       static_cast<std::size_t>(ms_t.words_per_row()));
+  const MutableBitSpan scr(scratch.data(), scratch.size() * kBitsPerWord);
   std::uint64_t key = 1;
   const std::uint64_t mask = LowBitsMask(static_cast<std::size_t>(rank));
   for (auto _ : state) {
     key = (key * 2862933555777941757ULL + 3037000493ULL) & mask;
     benchmark::DoNotOptimize(
-        cache.Lookup(key, 0, ms_t.words_per_row(), scratch.data()));
+        cache.Lookup(key, 0, ms_t.words_per_row(), scr).data());
   }
 }
 BENCHMARK(BM_UncachedLookup)->Arg(8)->Arg(15)->Arg(20)->Arg(40);
@@ -123,7 +184,130 @@ void BM_ReconstructionError(benchmark::State& state) {
 }
 BENCHMARK(BM_ReconstructionError)->Arg(64)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// --json mode: self-timed throughput in the BENCH_kernels.json schema
+// ---------------------------------------------------------------------------
+
+/// Median-of-three GiB/s for `op`, where one call touches `bytes` bytes.
+template <typename Op>
+double MeasureGibPerS(Op&& op, double bytes) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm up caches and the dispatch path
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    std::int64_t calls = 1;
+    for (;;) {
+      const auto start = Clock::now();
+      for (std::int64_t i = 0; i < calls; ++i) op();
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (secs >= 0.02) {
+        const double gib =
+            bytes * static_cast<double>(calls) / (1024.0 * 1024.0 * 1024.0);
+        best = std::max(best, gib / secs);
+        break;
+      }
+      calls *= 4;
+    }
+  }
+  return best;
+}
+
+struct OpResult {
+  const char* op;
+  double gib_per_s;
+};
+
+std::vector<OpResult> MeasureBackend(const BoolKernels* k) {
+  constexpr std::size_t kBits = std::size_t{1} << 20;  // 128 KiB per operand
+  KernelInputs in(kBits);
+  const double words_bytes = static_cast<double>(in.A().words()) * 8.0;
+  std::int64_t sink = 0;
+  bool bsink = false;
+  std::vector<OpResult> out;
+  out.push_back({"popcount", MeasureGibPerS(
+      [&] { sink += k->popcount(in.A()); }, words_bytes)});
+  out.push_back({"xor_popcount", MeasureGibPerS(
+      [&] { sink += k->xor_popcount(in.A(), in.B()); }, 2 * words_bytes)});
+  out.push_back({"and_popcount", MeasureGibPerS(
+      [&] { sink += k->and_popcount(in.A(), in.B()); }, 2 * words_bytes)});
+  out.push_back({"andnot_popcount", MeasureGibPerS(
+      [&] { sink += k->andnot_popcount(in.A(), in.B()); }, 2 * words_bytes)});
+  out.push_back({"or_into", MeasureGibPerS(
+      [&] { k->or_into(in.Dst(), in.A()); }, 2 * words_bytes)});
+  out.push_back({"or_out", MeasureGibPerS(
+      [&] { k->or_out(in.Dst(), in.A(), in.B()); }, 3 * words_bytes)});
+  out.push_back({"andnot_out", MeasureGibPerS(
+      [&] { k->andnot_out(in.Dst(), in.A(), in.B()); }, 3 * words_bytes)});
+  // Predicates get inputs that do NOT short-circuit: an all-zero operand
+  // for all_zero and equal operands for equal, so the full span is scanned.
+  const std::vector<BitWord> zeros(in.a.size(), 0);
+  const std::vector<BitWord> a_copy(in.a);
+  const BitSpan sz(zeros.data(), kBits);
+  const BitSpan sa_copy(a_copy.data(), kBits);
+  out.push_back({"all_zero", MeasureGibPerS(
+      [&] { bsink ^= k->all_zero(sz); }, words_bytes)});
+  out.push_back({"equal", MeasureGibPerS(
+      [&] { bsink ^= k->equal(in.A(), sa_copy); }, 2 * words_bytes)});
+  benchmark::DoNotOptimize(sink);
+  benchmark::DoNotOptimize(bsink);
+  return out;
+}
+
+int JsonMain() {
+  const std::vector<KernelBackend> backends = SupportedKernelBackends();
+  std::vector<std::vector<OpResult>> results;
+  std::vector<const char*> names;
+  for (const KernelBackend backend : backends) {
+    const BoolKernels* k = KernelsFor(backend).value();
+    std::fprintf(stderr, "measuring backend %s...\n", k->name);
+    names.push_back(k->name);
+    results.push_back(MeasureBackend(k));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"dbtf-bench-kernels-v1\",\n");
+  std::printf("  \"bits\": %zu,\n", std::size_t{1} << 20);
+  std::printf("  \"dispatched\": \"%s\",\n",
+              KernelBackendName(ActiveKernelBackend()));
+  std::printf("  \"backends\": {\n");
+  for (std::size_t b = 0; b < results.size(); ++b) {
+    std::printf("    \"%s\": {", names[b]);
+    for (std::size_t i = 0; i < results[b].size(); ++i) {
+      std::printf("%s\"%s\": %.3f", i ? ", " : "", results[b][i].op,
+                  results[b][i].gib_per_s);
+    }
+    std::printf("}%s\n", b + 1 < results.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  // Portable is always entry 0 of SupportedKernelBackends().
+  std::printf("  \"speedup_vs_portable\": {\n");
+  for (std::size_t b = 0; b < results.size(); ++b) {
+    std::printf("    \"%s\": {", names[b]);
+    for (std::size_t i = 0; i < results[b].size(); ++i) {
+      const double base = results[0][i].gib_per_s;
+      const double ratio =
+          base > 0.0 ? results[b][i].gib_per_s / base : 0.0;
+      std::printf("%s\"%s\": %.3f", i ? ", " : "", results[b][i].op, ratio);
+    }
+    std::printf("}%s\n", b + 1 < results.size() ? "," : "");
+  }
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace dbtf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return dbtf::JsonMain();
+  }
+  dbtf::RegisterBackendBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

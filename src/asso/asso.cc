@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/random.h"
 #include "common/timer.h"
 
@@ -46,7 +48,7 @@ Result<AssoResult> AssoFactorize(const BitMatrix& x, const AssoConfig& config) {
 
   // Columns of X packed as rows (m-bit), for fast pairwise intersections.
   const BitMatrix xt = x.Transpose();
-  const std::size_t col_words = static_cast<std::size_t>(xt.words_per_row());
+  const BoolKernels& kernels = Kernels();
   std::vector<std::int64_t> col_nnz(static_cast<std::size_t>(n));
   for (std::int64_t j = 0; j < n; ++j) {
     col_nnz[static_cast<std::size_t>(j)] = xt.RowNnz(j);
@@ -86,13 +88,10 @@ Result<AssoResult> AssoFactorize(const BitMatrix& x, const AssoConfig& config) {
     }
     const std::int64_t base = col_nnz[static_cast<std::size_t>(seed_col)];
     if (base == 0) continue;
-    const BitWord* seed_words = xt.RowData(seed_col);
+    const BitSpan seed_col_bits = xt.Row(seed_col);
     for (std::int64_t j = 0; j < n; ++j) {
-      std::int64_t inter = 0;
-      const BitWord* other = xt.RowData(j);
-      for (std::size_t w = 0; w < col_words; ++w) {
-        inter += PopCount(seed_words[w] & other[w]);
-      }
+      const std::int64_t inter =
+          kernels.and_popcount(seed_col_bits, xt.Row(j));
       if (static_cast<double>(inter) >=
           config.threshold * static_cast<double>(base)) {
         candidates.Set(num_candidates, j, true);
@@ -108,11 +107,11 @@ Result<AssoResult> AssoFactorize(const BitMatrix& x, const AssoConfig& config) {
 
   // Greedy cover: R rounds, each committing the candidate with the best
   // weighted gain over the current cover.
-  const std::size_t row_words = static_cast<std::size_t>(x.words_per_row());
   BitMatrix covered(m, n);  // current reconstruction U o S^T
   BitMatrix u(m, config.rank);
   BitMatrix s(n, config.rank);
-  std::vector<BitWord> newly(row_words);
+  std::vector<BitWord> newly(static_cast<std::size_t>(x.words_per_row()));
+  const MutableBitSpan fresh(newly.data(), static_cast<std::size_t>(n));
 
   for (std::int64_t r = 0; r < config.rank; ++r) {
     double best_gain = 0.0;
@@ -124,18 +123,14 @@ Result<AssoResult> AssoFactorize(const BitMatrix& x, const AssoConfig& config) {
       if ((cand & 15) == 0 && expired()) {
         return Status::DeadlineExceeded("ASSO: greedy cover");
       }
-      const BitWord* basis = candidates.RowData(cand);
+      const BitSpan basis = candidates.Row(cand);
       double gain = 0.0;
       for (std::int64_t i = 0; i < m; ++i) {
-        const BitWord* cov = covered.RowData(i);
-        const BitWord* xi = x.RowData(i);
-        std::int64_t plus = 0;
-        std::int64_t minus = 0;
-        for (std::size_t w = 0; w < row_words; ++w) {
-          const BitWord fresh = basis[w] & ~cov[w];
-          plus += PopCount(fresh & xi[w]);
-          minus += PopCount(fresh & ~xi[w]);
-        }
+        // fresh = entries this basis would newly cover in row i.
+        kernels.andnot_out(fresh, basis, covered.Row(i));
+        const BitSpan xi = x.Row(i);
+        const std::int64_t plus = kernels.and_popcount(fresh, xi);
+        const std::int64_t minus = kernels.andnot_popcount(fresh, xi);
         const double row_gain = config.weight_plus * static_cast<double>(plus) -
                                 config.weight_minus * static_cast<double>(minus);
         usage[static_cast<std::size_t>(i)] = row_gain > 0.0 ? 1 : 0;
@@ -151,17 +146,14 @@ Result<AssoResult> AssoFactorize(const BitMatrix& x, const AssoConfig& config) {
     if (best_candidate < 0) break;  // No candidate improves the cover.
 
     // Commit basis vector r.
-    const BitWord* basis = candidates.RowData(best_candidate);
-    for (std::int64_t j = 0; j < n; ++j) {
-      if ((basis[WordIndex(static_cast<std::size_t>(j))] &
-           BitMask(static_cast<std::size_t>(j))) != 0) {
-        s.Set(j, r, true);
-      }
-    }
+    const BitSpan basis = candidates.Row(best_candidate);
+    ForEachSetBit(basis, [&](std::size_t j) {
+      s.Set(static_cast<std::int64_t>(j), r, true);
+    });
     for (std::int64_t i = 0; i < m; ++i) {
       if (best_usage[static_cast<std::size_t>(i)] != 0) {
         u.Set(i, r, true);
-        OrInto(covered.MutableRowData(i), basis, row_words);
+        kernels.or_into(covered.MutableRow(i), basis);
       }
     }
   }

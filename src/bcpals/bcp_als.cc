@@ -3,6 +3,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/timer.h"
 #include "tensor/boolean_ops.h"
 #include "tensor/unfold.h"
@@ -41,18 +43,19 @@ std::int64_t NaiveUpdateFactor(const BitMatrix& unfolded, BitMatrix* factor,
                                const std::function<bool()>& expired) {
   const std::int64_t rows = factor->rows();
   const std::int64_t rank = factor->cols();
-  const std::size_t words = static_cast<std::size_t>(krt.words_per_row());
-  std::vector<BitWord> summation(words);
+  std::vector<BitWord> summation(
+      static_cast<std::size_t>(krt.words_per_row()));
+  const MutableBitSpan sum(summation.data(),
+                           static_cast<std::size_t>(krt.cols()));
+  const BoolKernels& kernels = Kernels();
 
   const auto row_error = [&](std::int64_t r, std::uint64_t mask) {
     std::fill(summation.begin(), summation.end(), BitWord{0});
-    std::uint64_t bits = mask;
-    while (bits != 0) {
-      const int idx = std::countr_zero(bits);
-      bits &= bits - 1;
-      OrInto(summation.data(), krt.RowData(idx), words);
-    }
-    return XorPopCount(summation.data(), unfolded.RowData(r), words);
+    ForEachSetBit(BitSpan(&mask, static_cast<std::size_t>(rank)),
+                  [&](std::size_t idx) {
+      kernels.or_into(sum, krt.Row(static_cast<std::int64_t>(idx)));
+    });
+    return kernels.xor_popcount(sum, unfolded.Row(r));
   };
 
   std::int64_t final_error = 0;

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "bcpals/bcp_als.h"
+#include "common/env.h"
+#include "common/kernels/kernels.h"
 #include "common/timer.h"
 #include "dbtf/dbtf.h"
 #include "dist/transport/transport.h"
@@ -169,6 +171,14 @@ Status RunFactorize(FlagParser* flags) {
     // Transport seam: in-process workers (default) or one dbtf-worker OS
     // process per machine over local sockets. Validation happens inside
     // Cluster::Create via ClusterConfig::Validate.
+    // Boolean kernel backend: auto (default) resolves to the widest SIMD
+    // level the build and CPU support; results are bitwise identical across
+    // backends, so this is purely a throughput knob. Precedence: --kernel,
+    // then DBTF_KERNEL (how forked dbtf-worker processes inherit the
+    // driver's choice), then auto.
+    const std::string kernel =
+        flags->GetString("kernel", GetEnvString("DBTF_KERNEL", "auto"));
+    DBTF_ASSIGN_OR_RETURN(config.kernel_backend, ParseKernelBackend(kernel));
     const std::string transport = flags->GetString("transport", "inproc");
     DBTF_ASSIGN_OR_RETURN(config.cluster.transport.kind,
                           ParseTransportKind(transport));
@@ -219,6 +229,7 @@ Status RunFactorize(FlagParser* flags) {
                 result.virtual_seconds, config.cluster.num_machines);
     std::printf("transport      : %s\n",
                 TransportKindName(config.cluster.transport.kind));
+    std::printf("kernels        : %s\n", result.kernel_backend.c_str());
     std::printf("network        : %s\n", result.comm.ToString().c_str());
     std::printf("cache tables   : %lld entries, %lld bytes (peak)\n",
                 static_cast<long long>(result.cache_entries),
@@ -412,6 +423,10 @@ std::string UsageText() {
       "              --output-prefix PFX --time-budget-seconds S]\n"
       "             dbtf: [--initial-sets L --partitions N --machines M\n"
       "                    --cache-group-size V --max-retries K\n"
+      "                    --kernel=auto|portable|avx2|avx512 (Boolean\n"
+      "                    kernel backend; auto picks the widest SIMD level\n"
+      "                    the CPU supports, results are bitwise identical;\n"
+      "                    default from $DBTF_KERNEL when set)\n"
       "                    --transport=inproc|socket (socket runs one\n"
       "                    dbtf-worker process per machine; factors and\n"
       "                    ledgers are bitwise identical across transports)\n"

@@ -33,43 +33,14 @@ constexpr BitWord LowBitsMask(std::size_t n) {
   return n >= kBitsPerWord ? ~BitWord{0} : ((BitWord{1} << n) - 1);
 }
 
-/// Population count of one word.
+/// Population count of one word. This is the only PopCount in the library:
+/// the old multi-word overloads (PopCount(const BitWord*, n), XorPopCount,
+/// OrInto, OrOut, AllZero) moved behind common/kernels/kernels.h, which
+/// takes BitSpan views — so a single-word call can no longer silently bind
+/// to an array overload or vice versa. Multi-word loops outside
+/// src/common/kernels/ are rejected by tools/dbtf_analyze.py
+/// (kernel-confinement).
 inline int PopCount(BitWord w) { return std::popcount(w); }
-
-/// Population count over `n` words.
-inline std::int64_t PopCount(const BitWord* words, std::size_t n) {
-  std::int64_t total = 0;
-  for (std::size_t i = 0; i < n; ++i) total += std::popcount(words[i]);
-  return total;
-}
-
-/// Number of positions that differ between two n-word bit strings
-/// (the Boolean reconstruction-error kernel).
-inline std::int64_t XorPopCount(const BitWord* a, const BitWord* b,
-                                std::size_t n) {
-  std::int64_t total = 0;
-  for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
-  return total;
-}
-
-/// dst |= src over n words (Boolean row summation kernel).
-inline void OrInto(BitWord* dst, const BitWord* src, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
-}
-
-/// dst = a | b over n words.
-inline void OrOut(BitWord* dst, const BitWord* a, const BitWord* b,
-                  std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
-}
-
-/// True iff all n words are zero.
-inline bool AllZero(const BitWord* words, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    if (words[i] != 0) return false;
-  }
-  return true;
-}
 
 }  // namespace dbtf
 

@@ -1,0 +1,137 @@
+#ifndef DBTF_COMMON_BITSPAN_H_
+#define DBTF_COMMON_BITSPAN_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitops.h"
+#include "common/check.h"
+
+namespace dbtf {
+
+/// Non-owning view over a packed bit string: a `BitWord` pointer plus the
+/// *logical* bit length. The storage behind the pointer must hold
+/// `WordsForBits(bits())` words; bits at positions >= bits() in the final
+/// word are padding, and every kernel masks them out, so views may be taken
+/// over slices whose tail word carries live neighbouring data (cache-table
+/// rows, unfolding blocks).
+///
+/// This replaces the raw `(const BitWord*, std::size_t n_words)` calling
+/// convention: the length travels with the pointer and is in bits, so call
+/// sites cannot mix up word counts and bit counts or drop a tail mask.
+class BitSpan {
+ public:
+  constexpr BitSpan() = default;
+  constexpr BitSpan(const BitWord* data, std::size_t bits)
+      : data_(data), bits_(bits) {}
+
+  const BitWord* data() const { return data_; }
+  std::size_t bits() const { return bits_; }
+  std::size_t words() const { return WordsForBits(bits_); }
+  bool empty() const { return bits_ == 0; }
+
+  /// Storage word `i`. The final word may carry padding beyond bits().
+  BitWord word(std::size_t i) const {
+    DBTF_DCHECK(i < words(), "BitSpan word index out of range");
+    return data_[i];
+  }
+
+  /// Bit at logical position `pos`.
+  bool Get(std::size_t pos) const {
+    DBTF_DCHECK(pos < bits_, "BitSpan bit index out of range");
+    return (data_[WordIndex(pos)] & BitMask(pos)) != 0;
+  }
+
+  /// Mask of the valid bits in the final storage word; all-ones when the
+  /// length is word-aligned (including the empty span, which has no words).
+  BitWord tail_mask() const { return LowBitsMask0IsFull(bits_); }
+
+  /// View of the first `bits` bits.
+  BitSpan Prefix(std::size_t bits) const {
+    DBTF_DCHECK(bits <= bits_, "BitSpan prefix longer than span");
+    return BitSpan(data_, bits);
+  }
+
+ private:
+  /// LowBitsMask of bits % 64, with the 0 remainder mapping to a full word.
+  static constexpr BitWord LowBitsMask0IsFull(std::size_t bits) {
+    const std::size_t rem = bits % kBitsPerWord;
+    return rem == 0 ? ~BitWord{0} : LowBitsMask(rem);
+  }
+
+  const BitWord* data_ = nullptr;
+  std::size_t bits_ = 0;
+};
+
+/// Mutable counterpart of BitSpan. Converts implicitly to BitSpan so mixed
+/// read/write call sites stay terse.
+class MutableBitSpan {
+ public:
+  constexpr MutableBitSpan() = default;
+  constexpr MutableBitSpan(BitWord* data, std::size_t bits)
+      : data_(data), bits_(bits) {}
+
+  constexpr operator BitSpan() const {  // NOLINT(runtime/explicit)
+    return BitSpan(data_, bits_);
+  }
+
+  BitWord* data() const { return data_; }
+  std::size_t bits() const { return bits_; }
+  std::size_t words() const { return WordsForBits(bits_); }
+  bool empty() const { return bits_ == 0; }
+  BitWord tail_mask() const { return BitSpan(*this).tail_mask(); }
+
+  bool Get(std::size_t pos) const { return BitSpan(*this).Get(pos); }
+
+  /// Sets bit `pos` to `value`.
+  void Set(std::size_t pos, bool value) const {
+    DBTF_DCHECK(pos < bits_, "MutableBitSpan bit index out of range");
+    BitWord& w = data_[WordIndex(pos)];
+    if (value) {
+      w |= BitMask(pos);
+    } else {
+      w &= ~BitMask(pos);
+    }
+  }
+
+  MutableBitSpan Prefix(std::size_t bits) const {
+    DBTF_DCHECK(bits <= bits_, "MutableBitSpan prefix longer than span");
+    return MutableBitSpan(data_, bits);
+  }
+
+ private:
+  BitWord* data_ = nullptr;
+  std::size_t bits_ = 0;
+};
+
+/// Invokes fn(pos) for every set bit of `span` in ascending position order.
+/// Padding bits in the final word are ignored. This is the one sanctioned
+/// way to walk set bits outside src/common/kernels/.
+template <typename Fn>
+void ForEachSetBit(BitSpan span, Fn&& fn) {
+  const std::size_t nw = span.words();
+  if (nw == 0) return;
+  const BitWord* w = span.data();
+  for (std::size_t i = 0; i + 1 < nw; ++i) {
+    for (BitWord m = w[i]; m != 0; m &= m - 1) {
+      fn(i * kBitsPerWord + static_cast<std::size_t>(std::countr_zero(m)));
+    }
+  }
+  for (BitWord m = w[nw - 1] & span.tail_mask(); m != 0; m &= m - 1) {
+    fn((nw - 1) * kBitsPerWord + static_cast<std::size_t>(std::countr_zero(m)));
+  }
+}
+
+/// True iff the padding bits beyond span.bits() in the final storage word
+/// are all clear. Decoders use this to reject payloads that smuggle data in
+/// padding (which would silently corrupt whole-word kernels downstream).
+inline bool TailPaddingZero(BitSpan span) {
+  const std::size_t nw = span.words();
+  if (nw == 0) return true;
+  return (span.data()[nw - 1] & ~span.tail_mask()) == 0;
+}
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_BITSPAN_H_

@@ -1,0 +1,218 @@
+/// AVX2 backend: 256-bit lanes, popcount via the vpshufb nibble-lookup
+/// technique (Muła/Kurz/Lemire, "Faster population counts using AVX2
+/// instructions"). Compiled with -mavx2 via per-file flags; dispatch.cc only
+/// selects this table after __builtin_cpu_supports("avx2"), so no code here
+/// may run on a CPU without it.
+///
+/// Structure shared by every op: the last storage word is always handled in
+/// scalar code against tail_mask(), the first words() - 1 words in 4-word
+/// vector chunks plus a scalar remainder. Loads are unaligned (loadu) —
+/// spans come from arbitrary row offsets inside packed matrices.
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitspan.h"
+#include "common/check.h"
+#include "common/kernels/backends.h"
+#include "common/kernels/kernels.h"
+
+namespace dbtf::kernels_internal {
+namespace {
+
+constexpr std::size_t kWordsPerVec = 4;  // 256 bits
+
+inline __m256i LoadU(const BitWord* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void StoreU(BitWord* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// Per-64-bit-lane popcount of `v` (each lane holds a count <= 64).
+inline __m256i Popcnt256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  // Sum the 8-bit counts within each 64-bit lane.
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::int64_t HorizontalSum(__m256i acc) {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+std::int64_t Popcount(BitSpan a) {
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* w = a.data();
+  const std::size_t n_full = nw - 1;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm256_add_epi64(acc, Popcnt256(LoadU(w + i)));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(w[i]);
+  return total + std::popcount(w[n_full] & a.tail_mask());
+}
+
+std::int64_t XorPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm256_add_epi64(
+        acc, Popcnt256(_mm256_xor_si256(LoadU(x + i), LoadU(y + i))));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(x[i] ^ y[i]);
+  return total + std::popcount((x[n_full] ^ y[n_full]) & a.tail_mask());
+}
+
+std::int64_t AndPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm256_add_epi64(
+        acc, Popcnt256(_mm256_and_si256(LoadU(x + i), LoadU(y + i))));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(x[i] & y[i]);
+  return total + std::popcount((x[n_full] & y[n_full]) & a.tail_mask());
+}
+
+std::int64_t AndNotPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    // andnot(y, x) = x & ~y.
+    acc = _mm256_add_epi64(
+        acc, Popcnt256(_mm256_andnot_si256(LoadU(y + i), LoadU(x + i))));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(x[i] & ~y[i]);
+  return total + std::popcount((x[n_full] & ~y[n_full]) & a.tail_mask());
+}
+
+void OrInto(MutableBitSpan dst, BitSpan src) {
+  DBTF_DCHECK_EQ(dst.bits(), src.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* s = src.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    StoreU(d + i, _mm256_or_si256(LoadU(d + i), LoadU(s + i)));
+  }
+  for (; i < n_full; ++i) d[i] |= s[i];
+  d[n_full] |= s[n_full] & dst.tail_mask();
+}
+
+void OrOut(MutableBitSpan dst, BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(dst.bits(), a.bits());
+  DBTF_DCHECK_EQ(dst.bits(), b.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    StoreU(d + i, _mm256_or_si256(LoadU(x + i), LoadU(y + i)));
+  }
+  for (; i < n_full; ++i) d[i] = x[i] | y[i];
+  const BitWord mask = dst.tail_mask();
+  d[n_full] = (d[n_full] & ~mask) | ((x[n_full] | y[n_full]) & mask);
+}
+
+void AndNotOut(MutableBitSpan dst, BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(dst.bits(), a.bits());
+  DBTF_DCHECK_EQ(dst.bits(), b.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    StoreU(d + i, _mm256_andnot_si256(LoadU(y + i), LoadU(x + i)));
+  }
+  for (; i < n_full; ++i) d[i] = x[i] & ~y[i];
+  const BitWord mask = dst.tail_mask();
+  d[n_full] = (d[n_full] & ~mask) | ((x[n_full] & ~y[n_full]) & mask);
+}
+
+bool AllZero(BitSpan a) {
+  const std::size_t nw = a.words();
+  if (nw == 0) return true;
+  const BitWord* w = a.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    const __m256i v = LoadU(w + i);
+    if (_mm256_testz_si256(v, v) == 0) return false;
+  }
+  for (; i < n_full; ++i) {
+    if (w[i] != 0) return false;
+  }
+  return (w[n_full] & a.tail_mask()) == 0;
+}
+
+bool Equal(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return true;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    const __m256i diff = _mm256_xor_si256(LoadU(x + i), LoadU(y + i));
+    if (_mm256_testz_si256(diff, diff) == 0) return false;
+  }
+  for (; i < n_full; ++i) {
+    if (x[i] != y[i]) return false;
+  }
+  return ((x[n_full] ^ y[n_full]) & a.tail_mask()) == 0;
+}
+
+}  // namespace
+
+const BoolKernels kAvx2Kernels = {
+    "avx2",         Popcount, XorPopcount, AndPopcount, AndNotPopcount,
+    OrInto,         OrOut,    AndNotOut,   AllZero,     Equal,
+};
+
+}  // namespace dbtf::kernels_internal

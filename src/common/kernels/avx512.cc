@@ -1,0 +1,210 @@
+/// AVX-512 backend: 512-bit lanes with the native vpopcntq instruction
+/// (VPOPCNTDQ extension). Compiled with -mavx512f -mavx512vpopcntdq via
+/// per-file flags; dispatch.cc only selects this table after
+/// __builtin_cpu_supports confirms both avx512f and avx512vpopcntdq.
+///
+/// Same structure as the AVX2 backend: scalar masked tail word, 8-word
+/// vector chunks over the full-word prefix, unaligned loads throughout.
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitspan.h"
+#include "common/check.h"
+#include "common/kernels/backends.h"
+#include "common/kernels/kernels.h"
+
+namespace dbtf::kernels_internal {
+namespace {
+
+constexpr std::size_t kWordsPerVec = 8;  // 512 bits
+
+inline __m512i LoadU(const BitWord* p) { return _mm512_loadu_si512(p); }
+
+inline void StoreU(BitWord* p, __m512i v) { _mm512_storeu_si512(p, v); }
+
+/// x & ~y via vpternlogq (imm 0x30 = A & ~B). GCC 12's _mm512_andnot_si512
+/// expands through _mm512_undefined_epi32 and trips -Wmaybe-uninitialized,
+/// and ternary logic is the idiomatic AVX-512 spelling anyway.
+inline __m512i AndNot512(__m512i x, __m512i y) {
+  return _mm512_ternarylogic_epi64(x, y, y, 0x30);
+}
+
+/// Explicit lane sum: GCC's _mm512_reduce_add_epi64 expands through
+/// _mm256_undefined_si256 and trips -Wmaybe-uninitialized.
+inline std::int64_t HorizontalSum(__m512i acc) {
+  alignas(64) std::int64_t lanes[8];
+  _mm512_store_si512(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+std::int64_t Popcount(BitSpan a) {
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* w = a.data();
+  const std::size_t n_full = nw - 1;
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(LoadU(w + i)));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(w[i]);
+  return total + std::popcount(w[n_full] & a.tail_mask());
+}
+
+std::int64_t XorPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm512_add_epi64(
+        acc,
+        _mm512_popcnt_epi64(_mm512_xor_si512(LoadU(x + i), LoadU(y + i))));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(x[i] ^ y[i]);
+  return total + std::popcount((x[n_full] ^ y[n_full]) & a.tail_mask());
+}
+
+std::int64_t AndPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm512_add_epi64(
+        acc,
+        _mm512_popcnt_epi64(_mm512_and_si512(LoadU(x + i), LoadU(y + i))));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(x[i] & y[i]);
+  return total + std::popcount((x[n_full] & y[n_full]) & a.tail_mask());
+}
+
+std::int64_t AndNotPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    acc = _mm512_add_epi64(
+        acc,
+        _mm512_popcnt_epi64(AndNot512(LoadU(x + i), LoadU(y + i))));
+  }
+  std::int64_t total = HorizontalSum(acc);
+  for (; i < n_full; ++i) total += std::popcount(x[i] & ~y[i]);
+  return total + std::popcount((x[n_full] & ~y[n_full]) & a.tail_mask());
+}
+
+void OrInto(MutableBitSpan dst, BitSpan src) {
+  DBTF_DCHECK_EQ(dst.bits(), src.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* s = src.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    StoreU(d + i, _mm512_or_si512(LoadU(d + i), LoadU(s + i)));
+  }
+  for (; i < n_full; ++i) d[i] |= s[i];
+  d[n_full] |= s[n_full] & dst.tail_mask();
+}
+
+void OrOut(MutableBitSpan dst, BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(dst.bits(), a.bits());
+  DBTF_DCHECK_EQ(dst.bits(), b.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    StoreU(d + i, _mm512_or_si512(LoadU(x + i), LoadU(y + i)));
+  }
+  for (; i < n_full; ++i) d[i] = x[i] | y[i];
+  const BitWord mask = dst.tail_mask();
+  d[n_full] = (d[n_full] & ~mask) | ((x[n_full] | y[n_full]) & mask);
+}
+
+void AndNotOut(MutableBitSpan dst, BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(dst.bits(), a.bits());
+  DBTF_DCHECK_EQ(dst.bits(), b.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    StoreU(d + i, AndNot512(LoadU(x + i), LoadU(y + i)));
+  }
+  for (; i < n_full; ++i) d[i] = x[i] & ~y[i];
+  const BitWord mask = dst.tail_mask();
+  d[n_full] = (d[n_full] & ~mask) | ((x[n_full] & ~y[n_full]) & mask);
+}
+
+bool AllZero(BitSpan a) {
+  const std::size_t nw = a.words();
+  if (nw == 0) return true;
+  const BitWord* w = a.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    const __m512i v = LoadU(w + i);
+    if (_mm512_test_epi64_mask(v, v) != 0) return false;
+  }
+  for (; i < n_full; ++i) {
+    if (w[i] != 0) return false;
+  }
+  return (w[n_full] & a.tail_mask()) == 0;
+}
+
+bool Equal(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return true;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  const std::size_t n_full = nw - 1;
+  std::size_t i = 0;
+  for (; i + kWordsPerVec <= n_full; i += kWordsPerVec) {
+    if (_mm512_cmpneq_epi64_mask(LoadU(x + i), LoadU(y + i)) != 0) {
+      return false;
+    }
+  }
+  for (; i < n_full; ++i) {
+    if (x[i] != y[i]) return false;
+  }
+  return ((x[n_full] ^ y[n_full]) & a.tail_mask()) == 0;
+}
+
+}  // namespace
+
+const BoolKernels kAvx512Kernels = {
+    "avx512",       Popcount, XorPopcount, AndPopcount, AndNotPopcount,
+    OrInto,         OrOut,    AndNotOut,   AllZero,     Equal,
+};
+
+}  // namespace dbtf::kernels_internal

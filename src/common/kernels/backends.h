@@ -1,0 +1,20 @@
+#ifndef DBTF_COMMON_KERNELS_BACKENDS_H_
+#define DBTF_COMMON_KERNELS_BACKENDS_H_
+
+#include "common/kernels/kernels.h"
+
+/// Internal registry of backend tables. Each table lives in its own
+/// translation unit so ISA-specific code is compiled with per-file flags
+/// (-mavx2 / -mavx512*) and excluded entirely when the toolchain lacks them
+/// or DBTF_KERNELS_PORTABLE_ONLY is set. Only dispatch.cc may reference the
+/// SIMD tables, and only behind the matching DBTF_KERNELS_HAVE_* guard.
+
+namespace dbtf::kernels_internal {
+
+extern const BoolKernels kPortableKernels;
+extern const BoolKernels kAvx2Kernels;    ///< defined iff DBTF_KERNELS_HAVE_AVX2
+extern const BoolKernels kAvx512Kernels;  ///< defined iff DBTF_KERNELS_HAVE_AVX512
+
+}  // namespace dbtf::kernels_internal
+
+#endif  // DBTF_COMMON_KERNELS_BACKENDS_H_

@@ -1,0 +1,167 @@
+/// Backend selection. Resolved once on first use of Kernels() — from the
+/// DBTF_KERNEL environment variable, default auto — and swappable at run
+/// time via SetKernelBackend (the session applies DbtfConfig::kernel_backend
+/// through it). The active table is a pointer to one of a fixed set of
+/// static descriptors, published through an atomic, so selection is
+/// lock-free and allocation-free and readers can race a swap safely.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/kernels/backends.h"
+#include "common/kernels/kernels.h"
+#include "common/status.h"
+
+namespace dbtf {
+namespace {
+
+struct Active {
+  const BoolKernels* table;
+  KernelBackend backend;  ///< concrete backend, never kAuto
+};
+
+constexpr Active kActivePortable{&kernels_internal::kPortableKernels,
+                                 KernelBackend::kPortable};
+#if defined(DBTF_KERNELS_HAVE_AVX2)
+constexpr Active kActiveAvx2{&kernels_internal::kAvx2Kernels,
+                             KernelBackend::kAvx2};
+#endif
+#if defined(DBTF_KERNELS_HAVE_AVX512)
+constexpr Active kActiveAvx512{&kernels_internal::kAvx512Kernels,
+                               KernelBackend::kAvx512};
+#endif
+
+std::atomic<const Active*> g_active{nullptr};
+
+#if defined(__x86_64__) || defined(__i386__)
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+bool CpuHasAvx512() {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+}
+#else
+bool CpuHasAvx2() { return false; }
+bool CpuHasAvx512() { return false; }
+#endif
+
+/// Maps a requested backend to its static descriptor; kAuto picks the widest
+/// backend that is both compiled in and supported by this CPU.
+Result<const Active*> Resolve(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+#if defined(DBTF_KERNELS_HAVE_AVX512)
+      if (CpuHasAvx512()) return &kActiveAvx512;
+#endif
+#if defined(DBTF_KERNELS_HAVE_AVX2)
+      if (CpuHasAvx2()) return &kActiveAvx2;
+#endif
+      return &kActivePortable;
+    case KernelBackend::kPortable:
+      return &kActivePortable;
+    case KernelBackend::kAvx2:
+#if defined(DBTF_KERNELS_HAVE_AVX2)
+      if (CpuHasAvx2()) return &kActiveAvx2;
+      return Status::InvalidArgument(
+          "kernel backend 'avx2' unsupported: CPU lacks AVX2");
+#else
+      return Status::InvalidArgument(
+          "kernel backend 'avx2' was not compiled into this binary");
+#endif
+    case KernelBackend::kAvx512:
+#if defined(DBTF_KERNELS_HAVE_AVX512)
+      if (CpuHasAvx512()) return &kActiveAvx512;
+      return Status::InvalidArgument(
+          "kernel backend 'avx512' unsupported: CPU lacks "
+          "avx512f+avx512vpopcntdq");
+#else
+      return Status::InvalidArgument(
+          "kernel backend 'avx512' was not compiled into this binary");
+#endif
+  }
+  return Status::InvalidArgument("unknown kernel backend");
+}
+
+/// Publishes the choice for forked worker processes (socket transport
+/// spawns dbtf-worker binaries, which initialize their own dispatch from the
+/// inherited environment). Exports the concrete backend, not "auto", so
+/// driver and workers agree even if re-resolution could differ.
+void ExportToEnv(const Active* active) {
+  ::setenv("DBTF_KERNEL", KernelBackendName(active->backend), /*overwrite=*/1);
+}
+
+const Active* LoadOrInit() {
+  const Active* active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) return active;
+  const std::string name = GetEnvString("DBTF_KERNEL", "auto");
+  const Result<KernelBackend> backend = ParseKernelBackend(name);
+  DBTF_CHECK(backend.ok(), "invalid DBTF_KERNEL value '%s'", name.c_str());
+  const Result<const Active*> resolved = Resolve(backend.value());
+  DBTF_CHECK(resolved.ok(), "DBTF_KERNEL=%s: %s", name.c_str(),
+             resolved.status().message().c_str());
+  const Active* expected = nullptr;
+  // On a race the first publisher wins; both candidates are static and any
+  // resolution of the same environment yields the same descriptor.
+  g_active.compare_exchange_strong(expected, resolved.value(),
+                                   std::memory_order_acq_rel);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const BoolKernels& Kernels() { return *LoadOrInit()->table; }
+
+KernelBackend ActiveKernelBackend() { return LoadOrInit()->backend; }
+
+Status SetKernelBackend(KernelBackend backend) {
+  const Result<const Active*> resolved = Resolve(backend);
+  if (!resolved.ok()) return resolved.status();
+  g_active.store(resolved.value(), std::memory_order_release);
+  ExportToEnv(resolved.value());
+  return Status::OK();
+}
+
+std::vector<KernelBackend> SupportedKernelBackends() {
+  std::vector<KernelBackend> backends = {KernelBackend::kPortable};
+#if defined(DBTF_KERNELS_HAVE_AVX2)
+  if (CpuHasAvx2()) backends.push_back(KernelBackend::kAvx2);
+#endif
+#if defined(DBTF_KERNELS_HAVE_AVX512)
+  if (CpuHasAvx512()) backends.push_back(KernelBackend::kAvx512);
+#endif
+  return backends;
+}
+
+Result<const BoolKernels*> KernelsFor(KernelBackend backend) {
+  const Result<const Active*> resolved = Resolve(backend);
+  if (!resolved.ok()) return resolved.status();
+  return resolved.value()->table;
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return "auto";
+    case KernelBackend::kPortable:
+      return "portable";
+    case KernelBackend::kAvx2:
+      return "avx2";
+    case KernelBackend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Result<KernelBackend> ParseKernelBackend(const std::string& name) {
+  if (name == "auto") return KernelBackend::kAuto;
+  if (name == "portable") return KernelBackend::kPortable;
+  if (name == "avx2") return KernelBackend::kAvx2;
+  if (name == "avx512") return KernelBackend::kAvx512;
+  return Status::InvalidArgument("unknown kernel backend '" + name +
+                                 "' (want auto|portable|avx2|avx512)");
+}
+
+}  // namespace dbtf

@@ -1,0 +1,89 @@
+#ifndef DBTF_COMMON_KERNELS_KERNELS_H_
+#define DBTF_COMMON_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitspan.h"
+#include "common/status.h"
+
+namespace dbtf {
+
+/// Which Boolean kernel backend the data plane runs on.
+enum class KernelBackend {
+  kAuto = 0,      ///< widest backend this binary + CPU supports
+  kPortable = 1,  ///< scalar reference implementation; the oracle
+  kAvx2 = 2,      ///< 256-bit vpshufb popcount
+  kAvx512 = 3,    ///< 512-bit vpopcntq (AVX-512F + VPOPCNTDQ)
+};
+
+/// Function table for the packed-Boolean data plane. Semantics shared by
+/// every op:
+///   - Lengths are logical bit counts; every op masks the final partial
+///     storage word to the span's length, so callers never hand-roll tail
+///     masks and views over slices with live padding are safe.
+///   - Two-span counting ops require equal lengths (DCHECK'd in debug).
+///   - Writing ops (or_into, or_out, andnot_out) touch only the
+///     destination's logical bits; padding bits in the tail word keep
+///     whatever value they had. Sources may alias the destination.
+/// The portable backend is the oracle: SIMD backends must match it bit for
+/// bit on every length and alignment (tests/kernels_test.cc enforces this).
+struct BoolKernels {
+  const char* name;  ///< backend name, e.g. "avx2"
+
+  /// Number of set bits in `a`.
+  std::int64_t (*popcount)(BitSpan a);
+  /// popcount(a ^ b): the Boolean reconstruction-error kernel.
+  std::int64_t (*xor_popcount)(BitSpan a, BitSpan b);
+  /// popcount(a & b): candidate-overlap scoring.
+  std::int64_t (*and_popcount)(BitSpan a, BitSpan b);
+  /// popcount(a & ~b): coverage-gain scoring.
+  std::int64_t (*andnot_popcount)(BitSpan a, BitSpan b);
+  /// dst |= src: the Boolean row-summation kernel.
+  void (*or_into)(MutableBitSpan dst, BitSpan src);
+  /// dst = a | b.
+  void (*or_out)(MutableBitSpan dst, BitSpan a, BitSpan b);
+  /// dst = a & ~b.
+  void (*andnot_out)(MutableBitSpan dst, BitSpan a, BitSpan b);
+  /// True iff no bit of `a` is set.
+  bool (*all_zero)(BitSpan a);
+  /// True iff `a` and `b` hold identical bits.
+  bool (*equal)(BitSpan a, BitSpan b);
+};
+
+/// The active kernel table. Resolved once on first use — honouring the
+/// DBTF_KERNEL environment variable (auto|portable|avx2|avx512, default
+/// auto) — and swappable via SetKernelBackend. The returned reference stays
+/// valid forever; the table it points at never mutates.
+const BoolKernels& Kernels();
+
+/// Backend the active table is running on (never kAuto).
+KernelBackend ActiveKernelBackend();
+
+/// Selects the active backend; kAuto re-resolves by CPUID. Fails with
+/// InvalidArgument if the backend was compiled out or this CPU lacks the
+/// ISA. On success also exports DBTF_KERNEL so forked worker processes
+/// (socket transport) inherit the choice. Call before spinning up worker
+/// threads; swapping mid-run is safe for correctness (all backends agree
+/// bit for bit) but makes DbtfResult::kernel_backend ambiguous.
+Status SetKernelBackend(KernelBackend backend);
+
+/// Backends usable in this binary on this machine, portable first. Never
+/// contains kAuto.
+std::vector<KernelBackend> SupportedKernelBackends();
+
+/// Kernel table for one specific backend without changing the active table
+/// (differential tests, per-backend benchmarks). Fails like
+/// SetKernelBackend.
+Result<const BoolKernels*> KernelsFor(KernelBackend backend);
+
+/// "auto", "portable", "avx2", "avx512".
+const char* KernelBackendName(KernelBackend backend);
+
+/// Inverse of KernelBackendName.
+Result<KernelBackend> ParseKernelBackend(const std::string& name);
+
+}  // namespace dbtf
+
+#endif  // DBTF_COMMON_KERNELS_KERNELS_H_

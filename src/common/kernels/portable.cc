@@ -1,0 +1,125 @@
+/// Portable scalar backend. This is the oracle: it is the reference the
+/// SIMD backends are differentially tested against (tests/kernels_test.cc)
+/// and the code the sanitizer and fuzz builds exercise. Keep it boring —
+/// straight word loops, no intrinsics, no platform branches.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitspan.h"
+#include "common/check.h"
+#include "common/kernels/backends.h"
+#include "common/kernels/kernels.h"
+
+namespace dbtf::kernels_internal {
+namespace {
+
+std::int64_t Popcount(BitSpan a) {
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* w = a.data();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i + 1 < nw; ++i) total += std::popcount(w[i]);
+  return total + std::popcount(w[nw - 1] & a.tail_mask());
+}
+
+std::int64_t XorPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i + 1 < nw; ++i) total += std::popcount(x[i] ^ y[i]);
+  return total + std::popcount((x[nw - 1] ^ y[nw - 1]) & a.tail_mask());
+}
+
+std::int64_t AndPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i + 1 < nw; ++i) total += std::popcount(x[i] & y[i]);
+  return total + std::popcount((x[nw - 1] & y[nw - 1]) & a.tail_mask());
+}
+
+std::int64_t AndNotPopcount(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return 0;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i + 1 < nw; ++i) total += std::popcount(x[i] & ~y[i]);
+  return total + std::popcount((x[nw - 1] & ~y[nw - 1]) & a.tail_mask());
+}
+
+void OrInto(MutableBitSpan dst, BitSpan src) {
+  DBTF_DCHECK_EQ(dst.bits(), src.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* s = src.data();
+  for (std::size_t i = 0; i + 1 < nw; ++i) d[i] |= s[i];
+  d[nw - 1] |= s[nw - 1] & dst.tail_mask();
+}
+
+void OrOut(MutableBitSpan dst, BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(dst.bits(), a.bits());
+  DBTF_DCHECK_EQ(dst.bits(), b.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  for (std::size_t i = 0; i + 1 < nw; ++i) d[i] = x[i] | y[i];
+  const BitWord mask = dst.tail_mask();
+  d[nw - 1] = (d[nw - 1] & ~mask) | ((x[nw - 1] | y[nw - 1]) & mask);
+}
+
+void AndNotOut(MutableBitSpan dst, BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(dst.bits(), a.bits());
+  DBTF_DCHECK_EQ(dst.bits(), b.bits());
+  const std::size_t nw = dst.words();
+  if (nw == 0) return;
+  BitWord* d = dst.data();
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  for (std::size_t i = 0; i + 1 < nw; ++i) d[i] = x[i] & ~y[i];
+  const BitWord mask = dst.tail_mask();
+  d[nw - 1] = (d[nw - 1] & ~mask) | ((x[nw - 1] & ~y[nw - 1]) & mask);
+}
+
+bool AllZero(BitSpan a) {
+  const std::size_t nw = a.words();
+  if (nw == 0) return true;
+  const BitWord* w = a.data();
+  for (std::size_t i = 0; i + 1 < nw; ++i) {
+    if (w[i] != 0) return false;
+  }
+  return (w[nw - 1] & a.tail_mask()) == 0;
+}
+
+bool Equal(BitSpan a, BitSpan b) {
+  DBTF_DCHECK_EQ(a.bits(), b.bits());
+  const std::size_t nw = a.words();
+  if (nw == 0) return true;
+  const BitWord* x = a.data();
+  const BitWord* y = b.data();
+  for (std::size_t i = 0; i + 1 < nw; ++i) {
+    if (x[i] != y[i]) return false;
+  }
+  return ((x[nw - 1] ^ y[nw - 1]) & a.tail_mask()) == 0;
+}
+
+}  // namespace
+
+const BoolKernels kPortableKernels = {
+    "portable",     Popcount, XorPopcount, AndPopcount, AndNotPopcount,
+    OrInto,         OrOut,    AndNotOut,   AllZero,     Equal,
+};
+
+}  // namespace dbtf::kernels_internal

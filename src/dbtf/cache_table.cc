@@ -3,17 +3,19 @@
 #include <bit>
 #include <cstring>
 
+#include "common/bitspan.h"
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 
 namespace dbtf {
 namespace {
 
 bool IsBuilt(const std::vector<BitWord>& built, std::uint64_t sub) {
-  return (built[sub / kBitsPerWord] & BitMask(sub)) != 0;
+  return BitSpan(built.data(), built.size() * kBitsPerWord).Get(sub);
 }
 
 void MarkBuilt(std::vector<BitWord>* built, std::uint64_t sub) {
-  (*built)[sub / kBitsPerWord] |= BitMask(sub);
+  MutableBitSpan(built->data(), built->size() * kBitsPerWord).Set(sub, true);
 }
 
 }  // namespace
@@ -75,27 +77,27 @@ const BitWord* CacheTable::Materialize(const Group& g,
   for (int d = depth - 1; d >= 0; --d) {
     const std::uint64_t m = chain[d];
     const int bit = std::countr_zero(m);
-    const BitWord* parent = EntrySlot(g, m & (m - 1));
-    const BitWord* extra = ms_t_.RowData(g.first_row + bit);
-    BitWord* dst = EntrySlot(g, m);
-    for (std::int64_t w = 0; w < words_per_row_; ++w) {
-      dst[w] = parent[w] | extra[w];
-    }
+    const std::size_t row_bits =
+        static_cast<std::size_t>(words_per_row_) * kBitsPerWord;
+    const BitSpan parent(EntrySlot(g, m & (m - 1)), row_bits);
+    const BitSpan extra(ms_t_.RowData(g.first_row + bit), row_bits);
+    Kernels().or_out(MutableBitSpan(EntrySlot(g, m), row_bits), parent, extra);
     MarkBuilt(&mutable_group->built, m);
     ++entries_built_;
   }
   return EntrySlot(g, sub);
 }
 
-const BitWord* CacheTable::Lookup(std::uint64_t key, std::int64_t word_begin,
-                                  std::int64_t word_count,
-                                  BitWord* scratch) const {
+BitSpan CacheTable::Lookup(std::uint64_t key, std::int64_t word_begin,
+                           std::int64_t word_count,
+                           MutableBitSpan scratch) const {
   // Lemmas 1-2: a key is an R-bit row-subset mask; bits at or above the rank
   // select rows that do not exist. Debug-only — Lookup is the hot path.
   DBTF_DCHECK(rank_ >= 64 || (key >> rank_) == 0,
               "cache key has bits above rank %d", rank_);
   DBTF_DCHECK_LE(0, word_begin);
   DBTF_DCHECK_LE(word_begin + word_count, words_per_row_);
+  DBTF_DCHECK_LE(static_cast<std::size_t>(word_count), scratch.words());
   if (!enabled_) {
     return ComputeUncached(key, word_begin, word_count, scratch);
   }
@@ -109,24 +111,27 @@ const BitWord* CacheTable::Lookup(std::uint64_t key, std::int64_t word_begin,
       single = &g;
     }
   }
+  const std::size_t slice_bits =
+      static_cast<std::size_t>(word_count) * kBitsPerWord;
   if (live_groups == 0) {
     // All-zero summation: entry 0 of any group is an all-zero row; with no
     // groups (rank 0) fall back to zeroing the scratch buffer.
     if (!groups_.empty()) {
-      return EntrySlot(groups_.front(), 0) + word_begin;
+      return BitSpan(EntrySlot(groups_.front(), 0) + word_begin, slice_bits);
     }
-    std::memset(scratch, 0,
+    std::memset(scratch.data(), 0,
                 static_cast<std::size_t>(word_count) * sizeof(BitWord));
-    return scratch;
+    return BitSpan(scratch.data(), slice_bits);
   }
   if (live_groups == 1) {
     const std::uint64_t sub =
         (key & single->mask) >> static_cast<unsigned>(single->first_row);
-    return Materialize(*single, sub) + word_begin;
+    return BitSpan(Materialize(*single, sub) + word_begin, slice_bits);
   }
 
   // Multi-group key: OR one entry per live group into the scratch buffer
   // (the additional summation cost Lemma 4 accounts for when R > V).
+  const MutableBitSpan acc(scratch.data(), slice_bits);
   bool first = true;
   for (const Group& g : groups_) {
     const std::uint64_t sub =
@@ -134,30 +139,32 @@ const BitWord* CacheTable::Lookup(std::uint64_t key, std::int64_t word_begin,
     if (sub == 0) continue;
     const BitWord* row = Materialize(g, sub) + word_begin;
     if (first) {
-      std::memcpy(scratch, row,
+      std::memcpy(acc.data(), row,
                   static_cast<std::size_t>(word_count) * sizeof(BitWord));
       first = false;
     } else {
-      OrInto(scratch, row, static_cast<std::size_t>(word_count));
+      Kernels().or_into(acc, BitSpan(row, slice_bits));
     }
   }
-  return scratch;
+  return acc;
 }
 
-const BitWord* CacheTable::ComputeUncached(std::uint64_t key,
-                                           std::int64_t word_begin,
-                                           std::int64_t word_count,
-                                           BitWord* scratch) const {
-  std::memset(scratch, 0,
+BitSpan CacheTable::ComputeUncached(std::uint64_t key,
+                                    std::int64_t word_begin,
+                                    std::int64_t word_count,
+                                    MutableBitSpan scratch) const {
+  std::memset(scratch.data(), 0,
               static_cast<std::size_t>(word_count) * sizeof(BitWord));
-  std::uint64_t bits = key & LowBitsMask(static_cast<std::size_t>(rank_));
-  while (bits != 0) {
-    const int r = std::countr_zero(bits);
-    bits &= bits - 1;
-    const BitWord* row = ms_t_.RowData(r) + word_begin;
-    OrInto(scratch, row, static_cast<std::size_t>(word_count));
-  }
-  return scratch;
+  const std::size_t slice_bits =
+      static_cast<std::size_t>(word_count) * kBitsPerWord;
+  const MutableBitSpan acc(scratch.data(), slice_bits);
+  ForEachSetBit(BitSpan(&key, static_cast<std::size_t>(rank_)),
+                [&](std::size_t r) {
+    const BitWord* row = ms_t_.RowData(static_cast<std::int64_t>(r)) +
+                         word_begin;
+    Kernels().or_into(acc, BitSpan(row, slice_bits));
+  });
+  return acc;
 }
 
 }  // namespace dbtf

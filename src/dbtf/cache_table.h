@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/bitspan.h"
 #include "common/status.h"
 #include "tensor/bit_matrix.h"
 
@@ -44,13 +45,15 @@ class CacheTable {
 
   /// Boolean summation of the rows selected by `key`, restricted to words
   /// [word_begin, word_begin + word_count) of the S-bit row. Returns a
-  /// pointer either directly into a table (single-group keys: zero copies)
-  /// or to `scratch`, which must hold at least word_count words.
+  /// word-aligned span (word_count * 64 bits) viewing either a table entry
+  /// directly (single-group keys: zero copies) or `scratch`, which must hold
+  /// at least word_count words.
   ///
   /// Bits of the final word beyond the logical slice width are whatever the
-  /// full-width summation holds; callers mask them (blocks know their width).
-  const BitWord* Lookup(std::uint64_t key, std::int64_t word_begin,
-                        std::int64_t word_count, BitWord* scratch) const;
+  /// full-width summation holds; callers narrow the span to the block width
+  /// (BitSpan::Prefix) and the kernels mask the tail.
+  BitSpan Lookup(std::uint64_t key, std::int64_t word_begin,
+                 std::int64_t word_count, MutableBitSpan scratch) const;
 
   /// Number of groups (tables); ceil(R/V), or 0 for rank 0.
   int num_groups() const { return static_cast<int>(groups_.size()); }
@@ -91,9 +94,9 @@ class CacheTable {
   const BitWord* Materialize(const Group& g, std::uint64_t sub) const;
 
   /// Fallback used when caching is disabled: ORs the selected ms_t rows.
-  const BitWord* ComputeUncached(std::uint64_t key, std::int64_t word_begin,
-                                 std::int64_t word_count,
-                                 BitWord* scratch) const;
+  BitSpan ComputeUncached(std::uint64_t key, std::int64_t word_begin,
+                          std::int64_t word_count,
+                          MutableBitSpan scratch) const;
 
   std::vector<Group> groups_;
   BitMatrix ms_t_;  ///< kept for the uncached fallback and lazy builds

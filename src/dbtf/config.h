@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/kernels/kernels.h"
 #include "common/status.h"
 #include "dist/cluster.h"
 
@@ -97,6 +98,14 @@ struct DbtfConfig {
   /// completed columns — an in-process stand-in for `crash_after_columns`
   /// that tests can catch and resume from within one process. 0 disables.
   std::int64_t halt_after_columns = 0;
+
+  /// Boolean kernel backend for every packed-bit operation of the run.
+  /// kAuto (default) dispatches to the widest SIMD backend the CPU and the
+  /// build support; kPortable forces the scalar oracle. Factors, error
+  /// curves, and ledgers are bitwise identical across backends — this is a
+  /// performance knob, never a results knob — so checkpoints resume freely
+  /// across backends (the config fingerprint excludes it, like transport).
+  KernelBackend kernel_backend = KernelBackend::kAuto;
 
   /// Simulated cluster configuration (machines, threads, network model).
   ClusterConfig cluster;

@@ -2,6 +2,7 @@
 #define DBTF_DBTF_DBTF_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -77,6 +78,11 @@ struct DbtfResult {
   /// lineage of the run (a resumed run continues the interrupted run's
   /// count). 0 when checkpointing is disabled.
   std::int64_t checkpoints_written = 0;
+
+  /// Concrete Boolean kernel backend the run executed with ("portable",
+  /// "avx2", or "avx512" — never "auto"; the requested auto is resolved
+  /// before the first iteration).
+  std::string kernel_backend;
 };
 
 /// Distributed Boolean CP factorization (Algorithm 2 of the paper).

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitspan.h"
 #include "common/check.h"
 #include "dist/messages.h"
 
@@ -90,11 +91,10 @@ void FactorBroadcastState::PlanSlot(int slot_index, const BitMatrix& current,
         continue;
       }
       std::vector<BitWord> bits(words_per_column, 0);
+      const MutableBitSpan column(bits.data(),
+                                  static_cast<std::size_t>(current.rows()));
       for (std::int64_t r = 0; r < current.rows(); ++r) {
-        if (current.Get(r, c)) {
-          bits[static_cast<std::size_t>(r / 64)] |=
-              std::uint64_t{1} << static_cast<unsigned>(r % 64);
-        }
+        if (current.Get(r, c)) column.Set(static_cast<std::size_t>(r), true);
       }
       d.columns.push_back(c);
       d.column_bits.push_back(std::move(bits));

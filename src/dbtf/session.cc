@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.h"
+#include "common/kernels/kernels.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/serde.h"
@@ -68,7 +69,10 @@ std::uint64_t FingerprintConfig(const DbtfConfig& config) {
   // config.cluster.transport is deliberately absent: the transport is an
   // operational choice with no effect on results, so a checkpoint written
   // under --transport=inproc must resume under --transport=socket (and vice
-  // versa) without tripping the fingerprint check.
+  // versa) without tripping the fingerprint check. config.kernel_backend is
+  // absent for the same reason: every backend produces bitwise-identical
+  // results (tests/kernels_test.cc proves it), so a checkpoint written under
+  // --kernel=portable resumes under --kernel=avx512 and vice versa.
   return Fnv1a64(w.bytes().data(), w.size());
 }
 
@@ -555,6 +559,10 @@ Status Session::RestoreFromCheckpoint(const CheckpointState& ck,
 
 Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
   DBTF_RETURN_IF_ERROR(config.Validate());
+  // Select the Boolean kernel backend before any packed-bit work. Fails the
+  // run up front when a specific backend is not compiled in or the CPU
+  // lacks it; kAuto always succeeds.
+  DBTF_RETURN_IF_ERROR(SetKernelBackend(config.kernel_backend));
   if (config.num_partitions != num_partitions_requested_) {
     return Status::InvalidArgument(
         "session was partitioned for a different num_partitions");
@@ -715,6 +723,7 @@ Result<DbtfResult> Session::Factorize(const DbtfConfig& config) {
   result.driver_seconds = cluster_->DriverSeconds();
   result.machine_seconds = result.virtual_seconds - result.driver_seconds;
   result.partitions_used = nparts_[0];
+  result.kernel_backend = KernelBackendName(ActiveKernelBackend());
   return result;
 }
 

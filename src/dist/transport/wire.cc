@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/bitspan.h"
 #include "tensor/bit_matrix.h"
 
 namespace dbtf {
@@ -48,15 +49,12 @@ Result<BitMatrix> DecodeBitMatrix(ByteReader* reader) {
   // Padding bits of the final word must be zero — that invariant backs the
   // whole-word row operations (and operator==) everywhere else, so a payload
   // violating it is rejected rather than silently masked.
-  const BitWord pad_mask =
-      (cols % 64 == 0) ? ~BitWord{0}
-                       : ((BitWord{1} << static_cast<unsigned>(cols % 64)) - 1);
   for (std::int64_t r = 0; r < rows; ++r) {
     BitWord* row = matrix.MutableRowData(r);
     for (std::int64_t w = 0; w < words_per_row; ++w) {
       DBTF_ASSIGN_OR_RETURN(row[w], reader->ReadU64());
     }
-    if (words_per_row > 0 && (row[words_per_row - 1] & ~pad_mask) != 0) {
+    if (!TailPaddingZero(matrix.Row(r))) {
       return Corrupt("bit-matrix padding bits set");
     }
   }

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "common/bitspan.h"
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 
 namespace dbtf {
 namespace {
@@ -38,20 +40,19 @@ void CheckPartitionInvariants(const Partition& partition,
 /// the block's slice of X(n).
 std::int64_t BlockError(const PartitionBlock& block, std::int64_t row,
                         std::uint64_t key, const CacheTable& cache,
-                        BitWord* scratch) {
+                        MutableBitSpan scratch) {
   if (key == 0) {
     // Empty summation: the error is exactly the slice's non-zero count.
     return block.row_nnz[static_cast<std::size_t>(row)];
   }
   const std::int64_t wc = block.rows.words_per_row();
-  const BitWord* sum = cache.Lookup(key, block.word_begin, wc, scratch);
-  const BitWord* x = block.rows.RowData(row);
-  std::int64_t err = 0;
-  for (std::int64_t w = 0; w + 1 < wc; ++w) {
-    err += PopCount(sum[w] ^ x[w]);
-  }
-  err += PopCount((sum[wc - 1] & block.last_word_mask) ^ x[wc - 1]);
-  return err;
+  const BitSpan sum = cache.Lookup(key, block.word_begin, wc, scratch);
+  // Narrowing the summation to the block width makes the kernel mask the
+  // cache row's live padding; the X slice's own padding is zero by the
+  // BitMatrix invariant, so this equals the old explicit last_word_mask.
+  return Kernels().xor_popcount(
+      sum.Prefix(static_cast<std::size_t>(block.width())),
+      block.rows.Row(row));
 }
 
 }  // namespace
@@ -141,11 +142,9 @@ Status Worker::ApplyMatrixDelta(const MatrixDelta& d) {
     DBTF_CHECK_LT(c, d.cols);
     const std::vector<BitWord>& bits = d.column_bits[i];
     DBTF_CHECK_EQ(bits.size(), words_per_column);
+    const BitSpan column(bits.data(), static_cast<std::size_t>(d.rows));
     for (std::int64_t r = 0; r < d.rows; ++r) {
-      const bool bit =
-          ((bits[static_cast<std::size_t>(r / 64)] >>
-            static_cast<unsigned>(r % 64)) & 1u) != 0;
-      cf.matrix.Set(r, c, bit);
+      cf.matrix.Set(r, c, column.Get(static_cast<std::size_t>(r)));
     }
   }
   cf.generation = d.generation;
@@ -235,7 +234,8 @@ Status Worker::Handle(const RunUpdateColumn& msg) {
     }
     const Partition& part = *lp.data;
     const CacheTable& cache = *lp.cache;
-    BitWord* scr = lp.scratch.data();
+    const MutableBitSpan scr(lp.scratch.data(),
+                             lp.scratch.size() * kBitsPerWord);
     std::int64_t* e0 = lp.err0.data();
     std::int64_t* e1 = lp.err1.data();
     for (std::int64_t r = 0; r < st.rows; ++r) {

@@ -1,9 +1,10 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
-#include <bit>
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "tensor/boolean_ops.h"
 
 namespace dbtf {
@@ -83,25 +84,23 @@ Result<double> CoverageOfOnes(const SparseTensor& x, const BitMatrix& a,
     return Status::InvalidArgument("CoverageOfOnes: rank must be <= 64");
   }
   const BitMatrix bt = b.Transpose();
-  const std::size_t words = static_cast<std::size_t>(bt.words_per_row());
-  std::vector<BitWord> row(words);
+  std::vector<BitWord> row(static_cast<std::size_t>(bt.words_per_row()));
+  const MutableBitSpan sum(row.data(), static_cast<std::size_t>(bt.cols()));
+  const BoolKernels& kernels = Kernels();
   std::int64_t covered = 0;
   std::uint64_t last_key = 0;
   bool have_key = false;
   for (const Coord& cell : x.entries()) {
-    const std::uint64_t key = a.RowMask64(cell.i) & c.RowMask64(cell.k);
+    std::uint64_t key = a.RowMask64(cell.i) & c.RowMask64(cell.k);
     if (!have_key || key != last_key) {
       std::fill(row.begin(), row.end(), BitWord{0});
-      std::uint64_t bits = key;
-      while (bits != 0) {
-        const int r = std::countr_zero(bits);
-        bits &= bits - 1;
-        OrInto(row.data(), bt.RowData(r), words);
-      }
+      ForEachSetBit(BitSpan(&key, 64), [&](std::size_t r) {
+        kernels.or_into(sum, bt.Row(static_cast<std::int64_t>(r)));
+      });
       last_key = key;
       have_key = true;
     }
-    if ((row[WordIndex(cell.j)] & BitMask(cell.j)) != 0) ++covered;
+    if (sum.Get(static_cast<std::size_t>(cell.j))) ++covered;
   }
   return static_cast<double>(covered) / static_cast<double>(x.NumNonZeros());
 }

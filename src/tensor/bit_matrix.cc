@@ -65,7 +65,7 @@ void BitMatrix::SetRowMask64(std::int64_t r, std::uint64_t mask) {
 }
 
 std::int64_t BitMatrix::NumNonZeros() const {
-  return PopCount(data_.data(), data_.size());
+  return Kernels().popcount(Words());
 }
 
 void BitMatrix::Clear() { std::fill(data_.begin(), data_.end(), BitWord{0}); }
@@ -73,15 +73,9 @@ void BitMatrix::Clear() { std::fill(data_.begin(), data_.end(), BitWord{0}); }
 BitMatrix BitMatrix::Transpose() const {
   BitMatrix t(cols_, rows_);
   for (std::int64_t r = 0; r < rows_; ++r) {
-    const BitWord* row = RowData(r);
-    for (std::int64_t w = 0; w < words_per_row_; ++w) {
-      BitWord word = row[w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        word &= word - 1;
-        t.Set(w * static_cast<std::int64_t>(kBitsPerWord) + bit, r, true);
-      }
-    }
+    ForEachSetBit(Row(r), [&](std::size_t c) {
+      t.Set(static_cast<std::int64_t>(c), r, true);
+    });
   }
   return t;
 }
@@ -89,11 +83,12 @@ BitMatrix BitMatrix::Transpose() const {
 std::int64_t BitMatrix::HammingDistance(const BitMatrix& other) const {
   DBTF_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "HammingDistance requires equal shapes");
-  return XorPopCount(data_.data(), other.data_.data(), data_.size());
+  return Kernels().xor_popcount(Words(), other.Words());
 }
 
 bool BitMatrix::operator==(const BitMatrix& other) const {
-  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         Kernels().equal(Words(), other.Words());
 }
 
 std::string BitMatrix::ToString() const {

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -55,12 +57,28 @@ class BitMatrix {
     }
   }
 
-  /// Pointer to the packed words of row r.
+  /// Pointer to the packed words of row r. Serialization-layer accessor;
+  /// compute call sites should take Row()/MutableRow() views instead.
   const BitWord* RowData(std::int64_t r) const {
     return data_.data() + r * words_per_row_;
   }
   BitWord* MutableRowData(std::int64_t r) {
     return data_.data() + r * words_per_row_;
+  }
+
+  /// Row r as a span of cols() logical bits (padding masked by kernels).
+  BitSpan Row(std::int64_t r) const {
+    return BitSpan(RowData(r), static_cast<std::size_t>(cols_));
+  }
+  MutableBitSpan MutableRow(std::int64_t r) {
+    return MutableBitSpan(MutableRowData(r), static_cast<std::size_t>(cols_));
+  }
+
+  /// The whole packed storage as one word-aligned span (rows * words_per_row
+  /// words). Padding bits are zero by invariant, so whole-matrix counts over
+  /// this view equal counts over the logical entries.
+  BitSpan Words() const {
+    return BitSpan(data_.data(), data_.size() * kBitsPerWord);
   }
 
   /// Row r as a 64-bit mask. Requires cols() <= 64; used for factor-matrix
@@ -74,9 +92,7 @@ class BitMatrix {
   std::int64_t NumNonZeros() const;
 
   /// Number of ones in row r.
-  std::int64_t RowNnz(std::int64_t r) const {
-    return PopCount(RowData(r), static_cast<std::size_t>(words_per_row_));
-  }
+  std::int64_t RowNnz(std::int64_t r) const { return Kernels().popcount(Row(r)); }
 
   /// Sets every entry to zero.
   void Clear();

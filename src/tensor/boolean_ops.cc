@@ -3,6 +3,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
+
 namespace dbtf {
 
 Result<BitMatrix> BooleanProduct(const BitMatrix& a, const BitMatrix& b) {
@@ -10,11 +13,11 @@ Result<BitMatrix> BooleanProduct(const BitMatrix& a, const BitMatrix& b) {
     return Status::InvalidArgument("BooleanProduct: inner dimension mismatch");
   }
   BitMatrix out(a.rows(), b.cols());
-  const std::size_t words = static_cast<std::size_t>(b.words_per_row());
+  const BoolKernels& kernels = Kernels();
   for (std::int64_t i = 0; i < a.rows(); ++i) {
-    BitWord* dst = out.MutableRowData(i);
+    const MutableBitSpan dst = out.MutableRow(i);
     for (std::int64_t k = 0; k < a.cols(); ++k) {
-      if (a.Get(i, k)) OrInto(dst, b.RowData(k), words);
+      if (a.Get(i, k)) kernels.or_into(dst, b.Row(k));
     }
   }
   return out;
@@ -25,10 +28,9 @@ Result<BitMatrix> BooleanSum(const BitMatrix& a, const BitMatrix& b) {
     return Status::InvalidArgument("BooleanSum: shape mismatch");
   }
   BitMatrix out = a;
-  const std::size_t words =
-      static_cast<std::size_t>(a.rows() * a.words_per_row());
-  if (a.rows() > 0) {
-    OrInto(out.MutableRowData(0), b.RowData(0), words);
+  const BoolKernels& kernels = Kernels();
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    kernels.or_into(out.MutableRow(i), b.Row(i));
   }
   return out;
 }
@@ -142,10 +144,11 @@ Result<std::int64_t> ReconstructionError(const SparseTensor& x,
     std::vector<BitWord> row;
     std::int64_t nnz;
   };
-  const std::size_t words =
-      WordsForBits(static_cast<std::size_t>(b.rows()));
+  const std::size_t bits_j = static_cast<std::size_t>(b.rows());
+  const std::size_t words = WordsForBits(bits_j);
   // Columns of B as packed J-bit rows (B transposed), the cache unit.
   const BitMatrix bt = b.Transpose();
+  const BoolKernels& kernels = Kernels();
   std::unordered_map<std::uint64_t, Memo> memo;
   memo.reserve(1024);
   const auto lookup = [&](std::uint64_t key) -> const Memo& {
@@ -153,13 +156,11 @@ Result<std::int64_t> ReconstructionError(const SparseTensor& x,
     if (it != memo.end()) return it->second;
     Memo m;
     m.row.assign(words, 0);
-    std::uint64_t bits = key;
-    while (bits != 0) {
-      const int r = std::countr_zero(bits);
-      bits &= bits - 1;
-      OrInto(m.row.data(), bt.RowData(r), words);
-    }
-    m.nnz = PopCount(m.row.data(), words);
+    const MutableBitSpan sum(m.row.data(), bits_j);
+    ForEachSetBit(BitSpan(&key, 64), [&](std::size_t r) {
+      kernels.or_into(sum, bt.Row(static_cast<std::int64_t>(r)));
+    });
+    m.nnz = kernels.popcount(sum);
     return memo.emplace(key, std::move(m)).first->second;
   };
 
@@ -183,7 +184,7 @@ Result<std::int64_t> ReconstructionError(const SparseTensor& x,
     const std::uint64_t key = a_masks[cell.i] & c_masks[cell.k];
     if (key == 0) continue;
     const Memo& m = lookup(key);
-    if ((m.row[WordIndex(cell.j)] & BitMask(cell.j)) != 0) ++overlap;
+    if (BitSpan(m.row.data(), bits_j).Get(cell.j)) ++overlap;
   }
 
   return recon_nnz + x.NumNonZeros() - 2 * overlap;

@@ -1,5 +1,7 @@
 #include "tensor/unfold.h"
 
+#include "common/bitspan.h"
+
 namespace dbtf {
 
 UnfoldShape ShapeForMode(std::int64_t dim_i, std::int64_t dim_j,
@@ -71,12 +73,14 @@ Result<SparseTensor> FoldBack(const BitMatrix& unfolded, Mode mode,
   DBTF_ASSIGN_OR_RETURN(SparseTensor out,
                         SparseTensor::Create(dim_i, dim_j, dim_k));
   for (std::int64_t r = 0; r < unfolded.rows(); ++r) {
-    for (std::int64_t c = 0; c < unfolded.cols(); ++c) {
-      if (!unfolded.Get(r, c)) continue;
-      const UnfoldedCell cell{r, c / shape.within, c % shape.within};
+    ForEachSetBit(unfolded.Row(r), [&](std::size_t c) {
+      const auto col = static_cast<std::int64_t>(c);
+      const UnfoldedCell cell{r, col / shape.within, col % shape.within};
       const Coord coord = UnmapCell(cell, mode);
-      DBTF_RETURN_IF_ERROR(out.Add(coord.i, coord.j, coord.k));
-    }
+      // The shape check above bounds every coordinate, so the validating
+      // Add() would never fire here.
+      out.AddUnchecked(coord.i, coord.j, coord.k);
+    });
   }
   out.SortAndDedup();
   return out;

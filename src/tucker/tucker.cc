@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/random.h"
 
 namespace dbtf {
@@ -88,6 +90,8 @@ Result<std::int64_t> TuckerReconstructionError(const SparseTensor& x,
   // the mode-2 pattern that core slab (p, :, r) contributes.
   const BitMatrix bt = b.Transpose();  // Q x J packed rows
   const std::size_t words = static_cast<std::size_t>(bt.words_per_row());
+  const std::size_t bits_j = static_cast<std::size_t>(bt.cols());
+  const BoolKernels& kernels = Kernels();
   std::vector<std::vector<BitWord>> u(
       static_cast<std::size_t>(dim_p * dim_r));
   std::vector<bool> u_nonzero(static_cast<std::size_t>(dim_p * dim_r), false);
@@ -95,13 +99,14 @@ Result<std::int64_t> TuckerReconstructionError(const SparseTensor& x,
     for (std::int64_t r = 0; r < dim_r; ++r) {
       auto& row = u[static_cast<std::size_t>(p * dim_r + r)];
       row.assign(words, 0);
+      const MutableBitSpan row_span(row.data(), bits_j);
       for (std::int64_t q = 0; q < dim_q; ++q) {
         if (core.Get(p, q, r)) {
-          OrInto(row.data(), bt.RowData(q), words);
+          kernels.or_into(row_span, bt.Row(q));
         }
       }
       u_nonzero[static_cast<std::size_t>(p * dim_r + r)] =
-          !AllZero(row.data(), words);
+          !kernels.all_zero(row_span);
     }
   }
 
@@ -117,19 +122,20 @@ Result<std::int64_t> TuckerReconstructionError(const SparseTensor& x,
     if (it != memo.end()) return it->second;
     Memo m;
     m.row.assign(words, 0);
-    std::uint64_t pa = ma;
-    while (pa != 0) {
-      const int p = std::countr_zero(pa);
-      pa &= pa - 1;
-      std::uint64_t rc = mc;
-      while (rc != 0) {
-        const int r = std::countr_zero(rc);
-        rc &= rc - 1;
-        const auto idx = static_cast<std::size_t>(p * dim_r + r);
-        if (u_nonzero[idx]) OrInto(m.row.data(), u[idx].data(), words);
-      }
-    }
-    m.nnz = PopCount(m.row.data(), words);
+    const MutableBitSpan sum(m.row.data(), bits_j);
+    ForEachSetBit(BitSpan(&ma, static_cast<std::size_t>(dim_p)),
+                  [&](std::size_t p) {
+      ForEachSetBit(BitSpan(&mc, static_cast<std::size_t>(dim_r)),
+                    [&](std::size_t r) {
+        const auto idx = static_cast<std::size_t>(
+            static_cast<std::int64_t>(p) * dim_r +
+            static_cast<std::int64_t>(r));
+        if (u_nonzero[idx]) {
+          kernels.or_into(sum, BitSpan(u[idx].data(), bits_j));
+        }
+      });
+    });
+    m.nnz = kernels.popcount(sum);
     return memo.emplace(key, std::move(m)).first->second;
   };
 
@@ -150,7 +156,7 @@ Result<std::int64_t> TuckerReconstructionError(const SparseTensor& x,
   for (const Coord& cell : x.entries()) {
     if (a_masks[cell.i] == 0 || c_masks[cell.k] == 0) continue;
     const Memo& m = lookup(a_masks[cell.i], c_masks[cell.k]);
-    if ((m.row[WordIndex(cell.j)] & BitMask(cell.j)) != 0) ++overlap;
+    if (BitSpan(m.row.data(), bits_j).Get(cell.j)) ++overlap;
   }
   return recon_nnz + x.NumNonZeros() - 2 * overlap;
 }

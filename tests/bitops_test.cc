@@ -4,6 +4,9 @@
 
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
+
 namespace dbtf {
 namespace {
 
@@ -39,68 +42,77 @@ TEST(BitOps, PopCountWord) {
   EXPECT_EQ(PopCount(BitWord{0b1011}), 3);
 }
 
-TEST(BitOps, PopCountSpan) {
-  const std::vector<BitWord> words = {0b1, 0b11, 0b111};
-  EXPECT_EQ(PopCount(words.data(), words.size()), 6);
-  EXPECT_EQ(PopCount(words.data(), 0), 0);
+TEST(BitSpanTest, BasicAccessors) {
+  const std::vector<BitWord> words = {0b1011, 0b1};
+  const BitSpan span(words.data(), 65);
+  EXPECT_EQ(span.bits(), 65u);
+  EXPECT_EQ(span.words(), 2u);
+  EXPECT_FALSE(span.empty());
+  EXPECT_TRUE(span.Get(0));
+  EXPECT_TRUE(span.Get(1));
+  EXPECT_FALSE(span.Get(2));
+  EXPECT_TRUE(span.Get(3));
+  EXPECT_TRUE(span.Get(64));
+  EXPECT_EQ(span.word(0), BitWord{0b1011});
+  EXPECT_TRUE(BitSpan(nullptr, 0).empty());
 }
 
-TEST(BitOps, XorPopCount) {
-  const std::vector<BitWord> a = {0b1010, 0xFF};
-  const std::vector<BitWord> b = {0b0110, 0xF0};
-  EXPECT_EQ(XorPopCount(a.data(), b.data(), 2), 2 + 4);
-  EXPECT_EQ(XorPopCount(a.data(), a.data(), 2), 0);
+TEST(BitSpanTest, TailMask) {
+  const BitWord w = 0;
+  EXPECT_EQ(BitSpan(&w, 64).tail_mask(), ~BitWord{0});
+  EXPECT_EQ(BitSpan(&w, 1).tail_mask(), BitWord{1});
+  EXPECT_EQ(BitSpan(&w, 3).tail_mask(), BitWord{0b111});
+  EXPECT_EQ(BitSpan(&w, 0).tail_mask(), ~BitWord{0})
+      << "empty spans have no tail word; mask is vacuous";
 }
 
-TEST(BitOps, OrInto) {
-  std::vector<BitWord> dst = {0b0011, 0};
-  const std::vector<BitWord> src = {0b0101, 0b1000};
-  OrInto(dst.data(), src.data(), 2);
-  EXPECT_EQ(dst[0], BitWord{0b0111});
-  EXPECT_EQ(dst[1], BitWord{0b1000});
+TEST(BitSpanTest, Prefix) {
+  const std::vector<BitWord> words = {~BitWord{0}, ~BitWord{0}};
+  const BitSpan span(words.data(), 128);
+  EXPECT_EQ(span.Prefix(10).bits(), 10u);
+  EXPECT_EQ(span.Prefix(10).words(), 1u);
+  EXPECT_EQ(Kernels().popcount(span.Prefix(10)), 10);
+  EXPECT_EQ(Kernels().popcount(span.Prefix(128)), 128);
 }
 
-TEST(BitOps, OrOut) {
-  const std::vector<BitWord> a = {0b0011};
-  const std::vector<BitWord> b = {0b0101};
-  std::vector<BitWord> dst = {0};
-  OrOut(dst.data(), a.data(), b.data(), 1);
-  EXPECT_EQ(dst[0], BitWord{0b0111});
+TEST(BitSpanTest, MutableSetAndConversion) {
+  std::vector<BitWord> words(2, 0);
+  const MutableBitSpan span(words.data(), 100);
+  span.Set(0, true);
+  span.Set(99, true);
+  span.Set(0, false);
+  const BitSpan view = span;
+  EXPECT_FALSE(view.Get(0));
+  EXPECT_TRUE(view.Get(99));
+  EXPECT_EQ(Kernels().popcount(view), 1);
 }
 
-TEST(BitOps, AllZero) {
-  const std::vector<BitWord> zeros = {0, 0, 0};
-  const std::vector<BitWord> mixed = {0, 1, 0};
-  EXPECT_TRUE(AllZero(zeros.data(), zeros.size()));
-  EXPECT_FALSE(AllZero(mixed.data(), mixed.size()));
-  EXPECT_TRUE(AllZero(mixed.data(), 1)) << "prefix is zero";
+TEST(BitSpanTest, ForEachSetBit) {
+  std::vector<BitWord> words(2, 0);
+  const MutableBitSpan span(words.data(), 90);
+  for (std::size_t pos : {0u, 5u, 63u, 64u, 89u}) span.Set(pos, true);
+  std::vector<std::size_t> seen;
+  ForEachSetBit(span, [&](std::size_t pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 5, 63, 64, 89}));
 }
 
-/// Property: popcount(a xor b) = popcount(a) + popcount(b) - 2*popcount(a&b).
-class XorPopCountProperty : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(XorPopCountProperty, MatchesInclusionExclusion) {
-  const std::uint64_t seed = GetParam();
-  std::uint64_t s = seed;
-  const auto next = [&s] {
-    s ^= s << 13;
-    s ^= s >> 7;
-    s ^= s << 17;
-    return s;
-  };
-  std::vector<BitWord> a(8);
-  std::vector<BitWord> b(8);
-  for (auto& w : a) w = next();
-  for (auto& w : b) w = next();
-  std::int64_t and_pc = 0;
-  for (std::size_t i = 0; i < 8; ++i) and_pc += PopCount(a[i] & b[i]);
-  EXPECT_EQ(XorPopCount(a.data(), b.data(), 8),
-            PopCount(a.data(), 8) + PopCount(b.data(), 8) - 2 * and_pc);
+TEST(BitSpanTest, ForEachSetBitMasksTail) {
+  // Garbage above the logical length must not be visited.
+  const BitWord w = ~BitWord{0};
+  std::vector<std::size_t> seen;
+  ForEachSetBit(BitSpan(&w, 3), [&](std::size_t pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, XorPopCountProperty,
-                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
-                                           55u, 89u));
+TEST(BitSpanTest, TailPaddingZero) {
+  std::vector<BitWord> words = {BitWord{0b111}, 0};
+  EXPECT_TRUE(TailPaddingZero(BitSpan(words.data(), 3)));
+  EXPECT_FALSE(TailPaddingZero(BitSpan(words.data(), 2)))
+      << "bit 2 is set beyond the logical length";
+  EXPECT_TRUE(TailPaddingZero(BitSpan(words.data(), 128)))
+      << "full-word spans have no padding";
+  EXPECT_TRUE(TailPaddingZero(BitSpan(words.data(), 0)));
+}
 
 }  // namespace
 }  // namespace dbtf

@@ -5,6 +5,8 @@
 #include <tuple>
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/random.h"
 
 namespace dbtf {
@@ -13,12 +15,17 @@ namespace {
 /// Reference: OR of the ms_t rows selected by key, full width.
 std::vector<BitWord> NaiveSummation(const BitMatrix& ms_t, std::uint64_t key) {
   std::vector<BitWord> out(static_cast<std::size_t>(ms_t.words_per_row()), 0);
-  for (std::int64_t r = 0; r < ms_t.rows(); ++r) {
-    if ((key >> r) & 1) {
-      OrInto(out.data(), ms_t.RowData(r), out.size());
-    }
-  }
+  const MutableBitSpan sum(out.data(), static_cast<std::size_t>(ms_t.cols()));
+  ForEachSetBit(BitSpan(&key, static_cast<std::size_t>(ms_t.rows())),
+                [&](std::size_t r) {
+    Kernels().or_into(sum, ms_t.Row(static_cast<std::int64_t>(r)));
+  });
   return out;
+}
+
+/// Wraps a scratch vector as a word-aligned mutable span for Lookup.
+MutableBitSpan Scratch(std::vector<BitWord>& words) {
+  return MutableBitSpan(words.data(), words.size() * kBitsPerWord);
 }
 
 TEST(CacheTable, BuildValidation) {
@@ -60,9 +67,9 @@ TEST(CacheTable, ZeroKeyIsAllZero) {
   ASSERT_TRUE(cache.ok());
   std::vector<BitWord> scratch(
       static_cast<std::size_t>(ms_t.words_per_row()));
-  const BitWord* row = cache->Lookup(0, 0, ms_t.words_per_row(),
-                                     scratch.data());
-  EXPECT_TRUE(AllZero(row, static_cast<std::size_t>(ms_t.words_per_row())));
+  const BitSpan row = cache->Lookup(0, 0, ms_t.words_per_row(),
+                                    Scratch(scratch));
+  EXPECT_TRUE(Kernels().all_zero(row));
 }
 
 /// Property: every key's lookup equals the naive OR, across (rank, V, width)
@@ -88,10 +95,11 @@ TEST_P(CacheLookupProperty, AllKeysMatchNaive) {
     const std::uint64_t key =
         exhaustive ? static_cast<std::uint64_t>(t)
                    : rng.NextBounded(key_space);
-    const BitWord* got = cache->Lookup(key, 0, words, scratch.data());
+    const BitSpan got = cache->Lookup(key, 0, words, Scratch(scratch));
     const std::vector<BitWord> want = NaiveSummation(ms_t, key);
     for (std::int64_t w = 0; w < words; ++w) {
-      ASSERT_EQ(got[w], want[static_cast<std::size_t>(w)])
+      ASSERT_EQ(got.word(static_cast<std::size_t>(w)),
+                want[static_cast<std::size_t>(w)])
           << "key=" << key << " word=" << w;
     }
   }
@@ -118,9 +126,10 @@ TEST(CacheTable, WordRangeSlicing) {
     const std::vector<BitWord> full = NaiveSummation(ms_t, key);
     for (std::int64_t begin = 0; begin < words; ++begin) {
       const std::int64_t count = words - begin;
-      const BitWord* got = cache->Lookup(key, begin, count, scratch.data());
+      const BitSpan got = cache->Lookup(key, begin, count, Scratch(scratch));
       for (std::int64_t w = 0; w < count; ++w) {
-        ASSERT_EQ(got[w], full[static_cast<std::size_t>(begin + w)]);
+        ASSERT_EQ(got.word(static_cast<std::size_t>(w)),
+                  full[static_cast<std::size_t>(begin + w)]);
       }
     }
   }
@@ -140,10 +149,12 @@ TEST(CacheTable, DisabledModeMatchesEnabled) {
   std::vector<BitWord> scratch_a(static_cast<std::size_t>(words));
   std::vector<BitWord> scratch_b(static_cast<std::size_t>(words));
   for (std::uint64_t key = 0; key < 512; ++key) {
-    const BitWord* a = enabled->Lookup(key, 0, words, scratch_a.data());
-    const BitWord* b = disabled->Lookup(key, 0, words, scratch_b.data());
+    const BitSpan a = enabled->Lookup(key, 0, words, Scratch(scratch_a));
+    const BitSpan b = disabled->Lookup(key, 0, words, Scratch(scratch_b));
     for (std::int64_t w = 0; w < words; ++w) {
-      ASSERT_EQ(a[w], b[w]) << "key=" << key;
+      ASSERT_EQ(a.word(static_cast<std::size_t>(w)),
+                b.word(static_cast<std::size_t>(w)))
+          << "key=" << key;
     }
   }
 }
@@ -154,8 +165,8 @@ TEST(CacheTable, SingleGroupLookupIsZeroCopy) {
   auto cache = CacheTable::Build(ms_t, 15);
   ASSERT_TRUE(cache.ok());
   std::vector<BitWord> scratch(1, BitWord{0xDEADBEEF});
-  const BitWord* row = cache->Lookup(5, 0, 1, scratch.data());
-  EXPECT_NE(row, scratch.data())
+  const BitSpan row = cache->Lookup(5, 0, 1, Scratch(scratch));
+  EXPECT_NE(row.data(), scratch.data())
       << "single-group lookups must point into the table";
   EXPECT_EQ(scratch[0], BitWord{0xDEADBEEF}) << "scratch untouched";
 }
@@ -170,11 +181,11 @@ TEST(CacheTable, LazyMaterialization) {
   EXPECT_EQ(cache->entries_built(), 1);
   std::vector<BitWord> scratch(static_cast<std::size_t>(ms_t.words_per_row()));
   // Probing key 0b101 materializes at most its ancestor chain (pop = 2).
-  cache->Lookup(0b101, 0, ms_t.words_per_row(), scratch.data());
+  cache->Lookup(0b101, 0, ms_t.words_per_row(), Scratch(scratch));
   EXPECT_LE(cache->entries_built(), 3);
   const std::int64_t after_first = cache->entries_built();
   // Probing the same key again builds nothing new.
-  cache->Lookup(0b101, 0, ms_t.words_per_row(), scratch.data());
+  cache->Lookup(0b101, 0, ms_t.words_per_row(), Scratch(scratch));
   EXPECT_EQ(cache->entries_built(), after_first);
   // Built entries never exceed capacity.
   EXPECT_LE(cache->entries_built(), cache->total_entries());
@@ -189,13 +200,15 @@ TEST(CacheTable, LazyEntriesAreCorrectInAnyProbeOrder) {
   const std::int64_t words = ms_t.words_per_row();
   std::vector<BitWord> scratch(static_cast<std::size_t>(words));
   for (std::int64_t key = 1023; key >= 0; --key) {
-    const BitWord* got =
+    const BitSpan got =
         cache->Lookup(static_cast<std::uint64_t>(key), 0, words,
-                      scratch.data());
+                      Scratch(scratch));
     const std::vector<BitWord> want =
         NaiveSummation(ms_t, static_cast<std::uint64_t>(key));
     for (std::int64_t w = 0; w < words; ++w) {
-      ASSERT_EQ(got[w], want[static_cast<std::size_t>(w)]) << "key=" << key;
+      ASSERT_EQ(got.word(static_cast<std::size_t>(w)),
+                want[static_cast<std::size_t>(w)])
+          << "key=" << key;
     }
   }
   EXPECT_EQ(cache->entries_built(), 1024) << "all entries eventually built";

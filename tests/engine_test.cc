@@ -736,6 +736,93 @@ TEST(TransportEquivalence, CheckpointsResumeAcrossTransports) {
   EXPECT_GE(resumed->resumed_from_iteration, 1);
 }
 
+// --- Kernel backend ablation ------------------------------------------------
+
+/// The kernel-layer acceptance criterion: the SIMD dispatch is a pure
+/// throughput knob. A run forced onto the portable scalar oracle and a run
+/// on the auto-dispatched backend produce bitwise-identical factors, error
+/// trajectories, and comm/recovery ledgers. (On a machine without SIMD
+/// support auto resolves to portable and the comparison is trivially true —
+/// the CI kernels matrix covers both shapes.)
+TEST(KernelAblation, PortableAndAutoAreBitwiseIdentical) {
+  const PlantedTensor p = MakePlanted(24, 4, 81);
+  DbtfConfig portable = SmallConfig();
+  portable.kernel_backend = KernelBackend::kPortable;
+  DbtfConfig autod = SmallConfig();
+  autod.kernel_backend = KernelBackend::kAuto;
+
+  auto portable_run = Dbtf::Factorize(p.tensor, portable);
+  auto auto_run = Dbtf::Factorize(p.tensor, autod);
+  ASSERT_TRUE(portable_run.ok()) << portable_run.status().ToString();
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().ToString();
+
+  EXPECT_EQ(portable_run->kernel_backend, "portable");
+  EXPECT_NE(auto_run->kernel_backend, "auto") << "auto must resolve";
+  ExpectSameFactorsAndErrors(*auto_run, *portable_run);
+  ExpectSameComm(auto_run->comm, portable_run->comm);
+  ExpectSameRecovery(auto_run->recovery, portable_run->recovery);
+  EXPECT_EQ(auto_run->iterations_run, portable_run->iterations_run);
+  EXPECT_EQ(auto_run->converged, portable_run->converged);
+  EXPECT_EQ(auto_run->cache_entries, portable_run->cache_entries);
+  EXPECT_EQ(auto_run->cache_bytes, portable_run->cache_bytes);
+  EXPECT_EQ(auto_run->cells_changed, portable_run->cells_changed);
+}
+
+/// Every individually supported backend (not just auto's pick) matches the
+/// portable run, including under a fault plan so the retry/recovery paths
+/// execute on SIMD kernels too.
+TEST(KernelAblation, EveryCompiledBackendMatchesPortableUnderFaults) {
+  const PlantedTensor p = MakePlanted(24, 4, 82);
+  DbtfConfig base = SmallConfig();
+  auto plan = FaultPlan::Parse("0:broadcast:transient@2,1:dispatch:crash@4");
+  ASSERT_TRUE(plan.ok());
+  base.cluster.fault_plan = *plan;
+
+  DbtfConfig portable = base;
+  portable.kernel_backend = KernelBackend::kPortable;
+  auto baseline = Dbtf::Factorize(p.tensor, portable);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (const KernelBackend backend : SupportedKernelBackends()) {
+    DbtfConfig config = base;
+    config.kernel_backend = backend;
+    auto run = Dbtf::Factorize(p.tensor, config);
+    ASSERT_TRUE(run.ok()) << KernelBackendName(backend) << ": "
+                          << run.status().ToString();
+    EXPECT_EQ(run->kernel_backend, KernelBackendName(backend));
+    ExpectSameFactorsAndErrors(*run, *baseline);
+    ExpectSameComm(run->comm, baseline->comm);
+    ExpectSameRecovery(run->recovery, baseline->recovery);
+  }
+}
+
+/// The kernel backend is excluded from the checkpoint's config fingerprint
+/// on purpose (like the transport): a snapshot written under the portable
+/// backend resumes under the auto-dispatched one, bitwise.
+TEST(KernelAblation, CheckpointsResumeAcrossBackends) {
+  const PlantedTensor p = MakePlanted(24, 4, 83);
+  DbtfConfig baseline_config = SmallConfig();
+  baseline_config.kernel_backend = KernelBackend::kPortable;
+  auto baseline = Dbtf::Factorize(p.tensor, baseline_config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string dir = CkptDir("cross_kernel");
+  DbtfConfig interrupted = CheckpointedConfig(dir);
+  interrupted.kernel_backend = KernelBackend::kPortable;
+  interrupted.halt_after_columns = 7;
+  ASSERT_EQ(Dbtf::Factorize(p.tensor, interrupted).status().code(),
+            StatusCode::kResourceExhausted);
+
+  DbtfConfig resume = CheckpointedConfig(dir);
+  resume.kernel_backend = KernelBackend::kAuto;
+  resume.resume = true;
+  auto resumed = Dbtf::Factorize(p.tensor, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectSameFactorsAndErrors(*resumed, *baseline);
+  ExpectSameComm(resumed->comm, baseline->comm);
+  EXPECT_GE(resumed->resumed_from_iteration, 1);
+}
+
 /// The rank scan runs every candidate on one resident session.
 TEST(RankSelection, SharesOnePartitionedSession) {
   const PlantedTensor p = MakePlanted(24, 3, 46);

@@ -98,7 +98,8 @@ TEST(CacheKeyInvariantsTest, KeyAboveRankDiesInDebug) {
       static_cast<std::size_t>(cache->words_per_row()));
   EXPECT_DEATH(
       cache->Lookup(std::uint64_t{1} << 5, 0, cache->words_per_row(),
-                    scratch.data()),
+                    MutableBitSpan(scratch.data(),
+                                   scratch.size() * kBitsPerWord)),
       "cache key has bits above rank 4");
 #endif
 }

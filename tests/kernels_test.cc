@@ -1,0 +1,247 @@
+// Differential equivalence of every compiled SIMD kernel backend against the
+// portable scalar oracle. The portable backend is the semantic definition of
+// the kernel layer (it is what the sanitizer and fuzz runs exercise); any
+// backend dispatch may substitute only if it is bit-for-bit identical —
+// including tail masking at every length mod vector width, unaligned
+// operands, garbage beyond the logical length in source tails, and dst
+// padding preservation for the writing ops.
+
+#include "common/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/bitspan.h"
+
+namespace dbtf {
+namespace {
+
+/// Deterministic xorshift64*; fills whole words, including padding bits, so
+/// every trial exercises the tail masks.
+class WordRng {
+ public:
+  explicit WordRng(std::uint64_t seed) : state_(seed | 1) {}
+
+  BitWord Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  void Fill(std::vector<BitWord>& words) {
+    for (BitWord& w : words) w = Next();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The widest vector is 8 words (AVX-512); sweeping every bit length through
+/// 4 vectors' worth of words covers every (full-vectors, remainder-words,
+/// tail-bits) combination each backend distinguishes.
+constexpr std::size_t kSweepBits = 4 * 8 * kBitsPerWord;  // 2048
+
+const BoolKernels& Portable() {
+  return *KernelsFor(KernelBackend::kPortable).value();
+}
+
+class KernelBackendTest : public ::testing::TestWithParam<KernelBackend> {
+ protected:
+  const BoolKernels& Backend() const {
+    return *KernelsFor(GetParam()).value();
+  }
+};
+
+TEST_P(KernelBackendTest, CountingOpsMatchPortableAtEveryLength) {
+  const BoolKernels& k = Backend();
+  const BoolKernels& ref = Portable();
+  WordRng rng(0xC0FFEE);
+  for (std::size_t bits = 0; bits <= kSweepBits; ++bits) {
+    std::vector<BitWord> a(WordsForBits(bits) + 1);
+    std::vector<BitWord> b(WordsForBits(bits) + 1);
+    rng.Fill(a);
+    rng.Fill(b);
+    const BitSpan sa(a.data(), bits);
+    const BitSpan sb(b.data(), bits);
+    ASSERT_EQ(k.popcount(sa), ref.popcount(sa)) << "bits=" << bits;
+    ASSERT_EQ(k.xor_popcount(sa, sb), ref.xor_popcount(sa, sb))
+        << "bits=" << bits;
+    ASSERT_EQ(k.and_popcount(sa, sb), ref.and_popcount(sa, sb))
+        << "bits=" << bits;
+    ASSERT_EQ(k.andnot_popcount(sa, sb), ref.andnot_popcount(sa, sb))
+        << "bits=" << bits;
+    ASSERT_EQ(k.all_zero(sa), ref.all_zero(sa)) << "bits=" << bits;
+    ASSERT_EQ(k.equal(sa, sb), ref.equal(sa, sb)) << "bits=" << bits;
+    ASSERT_TRUE(k.equal(sa, sa)) << "bits=" << bits;
+  }
+}
+
+TEST_P(KernelBackendTest, PredicatesSeeThroughGarbageTails) {
+  const BoolKernels& k = Backend();
+  WordRng rng(0xFACADE);
+  for (std::size_t bits = 1; bits <= kSweepBits; bits += 7) {
+    // Zero logical bits, garbage padding: all_zero must hold, popcount 0.
+    std::vector<BitWord> z(WordsForBits(bits));
+    rng.Fill(z);
+    const BitSpan sz(z.data(), bits);
+    z[z.size() - 1] = rng.Next() & ~sz.tail_mask();
+    for (std::size_t i = 0; i + 1 < z.size(); ++i) z[i] = 0;
+    ASSERT_TRUE(k.all_zero(sz)) << "bits=" << bits;
+    ASSERT_EQ(k.popcount(sz), 0) << "bits=" << bits;
+    // Same logical content, different padding: equal must hold.
+    std::vector<BitWord> e(z);
+    e[e.size() - 1] ^= rng.Next() & ~sz.tail_mask();
+    ASSERT_TRUE(k.equal(sz, BitSpan(e.data(), bits))) << "bits=" << bits;
+  }
+}
+
+TEST_P(KernelBackendTest, WritingOpsMatchPortableAndPreserveDstPadding) {
+  const BoolKernels& k = Backend();
+  const BoolKernels& ref = Portable();
+  WordRng rng(0xDECAF);
+  for (std::size_t bits = 0; bits <= kSweepBits; ++bits) {
+    std::vector<BitWord> x(WordsForBits(bits) + 1);
+    std::vector<BitWord> y(WordsForBits(bits) + 1);
+    std::vector<BitWord> dst0(WordsForBits(bits) + 1);
+    rng.Fill(x);
+    rng.Fill(y);
+    rng.Fill(dst0);  // garbage dst, including its padding bits
+    const BitSpan sx(x.data(), bits);
+    const BitSpan sy(y.data(), bits);
+    for (int op = 0; op < 3; ++op) {
+      std::vector<BitWord> got(dst0);
+      std::vector<BitWord> want(dst0);
+      const MutableBitSpan dg(got.data(), bits);
+      const MutableBitSpan dw(want.data(), bits);
+      switch (op) {
+        case 0:
+          k.or_into(dg, sx);
+          ref.or_into(dw, sx);
+          break;
+        case 1:
+          k.or_out(dg, sx, sy);
+          ref.or_out(dw, sx, sy);
+          break;
+        case 2:
+          k.andnot_out(dg, sx, sy);
+          ref.andnot_out(dw, sx, sy);
+          break;
+      }
+      ASSERT_EQ(got, want) << "op=" << op << " bits=" << bits;
+      // Padding bits of the final word and the sentinel word beyond the
+      // span must be exactly what they were before the write.
+      const std::size_t nw = WordsForBits(bits);
+      ASSERT_EQ(got.back(), dst0.back()) << "op=" << op << " bits=" << bits;
+      if (nw > 0) {
+        const BitWord pad = ~BitSpan(got.data(), bits).tail_mask();
+        ASSERT_EQ(got[nw - 1] & pad, dst0[nw - 1] & pad)
+            << "op=" << op << " bits=" << bits;
+      }
+    }
+  }
+}
+
+TEST_P(KernelBackendTest, AlignmentOffsetsMatchPortable) {
+  const BoolKernels& k = Backend();
+  const BoolKernels& ref = Portable();
+  WordRng rng(0xA11C);
+  // Word-granular offsets 0..7 cover every 64-byte-alignment phase of the
+  // widest vector; spans taken mid-buffer are exactly how cache-table and
+  // unfolding-block slices are formed.
+  for (std::size_t offset = 0; offset < 8; ++offset) {
+    for (const std::size_t bits : {63u, 64u, 200u, 517u, 1024u, 2048u}) {
+      std::vector<BitWord> a(WordsForBits(bits) + 8);
+      std::vector<BitWord> b(WordsForBits(bits) + 8);
+      std::vector<BitWord> dst0(WordsForBits(bits) + 8);
+      rng.Fill(a);
+      rng.Fill(b);
+      rng.Fill(dst0);
+      const BitSpan sa(a.data() + offset, bits);
+      const BitSpan sb(b.data() + offset, bits);
+      ASSERT_EQ(k.popcount(sa), ref.popcount(sa))
+          << "offset=" << offset << " bits=" << bits;
+      ASSERT_EQ(k.xor_popcount(sa, sb), ref.xor_popcount(sa, sb))
+          << "offset=" << offset << " bits=" << bits;
+      ASSERT_EQ(k.andnot_popcount(sa, sb), ref.andnot_popcount(sa, sb))
+          << "offset=" << offset << " bits=" << bits;
+      std::vector<BitWord> got(dst0);
+      std::vector<BitWord> want(dst0);
+      k.or_out(MutableBitSpan(got.data() + offset, bits), sa, sb);
+      ref.or_out(MutableBitSpan(want.data() + offset, bits), sa, sb);
+      ASSERT_EQ(got, want) << "offset=" << offset << " bits=" << bits;
+    }
+  }
+}
+
+TEST_P(KernelBackendTest, RandomizedTrialsAtLargeSizes) {
+  const BoolKernels& k = Backend();
+  const BoolKernels& ref = Portable();
+  WordRng rng(0xBEEF);
+  for (const std::size_t bits :
+       {4095u, 4096u, 4097u, 65521u, 65536u, 1u << 20}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<BitWord> a(WordsForBits(bits));
+      std::vector<BitWord> b(WordsForBits(bits));
+      rng.Fill(a);
+      rng.Fill(b);
+      const BitSpan sa(a.data(), bits);
+      const BitSpan sb(b.data(), bits);
+      ASSERT_EQ(k.popcount(sa), ref.popcount(sa)) << "bits=" << bits;
+      ASSERT_EQ(k.xor_popcount(sa, sb), ref.xor_popcount(sa, sb))
+          << "bits=" << bits;
+      ASSERT_EQ(k.and_popcount(sa, sb), ref.and_popcount(sa, sb))
+          << "bits=" << bits;
+      ASSERT_EQ(k.andnot_popcount(sa, sb), ref.andnot_popcount(sa, sb))
+          << "bits=" << bits;
+      ASSERT_EQ(k.equal(sa, sb), ref.equal(sa, sb)) << "bits=" << bits;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, KernelBackendTest,
+    ::testing::ValuesIn(SupportedKernelBackends()),
+    [](const ::testing::TestParamInfo<KernelBackend>& info) {
+      return std::string(KernelBackendName(info.param));
+    });
+
+TEST(KernelDispatchTest, ParseRoundTripsNames) {
+  for (const KernelBackend b : SupportedKernelBackends()) {
+    const auto parsed = ParseKernelBackend(KernelBackendName(b));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), b);
+  }
+  EXPECT_TRUE(ParseKernelBackend("auto").ok());
+  EXPECT_FALSE(ParseKernelBackend("sse9").ok());
+}
+
+TEST(KernelDispatchTest, SupportedBackendsStartWithPortable) {
+  const auto backends = SupportedKernelBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), KernelBackend::kPortable);
+  for (const KernelBackend b : backends) {
+    EXPECT_NE(b, KernelBackend::kAuto);
+    EXPECT_TRUE(KernelsFor(b).ok());
+  }
+}
+
+TEST(KernelDispatchTest, SetKernelBackendSwitchesActiveTable) {
+  const KernelBackend before = ActiveKernelBackend();
+  for (const KernelBackend b : SupportedKernelBackends()) {
+    ASSERT_TRUE(SetKernelBackend(b).ok());
+    EXPECT_EQ(ActiveKernelBackend(), b);
+    EXPECT_STREQ(Kernels().name, KernelBackendName(b));
+  }
+  // kAuto resolves to a concrete backend, never reports "auto".
+  ASSERT_TRUE(SetKernelBackend(KernelBackend::kAuto).ok());
+  EXPECT_NE(ActiveKernelBackend(), KernelBackend::kAuto);
+  ASSERT_TRUE(SetKernelBackend(before).ok());
+}
+
+}  // namespace
+}  // namespace dbtf

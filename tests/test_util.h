@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitspan.h"
+#include "common/kernels/kernels.h"
 #include "common/random.h"
 #include "tensor/bit_matrix.h"
 #include "tensor/boolean_ops.h"
@@ -84,12 +86,15 @@ inline std::int64_t ReferenceUpdateFactor(const BitMatrix& unfolded,
   const std::int64_t rank = factor->cols();
   const std::size_t words = static_cast<std::size_t>(krt.words_per_row());
   std::vector<BitWord> sum(words);
+  const MutableBitSpan sum_span(sum.data(),
+                                static_cast<std::size_t>(krt.cols()));
   const auto row_error = [&](std::int64_t r, std::uint64_t mask) {
     std::fill(sum.begin(), sum.end(), BitWord{0});
-    for (std::int64_t b = 0; b < rank; ++b) {
-      if ((mask >> b) & 1) OrInto(sum.data(), krt.RowData(b), words);
-    }
-    return XorPopCount(sum.data(), unfolded.RowData(r), words);
+    ForEachSetBit(BitSpan(&mask, static_cast<std::size_t>(rank)),
+                  [&](std::size_t b) {
+      Kernels().or_into(sum_span, krt.Row(static_cast<std::int64_t>(b)));
+    });
+    return Kernels().xor_popcount(sum_span, unfolded.Row(r));
   };
   std::int64_t final_error = 0;
   for (std::int64_t c = 0; c < rank; ++c) {

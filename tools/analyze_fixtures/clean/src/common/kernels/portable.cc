@@ -1,0 +1,23 @@
+// Fixture: the kernel layer itself. Exactly the idioms kernel-confinement
+// bans elsewhere — scalar std::popcount and hand-rolled word loops — are
+// legal here, because src/common/kernels/ is the one place they live.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dbtf {
+
+using BitWord = std::uint64_t;
+
+std::int64_t PopcountWords(const BitWord* w, std::size_t nw) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < nw; ++i) total += std::popcount(w[i]);
+  return total;
+}
+
+void OrWords(BitWord* d, const BitWord* s, std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i) d[i] |= s[i];
+}
+
+}  // namespace dbtf

@@ -1,0 +1,33 @@
+// Fixture: word-level Boolean arithmetic hand-rolled outside the kernel
+// layer. Both idioms must trip kernel-confinement; the suppressed loop at
+// the bottom must not.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dbtf {
+
+using BitWord = std::uint64_t;
+
+std::int64_t RowError(const BitWord* x, const BitWord* y, std::size_t nw) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    total += std::popcount(x[i] ^ y[i]);
+  }
+  return total;
+}
+
+void OrInto(BitWord* dst, const BitWord* src, std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i) dst[i] |= src[i];
+}
+
+std::uint64_t SumWords(const BitWord* w, std::size_t nw) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    total += w[i] & 0xFF;  // analyze-ignore(kernel-confinement): fixture
+  }
+  return total;
+}
+
+}  // namespace dbtf

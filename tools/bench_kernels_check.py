@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI gate over bench_micro_kernels --json (the BENCH_kernels.json schema).
+
+Two checks, both over throughput *ratios* (GiB/s varies wildly across CI
+runners; speedup-vs-portable measured within one run on one machine is the
+stable signal):
+
+  dispatch-wins   the auto-dispatched backend must be at least as fast as
+                  the portable oracle on the counting hot paths (popcount,
+                  xor_popcount), within --tolerance. A dispatch that loses
+                  to scalar code means the SIMD backend or the CPUID
+                  resolution is broken.
+  no-regression   against a committed baseline (--baseline), each backend's
+                  speedup_vs_portable may not fall below baseline *
+                  --regression-factor. Only backends present in BOTH files
+                  are compared, so a runner without AVX-512 skips those
+                  rows instead of failing.
+
+Exit status: 0 = pass, 1 = gate failure, 2 = bad invocation/schema.
+
+Usage:
+  bench/bench_micro_kernels --json > current.json
+  tools/bench_kernels_check.py --current current.json \
+      --baseline BENCH_kernels.json
+"""
+
+import argparse
+import json
+import sys
+
+# Ops where losing to portable indicates a broken backend. The write ops are
+# memory-bound and the predicates depend on short-circuit position, so only
+# the counting kernels gate the dispatch.
+GATED_OPS = ("popcount", "xor_popcount")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_kernels_check: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "dbtf-bench-kernels-v1":
+        print(f"bench_kernels_check: {path}: unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("dispatched", "backends", "speedup_vs_portable"):
+        if key not in doc:
+            print(f"bench_kernels_check: {path}: missing {key!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="fresh bench_micro_kernels --json output")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_kernels.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="slack on dispatched >= portable (default 0.15)")
+    parser.add_argument("--regression-factor", type=float, default=0.5,
+                        help="minimum fraction of the baseline speedup that "
+                             "still passes (default 0.5)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    failures = []
+
+    dispatched = current["dispatched"]
+    backends = current["backends"]
+    if dispatched not in backends:
+        print(f"bench_kernels_check: dispatched backend {dispatched!r} "
+              f"not measured", file=sys.stderr)
+        sys.exit(2)
+    if "portable" not in backends:
+        print("bench_kernels_check: portable backend missing",
+              file=sys.stderr)
+        sys.exit(2)
+
+    # dispatch-wins
+    for op in GATED_OPS:
+        fast = backends[dispatched].get(op)
+        slow = backends["portable"].get(op)
+        if fast is None or slow is None:
+            failures.append(f"op {op!r} missing from measurements")
+            continue
+        floor = slow * (1.0 - args.tolerance)
+        if fast < floor:
+            failures.append(
+                f"dispatch-wins: {dispatched}.{op} = {fast:.3f} GiB/s is "
+                f"slower than portable {slow:.3f} (floor {floor:.3f})")
+        else:
+            print(f"ok dispatch-wins: {dispatched}.{op} {fast:.3f} GiB/s "
+                  f">= portable {slow:.3f}")
+
+    # no-regression
+    if args.baseline:
+        baseline = load(args.baseline)
+        base_ratios = baseline["speedup_vs_portable"]
+        cur_ratios = current["speedup_vs_portable"]
+        shared = sorted(set(base_ratios) & set(cur_ratios))
+        skipped = sorted(set(base_ratios) - set(cur_ratios))
+        if skipped:
+            print(f"note: baseline backends not measured here "
+                  f"(runner lacks them): {', '.join(skipped)}")
+        for backend in shared:
+            for op, base in sorted(base_ratios[backend].items()):
+                cur = cur_ratios[backend].get(op)
+                if cur is None:
+                    failures.append(
+                        f"no-regression: {backend}.{op} missing from current")
+                    continue
+                floor = base * args.regression_factor
+                if cur < floor:
+                    failures.append(
+                        f"no-regression: {backend}.{op} speedup {cur:.3f}x "
+                        f"fell below {floor:.3f}x "
+                        f"(baseline {base:.3f}x * {args.regression_factor})")
+        if not any(f.startswith("no-regression") for f in failures):
+            print(f"ok no-regression: {len(shared)} backend(s) vs baseline")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench_kernels_check: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,16 @@ checks whole-program properties (see DESIGN.md, "Correctness tooling"):
                       a DBTF_GUARDED_BY annotation, so Clang's thread-safety
                       analysis (the CI clang leg) can see every guarded
                       member. Atomics and the mutexes themselves are exempt.
+  kernel-confinement  hand-rolled word iteration over BitWord data belongs
+                      in src/common/kernels/ (plus the bitops.h/bitspan.h
+                      shims) and nowhere else. Two idioms are errors in any
+                      other src/ file: a `std::popcount` call, and a
+                      BitWord-typed identifier subscripted and combined
+                      with a bitwise operator inside a for/while loop.
+                      Callers go through the BoolKernels dispatch table so
+                      every backend (portable/AVX2/AVX-512) stays
+                      bit-for-bit identical and the portable oracle remains
+                      the single semantic definition.
 
 Backends:
   internal   a built-in C++ lexer + structural parser; no dependencies
@@ -67,7 +77,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 RULES = ("discarded-status", "lock-order", "ckpt-coverage", "wire-coverage",
-         "guarded-by")
+         "guarded-by", "kernel-confinement")
 
 # ---------------------------------------------------------------------------
 # Lexer
@@ -1100,6 +1110,165 @@ def _mutations_under_lock(fn: Function,
 
 
 # ---------------------------------------------------------------------------
+# Rule 5: kernel-confinement
+# ---------------------------------------------------------------------------
+
+# The only places allowed to iterate BitWord arrays by hand: the kernel
+# backends themselves, the word-level primitives header, and the span header
+# (whose ForEachSetBit is the one sanctioned scalar scan).
+KERNEL_EXEMPT_PREFIXES = ("src/common/kernels/",)
+KERNEL_EXEMPT_FILES = {"src/common/bitops.h", "src/common/bitspan.h"}
+
+# Operators that turn a subscripted word into word-level Boolean arithmetic.
+KERNEL_BITWISE_AFTER = {"&", "|", "^", "&=", "|=", "^=", "<<", ">>",
+                        "<<=", ">>="}
+KERNEL_BITWISE_BEFORE = {"&", "|", "^", "~"}
+
+# Tokens skipped between 'BitWord' and the declared identifier: covers
+# 'const BitWord* w', 'std::vector<BitWord>& rows', 'unique_ptr<BitWord[]>'.
+_BITWORD_DECL_SKIP = {"*", "&", ">", "[", "]"}
+
+
+def _match_bracket(tokens: list[Token], open_index: int) -> int:
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "[":
+                depth += 1
+            elif t.text == "]":
+                depth -= 1
+                if depth == 0:
+                    return i
+    return len(tokens) - 1
+
+
+def _bitword_identifiers(tokens: list[Token]) -> set[str]:
+    """Identifiers declared with BitWord in their type within this file:
+    'const BitWord* w', 'std::vector<BitWord> row', 'BitWord mask',
+    'std::unique_ptr<BitWord[]> table' — parameters, locals, and members
+    alike. Over-approximating is fine: flagging additionally requires a
+    subscript combined with a bitwise operator inside a loop."""
+    out: set[str] = set()
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "BitWord":
+            continue
+        j = i + 1
+        while j < n and ((tokens[j].kind == "punct"
+                          and tokens[j].text in _BITWORD_DECL_SKIP)
+                         or (tokens[j].kind == "id"
+                             and tokens[j].text == "const")):
+            j += 1
+        if j < n and tokens[j].kind == "id" and tokens[j].text != "BitWord":
+            out.add(tokens[j].text)
+    return out
+
+
+def _loop_ranges(tokens: list[Token]) -> list[tuple[int, int]]:
+    """Inclusive token index ranges covered by for/while headers and bodies.
+    Nested loops each contribute their own range; overlap is harmless."""
+    ranges: list[tuple[int, int]] = []
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if not (t.kind == "id" and t.text in ("for", "while")
+                and i + 1 < n and tokens[i + 1].kind == "punct"
+                and tokens[i + 1].text == "("):
+            continue
+        close = _match_paren(tokens, i + 1)
+        j = close + 1
+        if j < n and tokens[j].kind == "punct" and tokens[j].text == "{":
+            end = _match_brace(tokens, j)
+        else:  # single-statement body: scan to ';' skipping nested parens
+            end = j
+            while end < n:
+                tk = tokens[end]
+                if tk.kind == "punct":
+                    if tk.text == "(":
+                        end = _match_paren(tokens, end)
+                    elif tk.text == ";":
+                        break
+                end += 1
+        ranges.append((i, min(end, n - 1)))
+    return ranges
+
+
+def _scan_kernel_confinement(sf: SourceFile) -> list[Finding]:
+    """Both kernel-confinement idioms in one file (exemptions NOT applied
+    here — the caller filters paths, so the self-test can prove the scan
+    trips on the kernel sources themselves)."""
+    toks = sf.tokens
+    n = len(toks)
+    findings: list[Finding] = []
+    for i, t in enumerate(toks):
+        if (t.kind == "id" and t.text == "popcount"
+                and i >= 2 and toks[i - 1].kind == "punct"
+                and toks[i - 1].text == "::" and toks[i - 2].kind == "id"
+                and toks[i - 2].text == "std"
+                and not sf.suppressed(t.line, "kernel-confinement")):
+            findings.append(Finding(
+                sf.rel, t.line, "kernel-confinement",
+                "std::popcount outside src/common/kernels/ — go through "
+                "the dispatch table (Kernels().popcount / xor_popcount / "
+                "and_popcount over a BitSpan) so every backend stays "
+                "bit-for-bit identical to the portable oracle"))
+    names = _bitword_identifiers(toks)
+    if not names:
+        return findings
+    seen_lines: set[int] = set()
+    for start, end in _loop_ranges(toks):
+        i = start
+        while i <= end and i < n:
+            t = toks[i]
+            if not (t.kind == "id" and t.text in names and i + 1 < n
+                    and toks[i + 1].kind == "punct"
+                    and toks[i + 1].text == "["):
+                i += 1
+                continue
+            close = _match_bracket(toks, i + 1)
+            after = toks[close + 1] if close + 1 < n else None
+            before = toks[i - 1] if i > 0 else None
+            hit = (after is not None and after.kind == "punct"
+                   and after.text in KERNEL_BITWISE_AFTER)
+            if (not hit and before is not None and before.kind == "punct"
+                    and before.text in KERNEL_BITWISE_BEFORE):
+                # '&w[i]' as address-of (after '(', ',', '=', ...) is not
+                # word arithmetic; binary '&' follows a value token.
+                if before.text != "&" or (
+                        i >= 2 and (toks[i - 2].kind in ("id", "num")
+                                    or toks[i - 2].text in (")", "]"))):
+                    hit = True
+            if (not hit and before is not None and before.kind == "punct"
+                    and before.text == "(" and i >= 2
+                    and toks[i - 2].kind == "id"
+                    and toks[i - 2].text == "PopCount"):
+                hit = True  # the bitops.h shim inside a loop is the idiom
+            if (hit and t.line not in seen_lines
+                    and not sf.suppressed(t.line, "kernel-confinement")):
+                seen_lines.add(t.line)
+                findings.append(Finding(
+                    sf.rel, t.line, "kernel-confinement",
+                    f"raw word loop over BitWord '{t.text}' — hand-rolled "
+                    f"word iteration is confined to src/common/kernels/; "
+                    f"wrap the data in a BitSpan and use the BoolKernels "
+                    f"ops (or ForEachSetBit) instead"))
+            i = close + 1
+    return findings
+
+
+def check_kernel_confinement(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        if not sf.rel.startswith("src/"):
+            continue
+        if sf.rel.startswith(KERNEL_EXEMPT_PREFIXES) \
+                or sf.rel in KERNEL_EXEMPT_FILES:
+            continue
+        findings.extend(_scan_kernel_confinement(sf))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # libclang backend (optional; replaces the internal discarded-status pass)
 # ---------------------------------------------------------------------------
 
@@ -1225,6 +1394,8 @@ def analyze(root: Path, rules: list[str], backend: str) -> list[Finding]:
         findings.extend(check_wire_coverage(by_rel))
     if "guarded-by" in rules:
         findings.extend(check_guarded_by(files))
+    if "kernel-confinement" in rules:
+        findings.extend(check_kernel_confinement(files))
     return findings
 
 

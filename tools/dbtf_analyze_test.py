@@ -125,6 +125,29 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(len(findings), 1)
         self.assertIn("Counter::total_", findings[0].message)
 
+    def test_kernel_confinement_fixture_trips(self):
+        findings = run("kernel_confinement")
+        self.assertEqual(rules_in(findings), {"kernel-confinement"})
+        # Line 16 trips twice (std::popcount + the word loop carrying it),
+        # line 22 once (dst[i] |= src[i]); the analyze-ignore'd loop in
+        # SumWords stays silent.
+        self.assertEqual(len(findings), 3)
+        self.assertEqual(sorted(f.line for f in findings), [16, 16, 22])
+        messages = " ".join(f.message for f in findings)
+        self.assertIn("std::popcount", messages)
+        self.assertIn("raw word loop over BitWord", messages)
+        self.assertNotIn("SumWords", messages)
+
+    def test_kernel_confinement_exempts_the_kernel_layer(self):
+        # The clean fixture carries a kernels/portable.cc replica full of
+        # banned idioms; the path exemption is what keeps it green.
+        rel = "src/common/kernels/portable.cc"
+        path = FIXTURES / "clean" / rel
+        sf = dbtf_analyze.SourceFile(rel, path.read_text())
+        # One finding per idiom: the std::popcount call and the word loop.
+        self.assertEqual(len(dbtf_analyze._scan_kernel_confinement(sf)), 2)
+        self.assertEqual(run("clean", rules=["kernel-confinement"]), [])
+
     def test_suppression_comment_silences_a_rule(self):
         root = FIXTURES / "unannotated_guarded"
         path = root / "src" / "dist" / "counter.h"
@@ -177,6 +200,18 @@ class RepoTest(unittest.TestCase):
         guard_classes = dbtf_analyze.collect_guard_classes(files)
         self.assertIn("Cluster", guard_classes)
         self.assertIn("ThreadPool", guard_classes)
+
+        # kernel-confinement must actually see the repo's kernel sources:
+        # every backend is wall-to-wall banned idioms, saved only by the
+        # path exemption.
+        for rel in ("src/common/kernels/portable.cc",
+                    "src/common/kernels/avx2.cc",
+                    "src/common/kernels/avx512.cc"):
+            hits = dbtf_analyze._scan_kernel_confinement(by_rel[rel])
+            self.assertGreater(len(hits), 4, rel)
+        ids = dbtf_analyze._bitword_identifiers(
+            by_rel["src/common/kernels/portable.cc"].tokens)
+        self.assertLessEqual({"w", "x", "y", "d", "mask"}, ids)
 
     def test_cli_exit_codes(self):
         self.assertEqual(dbtf_analyze.main(
