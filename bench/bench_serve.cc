@@ -1,0 +1,309 @@
+// YCSB-style benchmark of the factor-serving subsystem (src/serve/).
+//
+// A fixed (seed, skew, mix) triple names one exact operation stream —
+// membership / fiber / top-R reads plus column-delta updates over randomly
+// planted bit-packed factors — which is replayed against a ServeEngine on
+// each requested transport. Per query kind the run reports throughput and
+// p50/p95/p99 latency from the harness's constant-memory log-linear
+// histogram (bench/harness/latency.h), and the whole response stream is
+// folded into one FNV-1a digest so CI can byte-compare the answers across
+// transports: identical digests mean the in-process and multi-process
+// engines served bitwise-identical results.
+//
+// With --json <path> the report is written machine-readable; CI commits it
+// as BENCH_serve.json and gates regressions via tools/bench_serve_check.py.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/serde.h"
+#include "common/timer.h"
+#include "dist/provision.h"
+#include "dist/transport/transport.h"
+#include "dist/transport/wire.h"
+#include "harness/harness.h"
+#include "harness/latency.h"
+#include "serve/serve_engine.h"
+#include "serve/workload.h"
+#include "tensor/bit_matrix.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: bench_serve [--json PATH] [--transport=inproc|socket|both]\n"
+    "                   [--ops N] [--skew=uniform|normal|lognormal|weblog]\n"
+    "                   [--membership-ratio R] [--fiber-ratio R]\n"
+    "                   [--top-ratio R] [--update-ratio R] [--seed S]\n";
+
+/// Latency and digest accounting of one transport's replay.
+struct KindStats {
+  const char* name = "";
+  LatencyHistogram latency;
+};
+
+struct TransportRun {
+  TransportKind transport = TransportKind::kInProcess;
+  std::int64_t ops = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  std::uint64_t digest = 0;  ///< FNV-1a over every encoded QueryResponse
+  std::array<std::uint64_t, 3> generations{{0, 0, 0}};
+  std::vector<KindStats> kinds;
+};
+
+std::uint64_t Fnv1a(std::uint64_t hash, const std::vector<std::uint8_t>& bytes) {
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Random planted factor set: dims scale with DBTF_BENCH_SCALE, density
+/// fixed so membership answers mix hits and misses.
+Result<BitMatrix> RandomFactor(Rng* rng, std::int64_t rows, std::int64_t rank,
+                               double density) {
+  DBTF_ASSIGN_OR_RETURN(BitMatrix m, BitMatrix::Create(rows, rank));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint64_t mask = 0;
+    for (std::int64_t c = 0; c < rank; ++c) {
+      if (rng->NextBool(density)) mask |= std::uint64_t{1} << c;
+    }
+    m.SetRowMask64(r, mask);
+  }
+  return m;
+}
+
+Result<TransportRun> RunTransport(TransportKind transport,
+                                  const WorkloadOptions& workload,
+                                  const BenchOptions& options,
+                                  std::int64_t ops) {
+  TransportRun run;
+  run.transport = transport;
+  run.kinds = {{"membership", {}}, {"fiber", {}}, {"top", {}}, {"update", {}}};
+
+  ClusterConfig config;
+  config.num_machines = options.machines;
+  config.transport.kind = transport;
+  DBTF_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                        Cluster::Create(config));
+  DBTF_RETURN_IF_ERROR(ProvisionWorkers(*cluster));
+
+  // The factor content is part of the workload's identity: same seed, same
+  // factors, on every transport.
+  Rng rng(workload.seed ^ 0x5e7ce11aULL);
+  DBTF_ASSIGN_OR_RETURN(
+      BitMatrix a, RandomFactor(&rng, workload.dims[0], workload.rank, 0.12));
+  DBTF_ASSIGN_OR_RETURN(
+      BitMatrix b, RandomFactor(&rng, workload.dims[1], workload.rank, 0.12));
+  DBTF_ASSIGN_OR_RETURN(
+      BitMatrix c, RandomFactor(&rng, workload.dims[2], workload.rank, 0.12));
+  DBTF_ASSIGN_OR_RETURN(
+      std::unique_ptr<ServeEngine> engine,
+      ServeEngine::Create(cluster.get(), std::move(a), std::move(b),
+                          std::move(c)));
+  DBTF_RETURN_IF_ERROR(engine->Load());
+
+  WorkloadGenerator generator(workload);
+  run.digest = 0xcbf29ce484222325ULL;
+  const Timer wall;
+  for (std::int64_t n = 0; n < ops; ++n) {
+    const ServeOp op = generator.Next();
+    QueryResponse response;
+    Timer op_timer;
+    DBTF_RETURN_IF_ERROR(RunOp(engine.get(), op, &response));
+    const double seconds = op_timer.ElapsedSeconds();
+    KindStats& kind = run.kinds[static_cast<std::size_t>(op.kind)];
+    kind.latency.Record(seconds);
+    if (op.kind != ServeOpKind::kUpdate) {
+      // Generations are drawn from a process-global counter, so their raw
+      // values differ between two runs even over identical content. The
+      // single-threaded replay must observe exactly the committed triple —
+      // check that, then normalize so the digest compares only the answers.
+      const std::array<std::uint64_t, 3> committed = engine->generations();
+      if (response.generations !=
+          std::vector<std::uint64_t>(committed.begin(), committed.end())) {
+        return Status::Internal(
+            "query observed a generation triple that was never committed");
+      }
+      response.generations = {0, 1, 2};
+      ByteWriter encoded;
+      EncodeQueryResponse(response, &encoded);
+      run.digest = Fnv1a(run.digest, encoded.bytes());
+    }
+  }
+  run.wall_seconds = wall.ElapsedSeconds();
+  run.ops = ops;
+  run.qps = run.wall_seconds > 0.0
+                ? static_cast<double>(ops) / run.wall_seconds
+                : 0.0;
+  run.generations = engine->generations();
+  return run;
+}
+
+bool WriteJson(const std::string& path, const WorkloadOptions& workload,
+               const std::vector<TransportRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": \"dbtf-bench-serve-v1\",\n"
+               "  \"benchmark\": \"serve\",\n"
+               "  \"skew\": \"%s\",\n  \"seed\": %llu,\n"
+               "  \"dims\": [%lld, %lld, %lld],\n  \"rank\": %lld,\n"
+               "  \"mix\": {\"membership\": %.4f, \"fiber\": %.4f, "
+               "\"top\": %.4f, \"update\": %.4f},\n"
+               "  \"runs\": [\n",
+               SkewKindName(workload.skew),
+               static_cast<unsigned long long>(workload.seed),
+               static_cast<long long>(workload.dims[0]),
+               static_cast<long long>(workload.dims[1]),
+               static_cast<long long>(workload.dims[2]),
+               static_cast<long long>(workload.rank), workload.mix.membership,
+               workload.mix.fiber, workload.mix.top, workload.mix.update);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const TransportRun& run = runs[i];
+    std::fprintf(f,
+                 "    {\"transport\": \"%s\", \"ops\": %lld,\n"
+                 "     \"wall_seconds\": %.9f, \"qps\": %.3f,\n"
+                 "     \"digest\": \"%016llx\",\n"
+                 "     \"generations\": [%llu, %llu, %llu],\n"
+                 "     \"kinds\": [\n",
+                 TransportKindName(run.transport),
+                 static_cast<long long>(run.ops), run.wall_seconds, run.qps,
+                 static_cast<unsigned long long>(run.digest),
+                 static_cast<unsigned long long>(run.generations[0]),
+                 static_cast<unsigned long long>(run.generations[1]),
+                 static_cast<unsigned long long>(run.generations[2]));
+    for (std::size_t k = 0; k < run.kinds.size(); ++k) {
+      const KindStats& kind = run.kinds[k];
+      std::fprintf(
+          f,
+          "      {\"kind\": \"%s\", \"count\": %lld, \"p50_us\": %.3f, "
+          "\"p95_us\": %.3f, \"p99_us\": %.3f}%s\n",
+          kind.name, static_cast<long long>(kind.latency.count()),
+          kind.latency.PercentileSeconds(50.0) * 1e6,
+          kind.latency.PercentileSeconds(95.0) * 1e6,
+          kind.latency.PercentileSeconds(99.0) * 1e6,
+          k + 1 < run.kinds.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu transports)\n", path.c_str(), runs.size());
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string json_path = flags.GetString("json", "");
+  const std::string transport_name = flags.GetString("transport", "both");
+  const std::string skew_name = flags.GetString("skew", "weblog");
+  WorkloadOptions workload;
+  std::int64_t ops_flag = 0;
+  const Status flag_status = [&]() -> Status {
+    DBTF_ASSIGN_OR_RETURN(ops_flag, flags.GetInt64("ops", 0));
+    DBTF_ASSIGN_OR_RETURN(workload.mix.membership,
+                          flags.GetDouble("membership-ratio", 0.70));
+    DBTF_ASSIGN_OR_RETURN(workload.mix.fiber,
+                          flags.GetDouble("fiber-ratio", 0.15));
+    DBTF_ASSIGN_OR_RETURN(workload.mix.top, flags.GetDouble("top-ratio", 0.05));
+    DBTF_ASSIGN_OR_RETURN(workload.mix.update,
+                          flags.GetDouble("update-ratio", 0.10));
+    std::int64_t seed = 0;
+    DBTF_ASSIGN_OR_RETURN(seed, flags.GetInt64("seed", 42));
+    workload.seed = static_cast<std::uint64_t>(seed);
+    return flags.Finish();
+  }();
+  if (!flag_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", flag_status.ToString().c_str(), kUsage);
+    return 2;
+  }
+  const Result<SkewKind> skew = ParseSkewKind(skew_name);
+  if (!skew.ok()) {
+    std::fprintf(stderr, "%s\n%s", skew.status().ToString().c_str(), kUsage);
+    return 2;
+  }
+  workload.skew = *skew;
+  if (transport_name != "inproc" && transport_name != "socket" &&
+      transport_name != "both") {
+    std::fprintf(stderr, "unknown transport '%s'\n%s", transport_name.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  const BenchOptions options = BenchOptions::FromEnv();
+  PrintBanner("bench_serve",
+              "YCSB-style serving traffic over bit-packed factors", options);
+
+  const std::int64_t dim = std::int64_t{1} << (9 + options.scale);
+  workload.dims[0] = dim;
+  workload.dims[1] = dim;
+  workload.dims[2] = dim;
+  workload.rank = 16;
+  workload.top_r = 8;
+  if (const Status st = workload.Validate(); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), kUsage);
+    return 2;
+  }
+  const std::int64_t ops =
+      ops_flag > 0 ? ops_flag : 1500 * (options.scale + 1);
+
+  std::vector<TransportKind> transports;
+  if (transport_name != "socket") transports.push_back(TransportKind::kInProcess);
+  if (transport_name != "inproc") transports.push_back(TransportKind::kSocket);
+
+  TablePrinter table({"transport", "ops", "qps", "member p99 us",
+                      "fiber p99 us", "top p99 us", "update p99 us",
+                      "digest"});
+  std::vector<TransportRun> runs;
+  for (const TransportKind transport : transports) {
+    const Result<TransportRun> run =
+        RunTransport(transport, workload, options, ops);
+    if (!run.ok()) {
+      std::fprintf(stderr, "serve bench failed on %s: %s\n",
+                   TransportKindName(transport),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    char digest[32];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(run->digest));
+    table.AddRow(
+        {TransportKindName(transport), std::to_string(run->ops),
+         std::to_string(static_cast<std::int64_t>(run->qps)),
+         std::to_string(run->kinds[0].latency.PercentileSeconds(99) * 1e6),
+         std::to_string(run->kinds[1].latency.PercentileSeconds(99) * 1e6),
+         std::to_string(run->kinds[2].latency.PercentileSeconds(99) * 1e6),
+         std::to_string(run->kinds[3].latency.PercentileSeconds(99) * 1e6),
+         digest});
+    runs.push_back(*run);
+  }
+  table.Print();
+
+  if (runs.size() == 2 && runs[0].digest != runs[1].digest) {
+    std::fprintf(stderr,
+                 "FAIL: transports disagree on the served answers "
+                 "(%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(runs[0].digest),
+                 static_cast<unsigned long long>(runs[1].digest));
+    return 1;
+  }
+
+  if (!json_path.empty() && !WriteJson(json_path, workload, runs)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf
+
+int main(int argc, char** argv) { return dbtf::bench::Main(argc, argv); }

@@ -1,0 +1,75 @@
+#include "harness/latency.h"
+
+#include <cmath>
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+/// Index of the highest set bit (n > 0).
+int HighestBit(std::uint64_t n) {
+  int e = 0;
+  while (n >>= 1) ++e;
+  return e;
+}
+
+}  // namespace
+
+int LatencyHistogram::BucketOf(std::uint64_t nanos) {
+  if (nanos < static_cast<std::uint64_t>(kSubBuckets)) {
+    return static_cast<int>(nanos);  // exact below one octave
+  }
+  const int e = HighestBit(nanos);
+  const int sub =
+      static_cast<int>((nanos >> (e - kSubBits)) & (kSubBuckets - 1));
+  const int bucket = (e - kSubBits + 1) * kSubBuckets + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperNanos(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<std::uint64_t>(bucket);
+  const int e = bucket / kSubBuckets + kSubBits - 1;
+  const int sub = bucket % kSubBuckets;
+  // Upper edge of the sub-bucket: the next sub-bucket's lower edge minus
+  // one grid step, i.e. the largest value mapping into this bucket.
+  return (static_cast<std::uint64_t>(kSubBuckets + sub + 1)
+          << (e - kSubBits)) -
+         1;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  double nanos = seconds * 1e9;
+  if (!(nanos > 0.0)) nanos = 0.0;  // negatives and NaN clamp to zero
+  constexpr double kMax = 1.8e19;   // ~2^64: beyond saturates the top bucket
+  const std::uint64_t n =
+      nanos >= kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(nanos);
+  ++counts_[static_cast<std::size_t>(BucketOf(n))];
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  std::int64_t target = static_cast<std::int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (target < 1) target = 1;
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen >= target) {
+      return static_cast<double>(BucketUpperNanos(static_cast<int>(b))) * 1e-9;
+    }
+  }
+  return static_cast<double>(BucketUpperNanos(kBuckets - 1)) * 1e-9;
+}
+
+}  // namespace bench
+}  // namespace dbtf

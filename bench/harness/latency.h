@@ -1,0 +1,59 @@
+#ifndef DBTF_BENCH_HARNESS_LATENCY_H_
+#define DBTF_BENCH_HARNESS_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+
+namespace dbtf {
+namespace bench {
+
+/// Fixed-size log-linear latency histogram: p50/p95/p99 without storing the
+/// samples.
+///
+/// Samples are bucketed in nanoseconds on an HdrHistogram-style grid — each
+/// power-of-two octave is split into 2^kSubBits linear sub-buckets — so the
+/// reported percentile is the upper edge of its bucket, within a relative
+/// error of 2^-kSubBits (~3%) of the true sample. Memory is a constant
+/// ~2 KiB however many samples are recorded, which is what lets the serve
+/// bench run millions of operations per workload point.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { counts_.fill(0); }
+
+  /// Records one sample. Negative and NaN samples count as zero; samples
+  /// beyond ~584 years saturate into the top bucket.
+  void Record(double seconds);
+
+  /// Merges another histogram into this one (same grid, so bucket counts
+  /// just add).
+  void Merge(const LatencyHistogram& other);
+
+  std::int64_t count() const { return count_; }
+
+  /// Value (seconds) at percentile `p` in [0, 100]: the upper edge of the
+  /// bucket holding the ceil(p/100 * count)-th smallest sample. Returns 0
+  /// when empty. p <= 0 reports the smallest recorded bucket, p >= 100 the
+  /// largest.
+  double PercentileSeconds(double p) const;
+
+  /// Largest recorded sample's bucket edge (seconds); 0 when empty.
+  double MaxSeconds() const { return PercentileSeconds(100.0); }
+
+ private:
+  static constexpr int kSubBits = 5;  ///< 32 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Octaves [kSubBits, 63] each contribute kSubBuckets buckets, on top of
+  /// the exact [0, 2^kSubBits) range.
+  static constexpr int kBuckets = kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  static int BucketOf(std::uint64_t nanos);
+  static std::uint64_t BucketUpperNanos(int bucket);
+
+  std::array<std::int64_t, kBuckets> counts_;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace bench
+}  // namespace dbtf
+
+#endif  // DBTF_BENCH_HARNESS_LATENCY_H_

@@ -175,6 +175,65 @@ bool WriteWireFrameSeeds(const std::string& dir) {
     ok = WriteFile(dir + "/reply_error.bin",
                    Frame(WireKind::kReply, w)) && ok;
   }
+  {
+    QueryRequest msg;
+    msg.kind = QueryKind::kMembership;
+    msg.id = 41;
+    msg.i = 3;
+    msg.j = 1;
+    msg.k = 4;
+    ByteWriter w;
+    EncodeQueryRequest(msg, &w);
+    ok = WriteFile(dir + "/query_membership.bin",
+                   Frame(WireKind::kQuery, w)) && ok;
+  }
+  {
+    QueryRequest msg;
+    msg.kind = QueryKind::kFiber;
+    msg.id = 42;
+    msg.mode = Mode::kTwo;
+    msg.k = 2;
+    msg.i = 5;
+    ByteWriter w;
+    EncodeQueryRequest(msg, &w);
+    ok = WriteFile(dir + "/query_fiber.bin",
+                   Frame(WireKind::kQuery, w)) && ok;
+  }
+  {
+    QueryRequest msg;
+    msg.kind = QueryKind::kTopConcepts;
+    msg.id = 43;
+    msg.mode = Mode::kThree;
+    msg.slice_bits = {0x00000000F0F0F0F0ULL};
+    msg.slice_len = 32;
+    msg.top_r = 4;
+    ByteWriter w;
+    EncodeQueryRequest(msg, &w);
+    ok = WriteFile(dir + "/query_top.bin",
+                   Frame(WireKind::kQuery, w)) && ok;
+  }
+  {
+    QueryResponse answer;
+    answer.id = 43;
+    answer.member = true;
+    answer.explain_mask = 0x9;
+    answer.fiber_bits = {0x0000000000000FF0ULL};
+    answer.fiber_len = 12;
+    answer.concept_ids = {0, 3};
+    answer.concept_scores = {6, 2};
+    answer.generations = {21, 22, 23};  // the codec insists on all three
+    ByteWriter body;
+    EncodeQueryResponse(answer, &body);
+
+    WireReply reply;
+    reply.status = Status::OK();
+    reply.compute_seconds = 0.0625;
+    reply.body = body.bytes();
+    ByteWriter w;
+    EncodeReply(reply, &w);
+    ok = WriteFile(dir + "/reply_query.bin",
+                   Frame(WireKind::kReply, w)) && ok;
+  }
   return ok;
 }
 

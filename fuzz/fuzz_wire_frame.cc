@@ -81,11 +81,20 @@ void DecodePayload(dbtf::WireKind kind,
     }
     case dbtf::WireKind::kShutdown:
       break;  // empty payload by contract; stray bytes must not crash
+    case dbtf::WireKind::kQuery: {
+      auto msg = dbtf::DecodeQueryRequest(&reader);
+      if (msg.ok()) {
+        Roundtrip(msg.value(), dbtf::EncodeQueryRequest,
+                  dbtf::DecodeQueryRequest);
+      }
+      break;
+    }
     case dbtf::WireKind::kReply: {
       auto reply = dbtf::DecodeReply(&reader);
       if (reply.ok()) {
-        // A reply body, when present, is an encoded CollectErrorsResponse
-        // or ListPartitionsResponse; both decoders must survive it.
+        // A reply body, when present, is an encoded CollectErrorsResponse,
+        // ListPartitionsResponse, or QueryResponse; every decoder must
+        // survive every body.
         dbtf::ByteReader body(reply.value().body);
         auto response = dbtf::DecodeCollectErrorsResponse(&body);
         if (response.ok()) {
@@ -95,6 +104,12 @@ void DecodePayload(dbtf::WireKind kind,
         dbtf::ByteReader body2(reply.value().body);
         auto indexes = dbtf::DecodeListPartitionsResponse(&body2);
         (void)indexes;
+        dbtf::ByteReader body3(reply.value().body);
+        auto answer = dbtf::DecodeQueryResponse(&body3);
+        if (answer.ok()) {
+          Roundtrip(answer.value(), dbtf::EncodeQueryResponse,
+                    dbtf::DecodeQueryResponse);
+        }
       }
       break;
     }

@@ -254,9 +254,11 @@ std::vector<std::uint8_t> SerializeDist(const CheckpointState& state) {
   w.WriteI64(state.comm.shuffle_bytes);
   w.WriteI64(state.comm.broadcast_bytes);
   w.WriteI64(state.comm.collect_bytes);
+  w.WriteI64(state.comm.query_bytes);
   w.WriteI64(state.comm.shuffle_events);
   w.WriteI64(state.comm.broadcast_events);
   w.WriteI64(state.comm.collect_events);
+  w.WriteI64(state.comm.query_events);
   w.WriteI64(state.recovery.failed_deliveries);
   w.WriteI64(state.recovery.retries);
   w.WriteI64(state.recovery.machines_lost);
@@ -282,9 +284,11 @@ Status ParseDist(const std::vector<std::uint8_t>& bytes,
   DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_bytes, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_bytes, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->comm.collect_bytes, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.query_bytes, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->comm.shuffle_events, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->comm.broadcast_events, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->comm.collect_events, r.ReadI64());
+  DBTF_ASSIGN_OR_RETURN(state->comm.query_events, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->recovery.failed_deliveries, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->recovery.retries, r.ReadI64());
   DBTF_ASSIGN_OR_RETURN(state->recovery.machines_lost, r.ReadI64());

@@ -23,7 +23,9 @@ namespace ckpt_format {
 // "DBTK" little-endian, followed by the format version. Bump the version on
 // any layout change; readers reject unknown versions (and fall back).
 inline constexpr std::uint32_t kManifestMagic = 0x4B544244U;
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version 2: the dist blob's comm ledger gained the query lane
+// (query_bytes, query_events).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 inline constexpr const char* kManifestName = "MANIFEST";
 inline constexpr const char* kRunBlob = "run.bin";

@@ -1,18 +1,28 @@
 #include "cli/cli.h"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bcpals/bcp_als.h"
 #include "common/env.h"
 #include "common/kernels/kernels.h"
+#include "common/random.h"
 #include "common/timer.h"
 #include "dbtf/dbtf.h"
+#include "dist/provision.h"
 #include "dist/transport/transport.h"
 #include "eval/metrics.h"
 #include "generator/generator.h"
 #include "generator/workload.h"
 #include "modelselect/rank_selection.h"
+#include "serve/serve_engine.h"
+#include "serve/workload.h"
 #include "tensor/boolean_ops.h"
 #include "tensor/io.h"
 #include "tucker/tucker.h"
@@ -406,6 +416,147 @@ Status RunInfo(FlagParser* flags) {
   return Status::OK();
 }
 
+/// Exact percentile of recorded latencies (the CLI keeps every sample; the
+/// constant-memory histogram in bench/harness/ is for the bench's scale).
+double PercentileUs(std::vector<double>* seconds, double p) {
+  if (seconds->empty()) return 0.0;
+  std::sort(seconds->begin(), seconds->end());
+  std::size_t index = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(seconds->size())));
+  if (index < 1) index = 1;
+  return (*seconds)[index - 1] * 1e6;
+}
+
+Status RunServe(FlagParser* flags) {
+  WorkloadOptions options;
+  DBTF_ASSIGN_OR_RETURN(options.dims[0], flags->GetInt64("dim-i", 256));
+  DBTF_ASSIGN_OR_RETURN(options.dims[1],
+                        flags->GetInt64("dim-j", options.dims[0]));
+  DBTF_ASSIGN_OR_RETURN(options.dims[2],
+                        flags->GetInt64("dim-k", options.dims[0]));
+  DBTF_ASSIGN_OR_RETURN(options.rank, flags->GetInt64("rank", 16));
+  DBTF_ASSIGN_OR_RETURN(options.top_r, flags->GetInt64("top-r", 5));
+  DBTF_ASSIGN_OR_RETURN(options.mix.membership,
+                        flags->GetDouble("membership-ratio",
+                                         options.mix.membership));
+  DBTF_ASSIGN_OR_RETURN(options.mix.fiber,
+                        flags->GetDouble("fiber-ratio", options.mix.fiber));
+  DBTF_ASSIGN_OR_RETURN(options.mix.top,
+                        flags->GetDouble("top-ratio", options.mix.top));
+  DBTF_ASSIGN_OR_RETURN(options.mix.update,
+                        flags->GetDouble("update-ratio", options.mix.update));
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t seed, flags->GetInt64("seed", 42));
+  options.seed = static_cast<std::uint64_t>(seed);
+  DBTF_ASSIGN_OR_RETURN(options.skew,
+                        ParseSkewKind(flags->GetString("skew", "weblog")));
+  DBTF_RETURN_IF_ERROR(options.Validate());
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t ops, flags->GetInt64("ops", 2000));
+  if (ops <= 0) {
+    return Status::InvalidArgument("--ops must be positive");
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t machines,
+                        flags->GetInt64("machines", 4));
+
+  ClusterConfig config;
+  config.num_machines = static_cast<int>(machines);
+  const std::string transport = flags->GetString("transport", "inproc");
+  DBTF_ASSIGN_OR_RETURN(config.transport.kind, ParseTransportKind(transport));
+  config.transport.socket_dir = flags->GetString("socket-dir", "");
+  config.transport.worker_binary = flags->GetString("worker-binary", "");
+  DBTF_ASSIGN_OR_RETURN(const std::int64_t socket_workers,
+                        flags->GetInt64("socket-workers", 0));
+  config.transport.socket_workers = static_cast<int>(socket_workers);
+  const std::string fault_plan = flags->GetString("fault-plan", "");
+  if (!fault_plan.empty()) {
+    DBTF_ASSIGN_OR_RETURN(config.fault_plan, FaultPlan::Parse(fault_plan));
+  }
+  const std::string kernel =
+      flags->GetString("kernel", GetEnvString("DBTF_KERNEL", "auto"));
+  DBTF_ASSIGN_OR_RETURN(const KernelBackend backend,
+                        ParseKernelBackend(kernel));
+  DBTF_RETURN_IF_ERROR(SetKernelBackend(backend));
+  DBTF_RETURN_IF_ERROR(flags->Finish());
+
+  // Plant a factor set to serve. The serving layer is the product here; the
+  // factors just need deterministic content at the requested shape.
+  Rng rng(options.seed ^ 0x5e7ce11aULL);
+  std::array<BitMatrix, 3> factors;
+  for (int slot = 0; slot < 3; ++slot) {
+    DBTF_ASSIGN_OR_RETURN(factors[static_cast<std::size_t>(slot)],
+                          BitMatrix::Create(options.dims[slot], options.rank));
+    const std::uint64_t mask = options.rank >= 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << options.rank) - 1;
+    for (std::int64_t r = 0; r < options.dims[slot]; ++r) {
+      factors[static_cast<std::size_t>(slot)].SetRowMask64(
+          r, rng.NextUint64() & rng.NextUint64() & rng.NextUint64() & mask);
+    }
+  }
+
+  DBTF_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                        Cluster::Create(config));
+  DBTF_RETURN_IF_ERROR(ProvisionWorkers(*cluster));
+  DBTF_ASSIGN_OR_RETURN(
+      std::unique_ptr<ServeEngine> engine,
+      ServeEngine::Create(cluster.get(), std::move(factors[0]),
+                          std::move(factors[1]), std::move(factors[2])));
+  DBTF_RETURN_IF_ERROR(engine->Load());
+
+  WorkloadGenerator gen(options);
+  std::array<std::vector<double>, 4> latencies;
+  Timer wall;
+  for (std::int64_t n = 0; n < ops; ++n) {
+    const ServeOp op = gen.Next();
+    QueryResponse response;
+    Timer one;
+    DBTF_RETURN_IF_ERROR(RunOp(engine.get(), op, &response));
+    latencies[static_cast<std::size_t>(op.kind)].push_back(
+        one.ElapsedSeconds());
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const std::vector<double>& kind : latencies) {
+    all.insert(all.end(), kind.begin(), kind.end());
+  }
+  const std::array<std::uint64_t, 3> generations = engine->generations();
+  std::printf("serve          : %lld ops, %.0f qps, p99 %.1fus, "
+              "generations (%llu, %llu, %llu)\n",
+              static_cast<long long>(ops),
+              wall_seconds > 0.0 ? static_cast<double>(ops) / wall_seconds
+                                 : 0.0,
+              PercentileUs(&all, 99.0),
+              static_cast<unsigned long long>(generations[0]),
+              static_cast<unsigned long long>(generations[1]),
+              static_cast<unsigned long long>(generations[2]));
+  std::printf("mix            : membership %.2f fiber %.2f top %.2f "
+              "update %.2f (%s skew, seed %llu)\n",
+              options.mix.membership, options.mix.fiber, options.mix.top,
+              options.mix.update, SkewKindName(options.skew),
+              static_cast<unsigned long long>(options.seed));
+  const char* kind_names[4] = {"membership", "fiber", "top", "update"};
+  for (std::size_t kind = 0; kind < 4; ++kind) {
+    if (latencies[kind].empty()) continue;
+    std::printf("%-10s p99 : %.1fus (%lld ops, p50 %.1fus)\n",
+                kind_names[kind], PercentileUs(&latencies[kind], 99.0),
+                static_cast<long long>(latencies[kind].size()),
+                PercentileUs(&latencies[kind], 50.0));
+  }
+  std::printf("transport      : %s on %d machines\n",
+              TransportKindName(config.transport.kind), config.num_machines);
+  std::printf("network        : %s\n", cluster->comm().Snapshot().ToString().c_str());
+  const ServeStats& stats = engine->stats();
+  if (stats.failovers > 0 || stats.rebroadcasts > 0) {
+    std::printf("recovery       : %lld failovers, %lld rebroadcasts\n",
+                static_cast<long long>(stats.failovers),
+                static_cast<long long>(stats.rebroadcasts));
+  }
+  if (config.transport.kind == TransportKind::kSocket) {
+    cluster->DetachWorkers();
+  }
+  return Status::OK();
+}
+
 std::string UsageText() {
   return
       "usage: dbtf <command> [flags]\n"
@@ -448,7 +599,18 @@ std::string UsageText() {
       "  eval       --input=PATH --factors-prefix=PFX\n"
       "  info       --input=PATH\n"
       "  select-rank --input=PATH [--max-rank R --max-iterations T\n"
-      "              --initial-sets L --seed N]\n";
+      "              --initial-sets L --seed N]\n"
+      "  serve      drive a YCSB-style query workload against planted\n"
+      "             factors resident on the cluster's workers\n"
+      "             [--dim-i N --dim-j N --dim-k N --rank R --top-r R\n"
+      "              --ops N --seed N\n"
+      "              --skew=uniform|normal|lognormal|weblog\n"
+      "              --membership-ratio D --fiber-ratio D --top-ratio D\n"
+      "              --update-ratio D (relative weights of the op mix)\n"
+      "              --machines M --transport=inproc|socket\n"
+      "              --socket-dir DIR --worker-binary PATH\n"
+      "              --socket-workers M --fault-plan PLAN\n"
+      "              --kernel=auto|portable|avx2|avx512]\n";
 }
 
 int RunCli(int argc, const char* const* argv) {
@@ -470,6 +632,8 @@ int RunCli(int argc, const char* const* argv) {
     status = RunInfo(&flags);
   } else if (command == "select-rank") {
     status = RunSelectRank(&flags);
+  } else if (command == "serve") {
+    status = RunServe(&flags);
   } else {
     (void)std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
                        UsageText().c_str());

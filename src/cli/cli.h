@@ -16,6 +16,7 @@ namespace cli {
 ///   eval         score given factor matrices against a tensor
 ///   info         print tensor statistics
 ///   select-rank  MDL scan for the Boolean rank of a tensor
+///   serve        drive a YCSB-style query workload against served factors
 /// Returns a process exit code (0 on success); errors are printed to stderr.
 int RunCli(int argc, const char* const* argv);
 
@@ -26,6 +27,7 @@ Status RunFactorize(FlagParser* flags);
 Status RunEval(FlagParser* flags);
 Status RunInfo(FlagParser* flags);
 Status RunSelectRank(FlagParser* flags);
+Status RunServe(FlagParser* flags);
 
 /// The usage text printed for `dbtf help` / unknown subcommands.
 std::string UsageText();

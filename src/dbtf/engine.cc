@@ -41,6 +41,8 @@ void AdvanceGenerationCounterPast(std::uint64_t floor) {
 
 }  // namespace
 
+std::uint64_t NextFactorGeneration() { return NextGeneration(); }
+
 FactorDelta FactorBroadcastState::Plan(const FactorRoles& roles, Mode mode,
                                        std::int64_t rows, const BitMatrix& mf,
                                        const BitMatrix& ms,

@@ -19,6 +19,12 @@ namespace dbtf {
 // value messages through Cluster's typed methods and never names a Worker
 // member (tools/dbtf_lint.py enforces the boundary).
 
+/// Draws one generation from the process-wide counter that stamps factor
+/// content shipped to workers (see FactorBroadcastState). The serving layer
+/// (src/serve/) uses this to stamp its own factor broadcasts with
+/// generations that can never collide with a factorization run's.
+std::uint64_t NextFactorGeneration();
+
 /// Statistics of one distributed factor update.
 struct UpdateFactorStats {
   std::int64_t cache_entries = 0;      ///< entries built across partitions

@@ -236,6 +236,16 @@ struct Cluster::ColumnOp {
   std::int64_t total_bytes_ DBTF_GUARDED_BY(reduce_mu_) = 0;
 };
 
+/// Shared state of one point-to-point query delivery. The target snapshot
+/// pins a cluster-owned worker (and its endpoint) alive until the delivery
+/// drains, exactly like a fan-out snapshot would.
+struct Cluster::QueryOp {
+  QueryRequest msg;
+  QueryResponse* response = nullptr;
+  AttachedWorker target{};
+  Promise<Unit> promise;
+};
+
 Cluster::RouteFn Cluster::AdaptWorkerFn(const WorkerFn& fn) {
   return [this, fn](const AttachedWorker& w) {
     if (w.worker == nullptr) return NoInProcessWorkerError(w.machine);
@@ -377,6 +387,62 @@ Future<Unit> Cluster::AsyncRunColumn(RunUpdateColumn run,
     });
   }
   return future;
+}
+
+Future<Unit> Cluster::AsyncQueryWorker(int machine, QueryRequest msg,
+                                       QueryResponse* response) {
+  auto op = std::make_shared<QueryOp>();
+  op->msg = std::move(msg);
+  op->response = response;
+  Future<Unit> future = op->promise.future();
+  if (machine < 0 || machine >= config_.num_machines) {
+    op->promise.Set(Status::InvalidArgument("machine index out of range"));
+    return future;
+  }
+  // Pin the target via a registry snapshot, like the fan-out paths: a
+  // concurrent detach cannot free the worker under the delivery. A dead
+  // machine is absent from the registry, so it falls out as kUnavailable
+  // here — the same code an injected crash surfaces mid-delivery.
+  bool found = false;
+  for (AttachedWorker& w : WorkerSnapshot()) {
+    if (w.machine == machine) {
+      op->target = std::move(w);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    op->promise.Set(Status::Unavailable(
+        "machine " + std::to_string(machine) +
+        " has no attached endpoint (lost or never attached)"));
+    return future;
+  }
+  // Queries share the collect slot of the injector's per-(machine, kind)
+  // counters: both are worker->driver response traffic, and reusing the
+  // slot keeps checkpointed counter layouts (machine * 3 + kind) stable.
+  mailboxes_[static_cast<std::size_t>(machine)]->Post([this, op] {
+    const AttachedWorker& w = op->target;
+    const Status status =
+        DeliverWithRetry(w.machine, MessageKind::kCollect, [this, op, &w]() {
+          if (w.endpoint == nullptr) return NoEndpointError(w.machine);
+          double seconds = 0.0;
+          const Status s = w.endpoint->Query(op->msg, op->response, &seconds);
+          ChargeCompute(w.machine, seconds);
+          return s;
+        });
+    if (status.ok()) {
+      // One query event for the round trip, charged only on success — a
+      // failed query charges nothing, like a failed collect.
+      ChargeQuery(op->msg.WireBytes() + op->response->WireBytes());
+    }
+    op->promise.Set(ToUnitResult(status));
+  });
+  return future;
+}
+
+Status Cluster::QueryWorker(int machine, QueryRequest msg,
+                            QueryResponse* response) {
+  return AsyncQueryWorker(machine, std::move(msg), response).Get().status();
 }
 
 Status Cluster::RunColumn(RunUpdateColumn run, const CollectErrorsRequest& req,
@@ -674,6 +740,12 @@ void Cluster::ChargeCollect(std::int64_t total_bytes) {
   driver_seconds_ += TransferSeconds(total_bytes) +
                      static_cast<double>(total_bytes) *
                          config_.driver_seconds_per_byte;
+}
+
+void Cluster::ChargeQuery(std::int64_t total_bytes) {
+  comm_.RecordQuery(total_bytes);
+  MutexLock lock(mu_);
+  driver_seconds_ += TransferSeconds(total_bytes);
 }
 
 void Cluster::ChargeShuffle(std::int64_t total_bytes) {

@@ -220,7 +220,22 @@ class Cluster {
                               CollectErrorsResponse* response)
       DBTF_EXCLUDES(mu_);
 
+  /// Asynchronously routes one serving query point-to-point to `machine`.
+  /// The delivery rides that machine's serial mailbox, so it is ordered
+  /// against any factor broadcast in flight — a query observes either all of
+  /// a multi-slot FactorDelta's updates or none of them, never a torn
+  /// generation. Request + response wire bytes are charged as one query
+  /// event on the ledger when the answer arrives; a failed query charges
+  /// nothing. A machine that is dead (or was never attached) surfaces
+  /// kUnavailable — failover to a surviving replica is the serving engine's
+  /// job, not the router's. `*response` must outlive the future and is
+  /// valid only on success.
+  Future<Unit> AsyncQueryWorker(int machine, QueryRequest msg,
+                                QueryResponse* response) DBTF_EXCLUDES(mu_);
+
   /// Blocking shims over the typed async variants (enqueue + Get()).
+  Status QueryWorker(int machine, QueryRequest msg, QueryResponse* response)
+      DBTF_EXCLUDES(mu_);
   Status BroadcastFactors(FactorDelta msg) DBTF_EXCLUDES(mu_);
   Status DispatchColumn(RunUpdateColumn msg) DBTF_EXCLUDES(mu_);
   Status CollectErrors(const CollectErrorsRequest& msg,
@@ -331,6 +346,12 @@ class Cluster {
   /// Records the one-off shuffle of `total_bytes` of partitioned input.
   void ChargeShuffle(std::int64_t total_bytes) DBTF_EXCLUDES(mu_);
 
+  /// Records one serving query's round trip: `total_bytes` (request plus
+  /// response wire size) on the ledger's query lane, plus one transfer of
+  /// driver network time — queries are point-to-point, so unlike a collect
+  /// there is no per-byte driver reduce cost.
+  void ChargeQuery(std::int64_t total_bytes) DBTF_EXCLUDES(mu_);
+
   /// Busiest machine's compute seconds plus accumulated driver seconds.
   double VirtualMakespanSeconds() const DBTF_EXCLUDES(mu_);
 
@@ -397,6 +418,7 @@ class Cluster {
   struct RouteOp;    // shared state of one async broadcast/dispatch fan-out
   struct CollectOp;  // shared state of one async collect fan-out
   struct ColumnOp;   // shared state of one fused dispatch+collect fan-out
+  struct QueryOp;    // shared state of one point-to-point query delivery
 
   /// Shared fan-out path of every broadcast/dispatch variant (typed or
   /// legacy): posts one delivery of `fn` per attached worker onto that

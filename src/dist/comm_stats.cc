@@ -8,7 +8,8 @@ std::string CommSnapshot::ToString() const {
   std::ostringstream out;
   out << "shuffle=" << shuffle_bytes << "B(" << shuffle_events << ")"
       << " broadcast=" << broadcast_bytes << "B(" << broadcast_events << ")"
-      << " collect=" << collect_bytes << "B(" << collect_events << ")";
+      << " collect=" << collect_bytes << "B(" << collect_events << ")"
+      << " query=" << query_bytes << "B(" << query_events << ")";
   return out.str();
 }
 
@@ -17,9 +18,11 @@ CommSnapshot CommStats::Snapshot() const {
   s.shuffle_bytes = shuffle_bytes_.load(std::memory_order_relaxed);
   s.broadcast_bytes = broadcast_bytes_.load(std::memory_order_relaxed);
   s.collect_bytes = collect_bytes_.load(std::memory_order_relaxed);
+  s.query_bytes = query_bytes_.load(std::memory_order_relaxed);
   s.shuffle_events = shuffle_events_.load(std::memory_order_relaxed);
   s.broadcast_events = broadcast_events_.load(std::memory_order_relaxed);
   s.collect_events = collect_events_.load(std::memory_order_relaxed);
+  s.query_events = query_events_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -27,9 +30,11 @@ void CommStats::Reset() {
   shuffle_bytes_.store(0, std::memory_order_relaxed);
   broadcast_bytes_.store(0, std::memory_order_relaxed);
   collect_bytes_.store(0, std::memory_order_relaxed);
+  query_bytes_.store(0, std::memory_order_relaxed);
   shuffle_events_.store(0, std::memory_order_relaxed);
   broadcast_events_.store(0, std::memory_order_relaxed);
   collect_events_.store(0, std::memory_order_relaxed);
+  query_events_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dbtf

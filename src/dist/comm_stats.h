@@ -12,12 +12,14 @@ struct CommSnapshot {
   std::int64_t shuffle_bytes = 0;    ///< one-off partitioning of unfoldings
   std::int64_t broadcast_bytes = 0;  ///< factor matrices sent to machines
   std::int64_t collect_bytes = 0;    ///< per-column errors sent to the driver
+  std::int64_t query_bytes = 0;      ///< serving queries, request + response
   std::int64_t shuffle_events = 0;
   std::int64_t broadcast_events = 0;
   std::int64_t collect_events = 0;
+  std::int64_t query_events = 0;
 
   std::int64_t TotalBytes() const {
-    return shuffle_bytes + broadcast_bytes + collect_bytes;
+    return shuffle_bytes + broadcast_bytes + collect_bytes + query_bytes;
   }
 
   /// Field-wise difference this - begin, where `begin` is an earlier
@@ -27,9 +29,11 @@ struct CommSnapshot {
     d.shuffle_bytes = shuffle_bytes - begin.shuffle_bytes;
     d.broadcast_bytes = broadcast_bytes - begin.broadcast_bytes;
     d.collect_bytes = collect_bytes - begin.collect_bytes;
+    d.query_bytes = query_bytes - begin.query_bytes;
     d.shuffle_events = shuffle_events - begin.shuffle_events;
     d.broadcast_events = broadcast_events - begin.broadcast_events;
     d.collect_events = collect_events - begin.collect_events;
+    d.query_events = query_events - begin.query_events;
     return d;
   }
 
@@ -39,9 +43,11 @@ struct CommSnapshot {
     s.shuffle_bytes = shuffle_bytes + other.shuffle_bytes;
     s.broadcast_bytes = broadcast_bytes + other.broadcast_bytes;
     s.collect_bytes = collect_bytes + other.collect_bytes;
+    s.query_bytes = query_bytes + other.query_bytes;
     s.shuffle_events = shuffle_events + other.shuffle_events;
     s.broadcast_events = broadcast_events + other.broadcast_events;
     s.collect_events = collect_events + other.collect_events;
+    s.query_events = query_events + other.query_events;
     return s;
   }
 
@@ -77,6 +83,10 @@ class CommStats {
     collect_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     collect_events_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordQuery(std::int64_t bytes) {
+    query_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    query_events_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   CommSnapshot Snapshot() const;
 
@@ -87,9 +97,11 @@ class CommStats {
   std::atomic<std::int64_t> shuffle_bytes_{0};
   std::atomic<std::int64_t> broadcast_bytes_{0};
   std::atomic<std::int64_t> collect_bytes_{0};
+  std::atomic<std::int64_t> query_bytes_{0};
   std::atomic<std::int64_t> shuffle_events_{0};
   std::atomic<std::int64_t> broadcast_events_{0};
   std::atomic<std::int64_t> collect_events_{0};
+  std::atomic<std::int64_t> query_events_{0};
 };
 
 }  // namespace dbtf

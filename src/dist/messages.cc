@@ -47,4 +47,22 @@ std::int64_t StorePartitionRequest::WireBytes() const {
   return bytes;
 }
 
+std::int64_t QueryRequest::WireBytes() const {
+  // kind + id + mode + three coordinates + top_r + slice length prefix,
+  // plus the packed slice words.
+  return 1 + 8 + 1 + 3 * 8 + 8 + 8 +
+         static_cast<std::int64_t>(slice_bits.size()) *
+             static_cast<std::int64_t>(sizeof(BitWord));
+}
+
+std::int64_t QueryResponse::WireBytes() const {
+  // id + member + explain mask + fiber length prefix + two ranked-list
+  // length prefixes + the three generations, plus the variable payloads.
+  return 8 + 1 + 8 + 8 + 8 + 8 + 3 * 8 +
+         static_cast<std::int64_t>(fiber_bits.size()) *
+             static_cast<std::int64_t>(sizeof(BitWord)) +
+         static_cast<std::int64_t>(concept_ids.size()) * 8 +
+         static_cast<std::int64_t>(concept_scores.size()) * 8;
+}
+
 }  // namespace dbtf

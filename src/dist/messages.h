@@ -29,6 +29,9 @@ namespace dbtf {
 //   StorePartitionRequest / ListPartitions -> provisioning seam
 //                           (dist/provision.h), charged there when the move
 //                           is a recovery re-provision
+//   QueryRequest         -> Cluster::QueryWorker        (point-to-point to
+//                           the shard owner; request + response bytes
+//                           charged as one query on the ledger)
 
 /// One factor matrix crossing the wire, either as a full replacement or as
 /// the set of columns that changed since the generation the workers already
@@ -73,6 +76,11 @@ struct FactorDelta {
   int cache_group_size = 1;    ///< V of Lemma 2
   bool enable_caching = true;  ///< ablation: false recomputes every summation
   std::vector<MatrixDelta> updates;  ///< operand payloads, possibly empty
+
+  /// Serving-path broadcasts: apply the matrix deltas and stop. The factor-
+  /// update machinery (M_f row masks, M_s^T cache tables) is neither needed
+  /// nor rebuilt, and the mf/ms slots need not be resident.
+  bool apply_only = false;
 
   /// Packed bytes of all shipped updates: what one machine receives.
   std::int64_t WireBytes() const;
@@ -128,6 +136,60 @@ struct StorePartitionRequest {
 
   /// Packed bytes of the partition's block rows — what shipping it costs on
   /// the wire (the recovery ledger's re-shipment accounting).
+  std::int64_t WireBytes() const;
+};
+
+/// The three query shapes the serving layer answers from resident factors.
+enum class QueryKind : std::uint8_t {
+  kMembership = 1,   ///< is cell (i,j,k) set, and which concepts explain it
+  kFiber = 2,        ///< materialize one mode-`mode` fiber as packed bits
+  kTopConcepts = 3,  ///< rank concepts by overlap with a query slice
+};
+
+/// Driver -> one worker: answer one serving query against the bit-packed
+/// factors resident in the worker's broadcast cache (slots 0..2 = A, B, C).
+/// Any machine holding the factors can answer any query; the engine shards
+/// by PlacementPolicy for load spreading, not for data locality.
+///
+/// Field use by kind:
+///   kMembership   i, j, k          (cell coordinates)
+///   kFiber        mode, i, j       (the two fixed coordinates, in the
+///                                   cyclic order of the free mode: mode 1
+///                                   frees i and fixes (j, k); mode 2 frees
+///                                   j and fixes (k, i); mode 3 frees k and
+///                                   fixes (i, j))
+///   kTopConcepts  mode, slice_bits/slice_len, top_r
+///                                  (score factor-`mode` columns against the
+///                                   packed query slice, return the best R)
+struct QueryRequest {
+  QueryKind kind = QueryKind::kMembership;
+  std::uint64_t id = 0;     ///< echoed in the response (harness correlation)
+  Mode mode = Mode::kOne;   ///< fiber: free mode; top-R: factor to score
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  std::int64_t k = 0;
+  std::vector<BitWord> slice_bits;  ///< top-R: packed query slice
+  std::int64_t slice_len = 0;       ///< logical bits in slice_bits
+  std::int64_t top_r = 0;           ///< top-R: how many concepts to return
+
+  /// Packed request bytes (what routing one query costs on the wire).
+  std::int64_t WireBytes() const;
+};
+
+/// One worker -> driver: the answer, tagged with the factor generations it
+/// was computed against so the engine (and the consistency tests) can prove
+/// which broadcast the read observed.
+struct QueryResponse {
+  std::uint64_t id = 0;      ///< echo of QueryRequest::id
+  bool member = false;       ///< membership: reconstruction bit at (i,j,k)
+  std::uint64_t explain_mask = 0;  ///< membership: concepts covering (i,j,k)
+  std::vector<BitWord> fiber_bits;  ///< fiber: packed reconstruction
+  std::int64_t fiber_len = 0;       ///< logical bits in fiber_bits
+  std::vector<std::int64_t> concept_ids;      ///< top-R: ranked columns
+  std::vector<std::int64_t> concept_scores;   ///< top-R: overlap popcounts
+  std::vector<std::uint64_t> generations;     ///< factor generations (A,B,C)
+
+  /// Packed response bytes (the collect side of the query's ledger charge).
   std::int64_t WireBytes() const;
 };
 

@@ -35,6 +35,12 @@ class InProcessEndpoint final : public WorkerEndpoint {
                  [&] { return worker_->Handle(msg, response); });
   }
 
+  Status Query(const QueryRequest& msg, QueryResponse* response,
+               double* compute_seconds) override {
+    return Timed(compute_seconds,
+                 [&] { return worker_->Handle(msg, response); });
+  }
+
   Status Store(StorePartitionRequest msg, double* compute_seconds) override {
     return Timed(compute_seconds, [&] {
       worker_->AdoptPartition(msg.mode, msg.index, std::move(msg.partition),

@@ -100,6 +100,18 @@ class SocketEndpoint final : public WorkerEndpoint {
     return reader.ExpectEnd();
   }
 
+  Status Query(const QueryRequest& msg, QueryResponse* response,
+               double* compute_seconds) override {
+    ByteWriter payload;
+    EncodeQueryRequest(msg, &payload);
+    DBTF_ASSIGN_OR_RETURN(WireReply reply, Call(WireKind::kQuery, payload));
+    Credit(compute_seconds, reply);
+    if (!reply.status.ok()) return reply.status;
+    ByteReader reader(reply.body);
+    DBTF_ASSIGN_OR_RETURN(*response, DecodeQueryResponse(&reader));
+    return reader.ExpectEnd();
+  }
+
   Status Store(StorePartitionRequest msg, double* compute_seconds) override {
     ByteWriter payload;
     EncodeStorePartitionRequest(msg, &payload);

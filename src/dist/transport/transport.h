@@ -91,6 +91,11 @@ class WorkerEndpoint {
                          CollectErrorsResponse* response,
                          double* compute_seconds) = 0;
 
+  /// Serving plane (Cluster::QueryWorker): answer one query against the
+  /// factors resident in this machine's broadcast cache.
+  virtual Status Query(const QueryRequest& msg, QueryResponse* response,
+                       double* compute_seconds) = 0;
+
   /// Provisioning plane (dist/provision.h; charged there when applicable).
   virtual Status Store(StorePartitionRequest msg, double* compute_seconds) = 0;
   virtual Result<std::vector<std::int64_t>> ListPartitions(

@@ -154,6 +154,7 @@ void EncodeFactorDelta(const FactorDelta& msg, ByteWriter* writer) {
   writer->WriteU8(static_cast<std::uint8_t>(msg.ms_slot));
   writer->WriteU32(static_cast<std::uint32_t>(msg.cache_group_size));
   writer->WriteU8(msg.enable_caching ? 1 : 0);
+  writer->WriteU8(msg.apply_only ? 1 : 0);
   writer->WriteU64(msg.updates.size());
   for (const MatrixDelta& d : msg.updates) EncodeMatrixDelta(d, writer);
 }
@@ -173,6 +174,7 @@ Result<FactorDelta> DecodeFactorDelta(ByteReader* reader) {
   DBTF_ASSIGN_OR_RETURN(const std::uint32_t group, reader->ReadU32());
   msg.cache_group_size = static_cast<int>(group);
   DBTF_ASSIGN_OR_RETURN(msg.enable_caching, DecodeBool(reader));
+  DBTF_ASSIGN_OR_RETURN(msg.apply_only, DecodeBool(reader));
   DBTF_ASSIGN_OR_RETURN(const std::uint64_t count, reader->ReadU64());
   if (count > 3) return Corrupt("operand update count out of range");
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -248,6 +250,44 @@ Result<std::vector<std::int64_t>> DecodeInt64Vector(ByteReader* reader) {
                           reader->ReadI64());
   }
   return values;
+}
+
+/// Packed bit string: logical length prefix, then exactly WordsForBits(len)
+/// storage words. The vector must be sized to the length.
+void EncodePackedBits(const std::vector<BitWord>& words, std::int64_t bits,
+                      ByteWriter* writer) {
+  DBTF_DCHECK(words.size() == WordsForBits(static_cast<std::size_t>(bits)),
+              "packed bit vector does not match its logical length");
+  writer->WriteI64(bits);
+  for (const BitWord w : words) writer->WriteU64(w);
+}
+
+struct PackedBits {
+  std::vector<BitWord> words;
+  std::int64_t bits = 0;
+};
+
+Result<PackedBits> DecodePackedBits(ByteReader* reader) {
+  PackedBits packed;
+  DBTF_ASSIGN_OR_RETURN(packed.bits, reader->ReadI64());
+  if (packed.bits < 0 || packed.bits > kMaxWireDim) {
+    return Corrupt("packed bit length out of range");
+  }
+  const std::uint64_t nwords =
+      WordsForBits(static_cast<std::size_t>(packed.bits));
+  if (nwords > reader->remaining() / 8) {
+    return Corrupt("packed bit vector truncated");
+  }
+  packed.words.assign(static_cast<std::size_t>(nwords), 0);
+  for (std::uint64_t w = 0; w < nwords; ++w) {
+    DBTF_ASSIGN_OR_RETURN(packed.words[static_cast<std::size_t>(w)],
+                          reader->ReadU64());
+  }
+  if (!TailPaddingZero(BitSpan(packed.words.data(),
+                               static_cast<std::size_t>(packed.bits)))) {
+    return Corrupt("packed bit padding set");
+  }
+  return packed;
 }
 
 }  // namespace
@@ -366,6 +406,88 @@ Result<std::vector<std::int64_t>> DecodeListPartitionsResponse(
   return DecodeInt64Vector(reader);
 }
 
+void EncodeQueryRequest(const QueryRequest& msg, ByteWriter* writer) {
+  writer->WriteU8(static_cast<std::uint8_t>(msg.kind));
+  writer->WriteU64(msg.id);
+  EncodeMode(msg.mode, writer);
+  writer->WriteI64(msg.i);
+  writer->WriteI64(msg.j);
+  writer->WriteI64(msg.k);
+  writer->WriteI64(msg.top_r);
+  EncodePackedBits(msg.slice_bits, msg.slice_len, writer);
+}
+
+Result<QueryRequest> DecodeQueryRequest(ByteReader* reader) {
+  QueryRequest msg;
+  DBTF_ASSIGN_OR_RETURN(const std::uint8_t kind, reader->ReadU8());
+  if (kind < static_cast<std::uint8_t>(QueryKind::kMembership) ||
+      kind > static_cast<std::uint8_t>(QueryKind::kTopConcepts)) {
+    return Corrupt("query kind out of range");
+  }
+  msg.kind = static_cast<QueryKind>(kind);
+  DBTF_ASSIGN_OR_RETURN(msg.id, reader->ReadU64());
+  DBTF_ASSIGN_OR_RETURN(msg.mode, DecodeMode(reader));
+  DBTF_ASSIGN_OR_RETURN(msg.i, reader->ReadI64());
+  DBTF_ASSIGN_OR_RETURN(msg.j, reader->ReadI64());
+  DBTF_ASSIGN_OR_RETURN(msg.k, reader->ReadI64());
+  DBTF_ASSIGN_OR_RETURN(msg.top_r, reader->ReadI64());
+  // Coordinates are validated against the factor shapes by the worker; the
+  // decoder only rejects values no tensor can reach. top_r is bounded by the
+  // 64-column rank cap shared with MatrixDelta.
+  if (msg.i < 0 || msg.j < 0 || msg.k < 0 || msg.i > kMaxWireDim ||
+      msg.j > kMaxWireDim || msg.k > kMaxWireDim || msg.top_r < 0 ||
+      msg.top_r > 64) {
+    return Corrupt("query header out of range");
+  }
+  DBTF_ASSIGN_OR_RETURN(PackedBits slice, DecodePackedBits(reader));
+  msg.slice_bits = std::move(slice.words);
+  msg.slice_len = slice.bits;
+  return msg;
+}
+
+void EncodeQueryResponse(const QueryResponse& msg, ByteWriter* writer) {
+  writer->WriteU64(msg.id);
+  writer->WriteU8(msg.member ? 1 : 0);
+  writer->WriteU64(msg.explain_mask);
+  EncodePackedBits(msg.fiber_bits, msg.fiber_len, writer);
+  EncodeInt64Vector(msg.concept_ids, writer);
+  EncodeInt64Vector(msg.concept_scores, writer);
+  writer->WriteU64(msg.generations.size());
+  for (const std::uint64_t g : msg.generations) writer->WriteU64(g);
+}
+
+Result<QueryResponse> DecodeQueryResponse(ByteReader* reader) {
+  QueryResponse msg;
+  DBTF_ASSIGN_OR_RETURN(msg.id, reader->ReadU64());
+  DBTF_ASSIGN_OR_RETURN(msg.member, DecodeBool(reader));
+  DBTF_ASSIGN_OR_RETURN(msg.explain_mask, reader->ReadU64());
+  DBTF_ASSIGN_OR_RETURN(PackedBits fiber, DecodePackedBits(reader));
+  msg.fiber_bits = std::move(fiber.words);
+  msg.fiber_len = fiber.bits;
+  DBTF_ASSIGN_OR_RETURN(msg.concept_ids, DecodeInt64Vector(reader));
+  DBTF_ASSIGN_OR_RETURN(msg.concept_scores, DecodeInt64Vector(reader));
+  if (msg.concept_ids.size() != msg.concept_scores.size()) {
+    return Corrupt("ranked concept lists disagree on length");
+  }
+  for (const std::int64_t concept_id : msg.concept_ids) {
+    if (concept_id < 0 || concept_id >= 64) {
+      return Corrupt("ranked concept id out of range");
+    }
+  }
+  DBTF_ASSIGN_OR_RETURN(const std::uint64_t gen_count, reader->ReadU64());
+  // The worker always answers with the three factor-slot generations; a
+  // different count is a framing error, not a smaller cluster.
+  if (gen_count != 3 || gen_count > reader->remaining() / 8) {
+    return Corrupt("generation vector out of range");
+  }
+  msg.generations.assign(static_cast<std::size_t>(gen_count), 0);
+  for (std::uint64_t g = 0; g < gen_count; ++g) {
+    DBTF_ASSIGN_OR_RETURN(msg.generations[static_cast<std::size_t>(g)],
+                          reader->ReadU64());
+  }
+  return msg;
+}
+
 void EncodeReply(const WireReply& reply, ByteWriter* writer) {
   writer->WriteU32(static_cast<std::uint32_t>(reply.status.code()));
   writer->WriteString(reply.status.message());
@@ -420,7 +542,7 @@ Result<std::pair<WireKind, std::uint64_t>> ParseFrameHeader(
   if (version != kWireVersion) return Corrupt("unsupported frame version");
   DBTF_ASSIGN_OR_RETURN(const std::uint8_t kind, reader.ReadU8());
   if (kind < static_cast<std::uint8_t>(WireKind::kFactorDelta) ||
-      kind > static_cast<std::uint8_t>(WireKind::kReply)) {
+      kind > static_cast<std::uint8_t>(WireKind::kQuery)) {
     return Corrupt("unknown frame kind");
   }
   DBTF_ASSIGN_OR_RETURN(const std::uint64_t payload_bytes, reader.ReadU64());

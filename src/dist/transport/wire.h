@@ -29,6 +29,7 @@ enum class WireKind : std::uint8_t {
   kListPartitions = 5,
   kShutdown = 6,  ///< empty payload; the worker replies, then exits
   kReply = 7,
+  kQuery = 8,  ///< serving-layer query; the answer rides the reply body
 };
 
 // --- Message payload codecs -------------------------------------------------
@@ -59,6 +60,12 @@ void EncodeListPartitionsResponse(const std::vector<std::int64_t>& indexes,
 Result<std::vector<std::int64_t>> DecodeListPartitionsResponse(
     ByteReader* reader);
 
+void EncodeQueryRequest(const QueryRequest& msg, ByteWriter* writer);
+Result<QueryRequest> DecodeQueryRequest(ByteReader* reader);
+
+void EncodeQueryResponse(const QueryResponse& msg, ByteWriter* writer);
+Result<QueryResponse> DecodeQueryResponse(ByteReader* reader);
+
 /// Reply envelope of every worker response: the handler's Status, the
 /// worker-side CPU seconds the handler consumed (so the driver charges the
 /// same virtual compute either way), and an optional body (e.g. the encoded
@@ -80,7 +87,8 @@ Result<WireReply> DecodeReply(ByteReader* reader);
 // peeking into the payload.
 
 constexpr std::uint32_t kWireMagic = 0x46544244;  // "DBTF", little-endian
-constexpr std::uint8_t kWireVersion = 1;
+// Version 2: FactorDelta gained apply_only; kQuery frames added.
+constexpr std::uint8_t kWireVersion = 2;
 /// magic + version + kind + payload length.
 constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 1 + 8;
 constexpr std::size_t kFrameCrcBytes = 4;

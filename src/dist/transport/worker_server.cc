@@ -102,6 +102,25 @@ WireReply ServeFrame(Worker* worker, const WireFrame& frame) {
       }
       return reply;
     }
+    case WireKind::kQuery: {
+      Result<QueryRequest> msg = DecodeQueryRequest(&reader);
+      if (!msg.ok()) {
+        reply.status = msg.status();
+        return reply;
+      }
+      reply.status = reader.ExpectEnd();
+      if (!reply.status.ok()) return reply;
+      QueryResponse response;
+      timer.Reset();
+      reply.status = worker->Handle(*msg, &response);
+      reply.compute_seconds = timer.ElapsedSeconds();
+      if (reply.status.ok()) {
+        ByteWriter body;
+        EncodeQueryResponse(response, &body);
+        reply.body = body.bytes();
+      }
+      return reply;
+    }
     case WireKind::kShutdown:
       reply.status = reader.ExpectEnd();
       return reply;

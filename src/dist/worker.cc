@@ -1,5 +1,6 @@
 #include "dist/worker.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/bitspan.h"
@@ -155,6 +156,10 @@ Status Worker::Handle(const FactorDelta& msg) {
   for (const MatrixDelta& d : msg.updates) {
     DBTF_RETURN_IF_ERROR(ApplyMatrixDelta(d));
   }
+  // Serving-path broadcasts stop at the factor caches: no factor update
+  // follows, so the M_f masks and M_s^T cache tables (which may target
+  // slots that were never shipped) must not be touched.
+  if (msg.apply_only) return Status::OK();
 
   ModeState& st = state(msg.mode);
   st.rows = msg.rows;
@@ -293,6 +298,136 @@ Status Worker::Handle(const CollectErrorsRequest& msg,
   response->wire_bytes = NumLocalPartitions(msg.mode) * st.rows * 2 *
                          static_cast<std::int64_t>(sizeof(std::int64_t));
   return Status::OK();
+}
+
+const BitMatrix& Worker::ServeTransposed(int slot) {
+  DBTF_CHECK_LE(0, slot);
+  DBTF_CHECK_LT(slot, 3);
+  const CachedFactor& cf = factors_[static_cast<std::size_t>(slot)];
+  DBTF_CHECK(cf.valid);
+  ServeView& view = serve_views_[static_cast<std::size_t>(slot)];
+  if (!view.valid || view.built_generation != cf.generation) {
+    view.transposed = cf.matrix.Transpose();
+    view.built_generation = cf.generation;
+    view.valid = true;
+  }
+  return view.transposed;
+}
+
+Status Worker::Handle(const QueryRequest& msg, QueryResponse* response) {
+  DBTF_CHECK(response != nullptr);
+  for (const CachedFactor& cf : factors_) {
+    if (!cf.valid) {
+      return Status::FailedPrecondition(
+          "query before the factors were broadcast");
+    }
+  }
+  const BitMatrix& a = factors_[0].matrix;
+  const BitMatrix& b = factors_[1].matrix;
+  const BitMatrix& c = factors_[2].matrix;
+
+  *response = QueryResponse();
+  response->id = msg.id;
+  response->generations = {factors_[0].generation, factors_[1].generation,
+                           factors_[2].generation};
+
+  switch (msg.kind) {
+    case QueryKind::kMembership: {
+      if (msg.i < 0 || msg.j < 0 || msg.k < 0 || msg.i >= a.rows() ||
+          msg.j >= b.rows() || msg.k >= c.rows()) {
+        return Status::InvalidArgument(
+            "membership coordinates outside the factor shapes");
+      }
+      // A cell is covered by concept r iff all three factors set column r at
+      // their coordinate; the rank fits one word (cols <= 64), so the
+      // explain set is the AND of three row masks.
+      response->explain_mask =
+          a.RowMask64(msg.i) & b.RowMask64(msg.j) & c.RowMask64(msg.k);
+      response->member = response->explain_mask != 0;
+      return Status::OK();
+    }
+    case QueryKind::kFiber: {
+      // The free mode's factor, read column-wise through the serve view, and
+      // the row masks of the two fixed coordinates (cyclic mode order).
+      const BitMatrix* free_factor = nullptr;
+      std::uint64_t concepts = 0;
+      switch (msg.mode) {
+        case Mode::kOne:
+          if (msg.j < 0 || msg.k < 0 || msg.j >= b.rows() || msg.k >= c.rows()) {
+            return Status::InvalidArgument("fiber coordinates out of range");
+          }
+          concepts = b.RowMask64(msg.j) & c.RowMask64(msg.k);
+          free_factor = &ServeTransposed(0);
+          break;
+        case Mode::kTwo:
+          if (msg.k < 0 || msg.i < 0 || msg.k >= c.rows() || msg.i >= a.rows()) {
+            return Status::InvalidArgument("fiber coordinates out of range");
+          }
+          concepts = c.RowMask64(msg.k) & a.RowMask64(msg.i);
+          free_factor = &ServeTransposed(1);
+          break;
+        case Mode::kThree:
+          if (msg.i < 0 || msg.j < 0 || msg.i >= a.rows() || msg.j >= b.rows()) {
+            return Status::InvalidArgument("fiber coordinates out of range");
+          }
+          concepts = a.RowMask64(msg.i) & b.RowMask64(msg.j);
+          free_factor = &ServeTransposed(2);
+          break;
+      }
+      const std::int64_t len = free_factor->cols();
+      response->fiber_len = len;
+      response->fiber_bits.assign(
+          WordsForBits(static_cast<std::size_t>(len)), 0);
+      const MutableBitSpan fiber(response->fiber_bits.data(),
+                                 static_cast<std::size_t>(len));
+      // OR of the participating rank-1 columns: each set bit of `concepts`
+      // contributes one whole transposed row through the kernel table.
+      const BitSpan concept_span(&concepts, 64);
+      ForEachSetBit(concept_span, [&](std::size_t r) {
+        Kernels().or_into(fiber,
+                          free_factor->Row(static_cast<std::int64_t>(r)));
+      });
+      return Status::OK();
+    }
+    case QueryKind::kTopConcepts: {
+      const BitMatrix& scored = ServeTransposed(
+          static_cast<int>(msg.mode) - 1);
+      if (msg.top_r < 0) {
+        return Status::InvalidArgument("top_r must be non-negative");
+      }
+      if (msg.slice_len != scored.cols() ||
+          msg.slice_bits.size() !=
+              WordsForBits(static_cast<std::size_t>(msg.slice_len))) {
+        return Status::InvalidArgument(
+            "query slice length does not match the factor dimension");
+      }
+      const BitSpan slice(msg.slice_bits.data(),
+                          static_cast<std::size_t>(msg.slice_len));
+      // Score every concept, then keep the best top_r: overlap descending,
+      // concept index ascending on ties — a total order, so every replica
+      // answers byte-identically.
+      std::vector<std::pair<std::int64_t, std::int64_t>> ranked;
+      ranked.reserve(static_cast<std::size_t>(scored.rows()));
+      for (std::int64_t r = 0; r < scored.rows(); ++r) {
+        ranked.emplace_back(Kernels().and_popcount(slice, scored.Row(r)), r);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& lhs, const auto& rhs) {
+                  if (lhs.first != rhs.first) return lhs.first > rhs.first;
+                  return lhs.second < rhs.second;
+                });
+      const std::size_t keep = std::min(ranked.size(),
+                                        static_cast<std::size_t>(msg.top_r));
+      response->concept_ids.reserve(keep);
+      response->concept_scores.reserve(keep);
+      for (std::size_t r = 0; r < keep; ++r) {
+        response->concept_ids.push_back(ranked[r].second);
+        response->concept_scores.push_back(ranked[r].first);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 }  // namespace dbtf

@@ -98,6 +98,13 @@ class Worker {
   Status Handle(const CollectErrorsRequest& msg,
                 CollectErrorsResponse* response);
 
+  /// Answers one serving query (membership / fiber / top-R concepts) from
+  /// the resident factor slots. Requires all three slots valid (shipped by a
+  /// prior FactorDelta broadcast); fails with kFailedPrecondition otherwise.
+  /// Fiber and top-R queries read rank-1 columns through per-slot transposed
+  /// "serve views", rebuilt lazily when a slot's generation moves.
+  Status Handle(const QueryRequest& msg, QueryResponse* response);
+
  private:
   struct LocalPartition {
     std::int64_t index;                ///< global partition index
@@ -140,14 +147,29 @@ class Worker {
     return modes_[static_cast<std::size_t>(mode) - 1];
   }
 
+  /// Transposed copy of one factor slot (rank x rows: row r is concept r's
+  /// membership over that mode), the layout fiber and top-R queries consume
+  /// as whole BitSpan rows. Tagged with the factor generation it was built
+  /// from so updates invalidate it lazily.
+  struct ServeView {
+    BitMatrix transposed;
+    std::uint64_t built_generation = 0;
+    bool valid = false;
+  };
+
   /// Applies one operand update to `factors_[d.slot]`. Idempotent: matching
   /// generations apply nothing; a column delta against the wrong base is
   /// rejected with kFailedPrecondition.
   Status ApplyMatrixDelta(const MatrixDelta& d);
 
+  /// Returns the up-to-date serve view of factor slot `slot`, transposing
+  /// the cached factor if its generation moved since the last build.
+  const BitMatrix& ServeTransposed(int slot);
+
   int machine_;
   std::array<ModeState, 3> modes_;
   std::array<CachedFactor, 3> factors_;  ///< machine-resident operand slots
+  std::array<ServeView, 3> serve_views_;  ///< lazy transposes for serving
 };
 
 }  // namespace dbtf

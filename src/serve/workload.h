@@ -1,0 +1,102 @@
+#ifndef DBTF_SERVE_WORKLOAD_H_
+#define DBTF_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "serve/serve_engine.h"
+#include "tensor/unfold.h"
+
+namespace dbtf {
+
+/// YCSB-style key-skew families for the serving workload. The family names
+/// follow the learned-index serving literature (normal / lognormal / weblog
+/// key distributions); each maps a uniform draw onto an index in [0, n)
+/// deterministically, so a (seed, skew) pair names one exact query stream.
+enum class SkewKind : std::uint8_t {
+  kUniform = 0,    ///< every index equally likely
+  kNormal = 1,     ///< Gaussian around the middle of the range
+  kLognormal = 2,  ///< multiplicative skew toward small indexes, long tail
+  kWeblog = 3,     ///< power-law head: few hot keys take most traffic
+};
+
+/// Parses a --skew flag value ("uniform", "normal", "lognormal", "weblog").
+Result<SkewKind> ParseSkewKind(const std::string& name);
+const char* SkewKindName(SkewKind skew);
+
+/// Operation mix of the serving workload, YCSB-style: three read kinds plus
+/// updates. Weights are relative (normalized at use), each must be >= 0 and
+/// the reads+updates total must be > 0.
+struct WorkloadMix {
+  double membership = 0.70;
+  double fiber = 0.15;
+  double top = 0.05;
+  double update = 0.10;
+
+  Status Validate() const;
+  double Total() const { return membership + fiber + top + update; }
+};
+
+/// Full specification of one serving workload stream.
+struct WorkloadOptions {
+  WorkloadMix mix;
+  SkewKind skew = SkewKind::kUniform;
+  std::uint64_t seed = 42;
+  std::int64_t dims[3] = {0, 0, 0};  ///< I, J, K (factor row counts)
+  std::int64_t rank = 0;
+  std::int64_t top_r = 5;            ///< concepts returned by top-R reads
+
+  Status Validate() const;
+};
+
+/// What one generated operation is.
+enum class ServeOpKind : std::uint8_t {
+  kMembership = 0,
+  kFiber = 1,
+  kTopConcepts = 2,
+  kUpdate = 3,
+};
+
+/// One generated operation, ready to run against a ServeEngine.
+struct ServeOp {
+  ServeOpKind kind = ServeOpKind::kMembership;
+  Mode mode = Mode::kOne;  ///< fiber: free mode; top-R: factor to score
+  std::int64_t i = 0;      ///< membership coords / fiber fixed pair
+  std::int64_t j = 0;
+  std::int64_t k = 0;
+  std::vector<BitWord> slice_bits;  ///< top-R query slice
+  std::int64_t slice_len = 0;
+  std::int64_t top_r = 0;
+  ServeColumnUpdate update;  ///< kUpdate payload
+};
+
+/// Deterministic generator of the workload stream: same options -> same
+/// operations, on every platform (the only entropy source is the repo's
+/// xoshiro Rng, and the skew maps are hand-rolled rather than delegated to
+/// implementation-defined std::random distributions).
+class WorkloadGenerator {
+ public:
+  /// `options` must have passed Validate().
+  explicit WorkloadGenerator(const WorkloadOptions& options);
+
+  ServeOp Next();
+
+ private:
+  std::int64_t SkewedIndex(std::int64_t n);
+  double NextGaussian();
+
+  WorkloadOptions options_;
+  Rng rng_;
+};
+
+/// Runs one generated operation against the engine. Reads land in
+/// `*response`; updates leave it untouched.
+Status RunOp(ServeEngine* engine, const ServeOp& op, QueryResponse* response);
+
+}  // namespace dbtf
+
+#endif  // DBTF_SERVE_WORKLOAD_H_

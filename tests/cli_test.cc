@@ -223,10 +223,56 @@ TEST_F(CliPipeline, SelectRankRunsAndValidates) {
       RunCommand(RunSelectRank, {in_flag.c_str(), "--max-rank=0"}).ok());
 }
 
+TEST(CliServe, RunsAMixedWorkload) {
+  ASSERT_TRUE(RunCommand(RunServe, {"--dim-i=32", "--rank=6", "--ops=64",
+                                    "--machines=2", "--seed=7"})
+                  .ok());
+}
+
+TEST(CliServe, RunsEverySkewFamily) {
+  for (const char* skew :
+       {"--skew=uniform", "--skew=normal", "--skew=lognormal",
+        "--skew=weblog"}) {
+    EXPECT_TRUE(RunCommand(RunServe, {"--dim-i=24", "--rank=4", "--ops=24",
+                                      "--machines=2", skew})
+                    .ok())
+        << skew;
+  }
+}
+
+TEST(CliServe, SurvivesAFaultPlan) {
+  ASSERT_TRUE(RunCommand(RunServe,
+                         {"--dim-i=24", "--rank=4", "--ops=48", "--machines=2",
+                          "--fault-plan=1:collect:crash@2"})
+                  .ok());
+}
+
+TEST(CliServe, RejectsBadArguments) {
+  EXPECT_EQ(RunCommand(RunServe, {"--ops=0"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand(RunServe, {"--skew=zipfian"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand(RunServe, {"--rank=65"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand(RunServe, {"--membership-ratio=-1"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand(RunServe, {"--transport=tcp"}).code(),
+            StatusCode::kInvalidArgument);
+  // The all-zero mix has nothing to draw operations from.
+  EXPECT_EQ(RunCommand(RunServe,
+                       {"--membership-ratio=0", "--fiber-ratio=0",
+                        "--top-ratio=0", "--update-ratio=0"})
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Unread flags are rejected like everywhere else in the tool.
+  EXPECT_FALSE(RunCommand(RunServe, {"--ops=8", "--no-such-flag=1"}).ok());
+}
+
 TEST(CliMain, UsageMentionsAllCommands) {
   const std::string usage = UsageText();
   for (const char* command :
-       {"generate", "factorize", "eval", "info", "select-rank", "tucker"}) {
+       {"generate", "factorize", "eval", "info", "select-rank", "tucker",
+        "serve"}) {
     EXPECT_NE(usage.find(command), std::string::npos) << command;
   }
 }

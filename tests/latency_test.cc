@@ -1,0 +1,111 @@
+#include "harness/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dbtf {
+namespace bench {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.PercentileSeconds(50.0), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(99.0), 0.0);
+  EXPECT_EQ(h.MaxSeconds(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(10e-9);  // 10 ns: inside the exact sub-octave range
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.0), 10e-9);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(50.0), 10e-9);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(100.0), 10e-9);
+}
+
+TEST(LatencyHistogram, SmallNanosAreExact) {
+  // Below one octave (32 ns at kSubBits = 5) every nanosecond has its own
+  // bucket, so percentiles come back exactly.
+  LatencyHistogram h;
+  for (int ns = 1; ns <= 31; ++ns) h.Record(static_cast<double>(ns) * 1e-9);
+  EXPECT_EQ(h.count(), 31);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(100.0 / 31.0), 1e-9);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(100.0), 31e-9);
+  // The median of 1..31 is 16.
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(50.0), 16e-9);
+}
+
+TEST(LatencyHistogram, PercentilesTrackExactWithinGridError) {
+  // The documented contract: the reported percentile is the upper edge of
+  // its log-linear bucket, within 2^-5 relative error of the true sample.
+  Rng rng(1234);
+  std::vector<double> samples;
+  LatencyHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    // Latencies spanning ~100 ns to ~100 ms on a log scale.
+    const double seconds = 1e-7 * std::pow(10.0, 6.0 * rng.NextDouble());
+    samples.push_back(seconds);
+    h.Record(seconds);
+  }
+  std::sort(samples.begin(), samples.end());
+  ASSERT_EQ(h.count(), static_cast<std::int64_t>(samples.size()));
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const std::size_t index = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size()))) - 1;
+    const double exact = samples[index];
+    const double reported = h.PercentileSeconds(p);
+    EXPECT_GE(reported, exact * (1.0 - 1.0 / 32.0)) << "p" << p;
+    EXPECT_LE(reported, exact * (1.0 + 1.0 / 32.0) + 1e-9) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesRecordingEverythingInOne) {
+  Rng rng(77);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  for (int i = 0; i < 5000; ++i) {
+    const double seconds = 1e-8 * std::pow(10.0, 5.0 * rng.NextDouble());
+    (i % 2 == 0 ? a : b).Record(seconds);
+    all.Record(seconds);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.PercentileSeconds(p), all.PercentileSeconds(p));
+  }
+}
+
+TEST(LatencyHistogram, DegenerateSamplesClampInsteadOfCorrupting) {
+  LatencyHistogram h;
+  h.Record(-1.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.0) << "both clamp to the zero bucket";
+  // A sample beyond the 64-bit nanosecond range saturates into the top
+  // bucket instead of overflowing.
+  h.Record(1e30);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_GT(h.MaxSeconds(), 1e9);
+  EXPECT_TRUE(std::isfinite(h.MaxSeconds()));
+}
+
+TEST(LatencyHistogram, OutOfRangePercentilesClamp) {
+  LatencyHistogram h;
+  h.Record(5e-9);
+  h.Record(20e-9);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(-10.0), 5e-9);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(250.0), 20e-9);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbtf

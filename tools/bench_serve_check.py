@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI gate over bench_serve --json (the BENCH_serve.json schema).
+
+Three checks:
+
+  schema          the report must carry schema dbtf-bench-serve-v1 with the
+                  workload header (skew/seed/dims/rank/mix) and at least one
+                  run; each run needs throughput, per-kind latency rows, the
+                  answer digest, and the generation triple it served.
+  fresh-measure   every run must look *measured*, not fabricated or stale:
+                  positive ops/wall/qps, per-kind counts summing to the
+                  run's op count, and — when several transports ran — one
+                  identical answer digest across all of them (the transport
+                  moves bytes; it must not change a single answer byte).
+  no-regression   against a committed baseline (--baseline), each
+                  transport's qps may not fall below baseline *
+                  --regression-factor. Ratios are against the same
+                  transport only, and transports missing from the current
+                  report are skipped, not failed (a CI runner may only
+                  exercise inproc). Latencies are reported, not gated:
+                  wall-clock percentiles on shared runners are too noisy
+                  to fail a build on.
+
+Exit status: 0 = pass, 1 = gate failure, 2 = bad invocation/schema.
+
+Usage:
+  DBTF_WORKER_BIN=build/tools/dbtf-worker \
+      build/bench/bench_serve --json current.json
+  tools/bench_serve_check.py --current current.json \
+      --baseline BENCH_serve.json
+"""
+
+import argparse
+import json
+import sys
+
+KINDS = ("membership", "fiber", "top", "update")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_serve_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "dbtf-bench-serve-v1":
+        print(f"bench_serve_check: {path}: unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("skew", "seed", "dims", "rank", "mix", "runs"):
+        if key not in doc:
+            print(f"bench_serve_check: {path}: missing {key!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+    if not doc["runs"]:
+        print(f"bench_serve_check: {path}: no runs recorded", file=sys.stderr)
+        sys.exit(2)
+    for run in doc["runs"]:
+        for key in ("transport", "ops", "wall_seconds", "qps", "digest",
+                    "generations", "kinds"):
+            if key not in run:
+                print(f"bench_serve_check: {path}: run missing {key!r}",
+                      file=sys.stderr)
+                sys.exit(2)
+        for row in run["kinds"]:
+            for key in ("kind", "count", "p50_us", "p95_us", "p99_us"):
+                if key not in row:
+                    print(f"bench_serve_check: {path}: kind row missing "
+                          f"{key!r}", file=sys.stderr)
+                    sys.exit(2)
+    return doc
+
+
+def check_fresh(doc):
+    failures = []
+    digests = []
+    for run in doc["runs"]:
+        t = run["transport"]
+        if run["ops"] <= 0 or run["wall_seconds"] <= 0 or run["qps"] <= 0:
+            failures.append(f"fresh-measure: {t} run was not measured "
+                            f"(ops={run['ops']}, wall={run['wall_seconds']}, "
+                            f"qps={run['qps']})")
+        counted = sum(row["count"] for row in run["kinds"])
+        if counted != run["ops"]:
+            failures.append(f"fresh-measure: {t} kind counts sum to "
+                            f"{counted}, not ops={run['ops']}")
+        unknown = [row["kind"] for row in run["kinds"]
+                   if row["kind"] not in KINDS]
+        if unknown:
+            failures.append(f"fresh-measure: {t} has unknown kinds {unknown}")
+        if len(run["generations"]) != 3:
+            failures.append(f"fresh-measure: {t} generation triple has "
+                            f"{len(run['generations'])} entries")
+        if not run["digest"]:
+            failures.append(f"fresh-measure: {t} has an empty answer digest")
+        digests.append((t, run["digest"]))
+    if len({d for _, d in digests}) > 1:
+        failures.append("fresh-measure: answer digests differ across "
+                        "transports: " +
+                        ", ".join(f"{t}={d}" for t, d in digests))
+    if not failures:
+        transports = ", ".join(t for t, _ in digests)
+        print(f"ok fresh-measure: {transports} "
+              f"({doc['runs'][0]['ops']} ops each, identical digests)")
+    return failures
+
+
+def check_regression(current, baseline, factor):
+    failures = []
+    base_qps = {run["transport"]: run["qps"] for run in baseline["runs"]}
+    cur_qps = {run["transport"]: run["qps"] for run in current["runs"]}
+    shared = sorted(set(base_qps) & set(cur_qps))
+    skipped = sorted(set(base_qps) - set(cur_qps))
+    if skipped:
+        print(f"note: baseline transports not measured here: "
+              f"{', '.join(skipped)}")
+    for transport in shared:
+        floor = base_qps[transport] * factor
+        if cur_qps[transport] < floor:
+            failures.append(
+                f"no-regression: {transport} qps {cur_qps[transport]:.0f} "
+                f"fell below {floor:.0f} "
+                f"(baseline {base_qps[transport]:.0f} * {factor})")
+        else:
+            print(f"ok no-regression: {transport} {cur_qps[transport]:.0f} "
+                  f"qps >= floor {floor:.0f}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="fresh bench_serve --json output")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_serve.json to compare against")
+    parser.add_argument("--regression-factor", type=float, default=0.5,
+                        help="minimum fraction of the baseline qps that "
+                             "still passes (default 0.5)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    failures = check_fresh(current)
+    if args.baseline:
+        baseline = load(args.baseline)
+        failures += check_regression(current, baseline,
+                                     args.regression_factor)
+
+    for run in current["runs"]:
+        p99 = {row["kind"]: row["p99_us"] for row in run["kinds"]}
+        summary = " ".join(f"{kind} p99={p99[kind]:.1f}us"
+                           for kind in KINDS if kind in p99)
+        print(f"report {run['transport']}: {run['qps']:.0f} qps, {summary}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench_serve_check: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,12 +68,12 @@ MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:(?:std|dbtf)::)?[Mm]utex\s+(\w+_)\s*;")
 THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
 COMM_MUTATION_RE = re.compile(
-    r"(?:\.|->)\s*(?:Record(?:Shuffle|Broadcast|Collect)|Reset)\s*\(")
+    r"(?:\.|->)\s*(?:Record(?:Shuffle|Broadcast|Collect|Query)|Reset)\s*\(")
 # Reset() is only a ledger mutation when called on a CommStats; restrict the
 # Reset arm to lines that name the ledger to avoid flagging unrelated Resets.
 COMM_RESET_RE = re.compile(r"\bcomm(?:_|\(\))\s*\.\s*Reset\s*\(")
 COMM_RECORD_RE = re.compile(
-    r"(?:\.|->)\s*Record(?:Shuffle|Broadcast|Collect)\s*\(")
+    r"(?:\.|->)\s*Record(?:Shuffle|Broadcast|Collect|Query)\s*\(")
 GUARDED_BY_RE = re.compile(r"(?:DBTF_)?GUARDED_BY\((\w+_?)\)")
 # Wall-clock sleeps in the runtime (src/dist/, src/dbtf/). Faults, backoff,
 # and stalls are charged to the virtual clocks; a real sleep would leak wall

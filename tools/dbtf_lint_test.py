@@ -43,8 +43,8 @@ class FixtureTest(unittest.TestCase):
     def test_comm_stats_mutation_fixture_trips(self):
         diagnostics = self.lint("comm_stats_mutation")
         self.assertEqual(rules_in(diagnostics), {"comm-stats-mutation"})
-        # Both the Record* and the Reset mutation lines are flagged.
-        self.assertEqual(len(diagnostics), 2)
+        # Every Record* lane mutation and the Reset line are flagged.
+        self.assertEqual(len(diagnostics), 3)
 
     def test_fault_handling_fixture_trips(self):
         diagnostics = self.lint("fault_handling")

@@ -3,5 +3,6 @@
 
 void Charge(dbtf::Cluster* cluster) {
   cluster->comm().RecordShuffle(1024);  // violation: cluster.cc only
+  cluster->comm().RecordQuery(64);      // violation: cluster.cc only
   cluster->comm().Reset();              // violation: cluster.cc only
 }
